@@ -1,0 +1,77 @@
+// A4 — decomposition of the data-parallel inefficiency (why Table I's
+// DP column bends): for each GPU count, splits the modeled elapsed time
+// of the 32-experiment search into
+//   compute        — ideal work / n
+//   sync overhead  — the calibrated per-step replica-synchronization tax
+//   ragged waste   — ceil(N/(b*n)) last-batch padding
+//   serial         — per-trial setup + cluster boot + offline binarization
+// and reports the mechanistic ring-allreduce lower bound for contrast.
+#include <cstdio>
+
+#include "core/hp_space.hpp"
+#include "core/scaling_study.hpp"
+
+int main() {
+  using namespace dmis;
+
+  const cluster::ClusterSpec spec = cluster::ClusterSpec::marenostrum_cte();
+  const cluster::CostModel cost(spec);
+  const auto configs = core::HpSpace::expand(core::HpSpace::paper(), cost);
+
+  const int64_t n_train = 338, n_val = 72;
+
+  std::printf(
+      "A4 — data-parallel step-time decomposition (32-experiment search)\n\n");
+  std::printf(
+      " #GPUs | nodes | sync tax |  elapsed h | compute%% sync%% ragged%% serial%% | ring-allreduce lower bound/step\n");
+  std::printf(
+      "-------+-------+----------+------------+--------------------------------+--------------------------------\n");
+
+  for (int n : {1, 2, 4, 8, 12, 16, 32}) {
+    double compute = 0.0, sync = 0.0, ragged = 0.0, serial = 0.0;
+    for (const auto& cfg : configs) {
+      const cluster::SimTrialConfig sim = cfg.to_sim();
+      const cluster::ModelShape m = cost.shape_for(sim);
+      const int64_t b = sim.batch_per_replica;
+      const int64_t global = b * n;
+      const int64_t steps = (n_train + global - 1) / global;
+      double step = cost.step_compute_seconds(m, b);
+      if (sim.augment) step *= 1.0 + cost.params().augment_cost_frac;
+      const double frac = cost.sync_overhead_frac(n);
+
+      const double ideal =
+          static_cast<double>(n_train) / static_cast<double>(global) * step;
+      const double padded = static_cast<double>(steps) * step;
+      const double val = static_cast<double>(n_val) *
+                         cluster::unet3d_training_flops(m) *
+                         cost.params().validation_flop_ratio /
+                         (cost.params().effective_tflops * 1e12) /
+                         static_cast<double>(n);
+      compute += cfg.epochs * (ideal + val);
+      ragged += cfg.epochs * (padded - ideal);
+      sync += cfg.epochs * (padded * frac + val * frac);
+      serial += cost.params().trial_setup_seconds;
+    }
+    serial += cost.params().cluster_boot_seconds +
+              cost.binarize_seconds(cluster::ModelShape{}, n_train + n_val);
+    const double total = compute + sync + ragged + serial;
+
+    // Mechanistic ring lower bound on the bf=8 gradient payload.
+    const double ring = cost.allreduce_seconds(
+        n, static_cast<double>(cluster::unet3d_param_count(
+               cluster::ModelShape{})) * 4.0);
+
+    std::printf(
+        "  %4d |  %3d  |  %5.1f%%  |  %8.2f  |  %5.1f  %5.1f  %5.1f  %5.1f   |  %.3f ms\n",
+        n, spec.nodes_for(n), 100.0 * cost.sync_overhead_frac(n),
+        total / 3600.0, 100.0 * compute / total, 100.0 * sync / total,
+        100.0 * ragged / total, 100.0 * serial / total, ring * 1e3);
+  }
+
+  std::printf(
+      "\ntakeaway: the transfer itself (last column) is negligible — the\n"
+      "paper's DP penalty is framework synchronization and ragged\n"
+      "batches, which is why experiment parallelism, having neither,\n"
+      "scales closer to linear.\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// A7 — failure-injection ablation: the paper argues for experiment
+// parallelism because "every parallel run is self-contained". This
+// bench quantifies that resilience claim on the n=32 Table-I workload
+// by injecting GPU failures (Poisson, per GPU-hour) into both
+// strategies, Monte Carlo over seeds:
+//
+//  * experiment parallel — a failure kills ONE trial; the other 31 GPUs
+//    keep working. The victim re-runs from its last per-epoch
+//    checkpoint after a respawn delay.
+//  * data parallel — a failure on ANY of the 32 GPUs stalls the whole
+//    allocation: the current trial resumes from its last checkpoint
+//    after the respawn delay, with all GPUs idle meanwhile.
+//
+// Both strategies get the same checkpoint discipline (per epoch) and
+// the same respawn delay, so the asymmetry measured is purely the
+// blast-radius difference the paper describes.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/hp_space.hpp"
+#include "core/scaling_study.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace dmis;
+
+constexpr int kGpus = 32;
+constexpr double kRespawnSeconds = 300.0;  // node replacement + restage
+constexpr int kSeeds = 40;
+
+struct Workload {
+  std::vector<double> durations;      // per trial, single GPU (EP)
+  std::vector<double> dp_durations;   // per trial, 32-GPU data parallel
+  double epoch_seconds = 0.0;         // checkpoint granularity (EP)
+  double dp_epoch_seconds = 0.0;
+};
+
+Workload make_workload() {
+  const cluster::CostModel cost(cluster::ClusterSpec::marenostrum_cte());
+  const auto configs = core::HpSpace::expand(core::HpSpace::paper(), cost);
+  Workload w;
+  for (const auto& cfg : configs) {
+    w.durations.push_back(
+        cost.trial_seconds(cfg.to_sim(), 1, cfg.epochs, 338, 72));
+    w.dp_durations.push_back(
+        cost.trial_seconds(cfg.to_sim(), kGpus, cfg.epochs, 338, 72));
+  }
+  w.epoch_seconds = w.durations.front() / 250.0;
+  w.dp_epoch_seconds = w.dp_durations.front() / 250.0;
+  return w;
+}
+
+/// Wall seconds to finish a task of `duration` on one resource with
+/// failure rate `lambda` (per second), losing at most `checkpoint`
+/// seconds of progress plus `kRespawnSeconds` per failure.
+double run_with_failures(double duration, double lambda, double checkpoint,
+                         dmis::Rng& rng) {
+  double progress = 0.0;
+  double wall = 0.0;
+  while (progress < duration) {
+    const double remaining = duration - progress;
+    // Time to next failure ~ Exp(lambda).
+    const double ttf = lambda > 0.0
+                           ? -std::log(1.0 - rng.uniform()) / lambda
+                           : remaining + 1.0;
+    if (ttf >= remaining) {
+      wall += remaining;
+      progress = duration;
+    } else {
+      wall += ttf + kRespawnSeconds;
+      // Roll back to the last checkpoint boundary.
+      const double done = progress + ttf;
+      progress = std::floor(done / checkpoint) * checkpoint;
+    }
+  }
+  return wall;
+}
+
+double ep_makespan(const Workload& w, double lambda_per_gpu_s,
+                   bool checkpointed, uint64_t seed) {
+  dmis::Rng rng(seed);
+  std::vector<double> gpu_free(kGpus, 0.0);
+  for (double base : w.durations) {
+    auto it = std::min_element(gpu_free.begin(), gpu_free.end());
+    const double ckpt = checkpointed ? w.epoch_seconds : base;
+    *it += run_with_failures(base, lambda_per_gpu_s, ckpt, rng);
+  }
+  return *std::max_element(gpu_free.begin(), gpu_free.end());
+}
+
+double dp_makespan(const Workload& w, double lambda_per_gpu_s,
+                   bool checkpointed, uint64_t seed) {
+  dmis::Rng rng(seed);
+  double wall = 0.0;
+  // Any of the 32 GPUs failing stalls the step: aggregate rate.
+  const double lambda = lambda_per_gpu_s * kGpus;
+  for (double base : w.dp_durations) {
+    const double ckpt = checkpointed ? w.dp_epoch_seconds : base;
+    wall += run_with_failures(base, lambda, ckpt, rng);
+  }
+  return wall;
+}
+
+}  // namespace
+
+int main() {
+  const Workload w = make_workload();
+
+  std::printf(
+      "A7 — failure injection on the n=32 search (per-epoch checkpoints, "
+      "%.0fs respawn, %d seeds)\n\n",
+      kRespawnSeconds, kSeeds);
+  for (bool checkpointed : {true, false}) {
+    std::printf("%s:\n", checkpointed
+                             ? "with per-epoch checkpoints"
+                             : "without checkpoints (restart from scratch)");
+    std::printf(
+        " GPU MTBF  |  exp-parallel h (+%%) |  data-parallel h (+%%)\n");
+    std::printf(
+        "-----------+----------------------+----------------------\n");
+
+    double ep_base = 0.0, dp_base = 0.0;
+    for (double mtbf_hours : {0.0, 2000.0, 500.0, 100.0}) {
+      const double lambda =
+          mtbf_hours > 0.0 ? 1.0 / (mtbf_hours * 3600.0) : 0.0;
+      double ep_sum = 0.0, dp_sum = 0.0;
+      for (int s = 0; s < kSeeds; ++s) {
+        ep_sum += ep_makespan(w, lambda, checkpointed,
+                              1000 + static_cast<uint64_t>(s));
+        dp_sum += dp_makespan(w, lambda, checkpointed,
+                              2000 + static_cast<uint64_t>(s));
+      }
+      const double ep_h = ep_sum / kSeeds / 3600.0;
+      const double dp_h = dp_sum / kSeeds / 3600.0;
+      if (mtbf_hours == 0.0) {
+        ep_base = ep_h;
+        dp_base = dp_h;
+        std::printf(
+            "  (none)   |  %6.2f      (  - )  |  %6.2f      (  - )\n", ep_h,
+            dp_h);
+      } else {
+        std::printf(
+            "  %6.0fh  |  %6.2f      (%+4.1f%%) |  %6.2f      (%+4.1f%%)\n",
+            mtbf_hours, ep_h, 100.0 * (ep_h - ep_base) / ep_base, dp_h,
+            100.0 * (dp_h - dp_base) / dp_base);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "takeaway: WITH checkpointing, experiment parallelism is the more\n"
+      "resilient strategy — a failure stalls one self-contained trial\n"
+      "while data parallelism stalls all 32 GPUs (the paper's \"less\n"
+      "dependence among parallelized processes\"). WITHOUT checkpoints\n"
+      "the picture flips: experiment-parallel trials run for hours on\n"
+      "one GPU and lose everything on a failure, whereas data-parallel\n"
+      "trials are minutes long — so per-epoch checkpointing is what\n"
+      "makes the paper's preferred strategy robust, not optional polish.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// A2 — the gradient-synchronization primitive behind data parallelism.
+// Measures the real chunked ring allreduce over in-process ranks on the
+// U-Net's gradient payload (409,657 floats, the paper model), against a
+// naive gather-to-root-and-broadcast reduction, across group sizes.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace {
+
+using namespace dmis;
+
+constexpr int64_t kUnetParams = 409657;
+
+void run_ranks(int ranks, const std::function<void(int, comm::Communicator&)>& body) {
+  auto comms = comm::make_group(ranks);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] { body(r, comms[static_cast<size_t>(r)]); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void BM_RingAllreduceUnetGrads(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  std::vector<std::vector<float>> bufs(static_cast<size_t>(ranks),
+                                       std::vector<float>(kUnetParams, 1.0F));
+  for (auto _ : state) {
+    run_ranks(ranks, [&](int r, comm::Communicator& comm) {
+      comm.all_reduce_mean(bufs[static_cast<size_t>(r)]);
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * ranks *
+                          kUnetParams * static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_RingAllreduceUnetGrads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Naive alternative: reduce everything to rank 0, then broadcast.
+void BM_NaiveReduceBroadcast(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  std::vector<std::vector<float>> bufs(static_cast<size_t>(ranks),
+                                       std::vector<float>(kUnetParams, 1.0F));
+  for (auto _ : state) {
+    run_ranks(ranks, [&](int r, comm::Communicator& comm) {
+      auto& buf = bufs[static_cast<size_t>(r)];
+      comm.reduce_sum(buf, 0);
+      comm.broadcast(buf, 0);
+      const float inv = 1.0F / static_cast<float>(ranks);
+      for (float& v : buf) v *= inv;
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * ranks *
+                          kUnetParams * static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_NaiveReduceBroadcast)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RingAllreducePayloadSweep(benchmark::State& state) {
+  const int ranks = 4;
+  const int64_t payload = state.range(0);
+  std::vector<std::vector<float>> bufs(
+      static_cast<size_t>(ranks),
+      std::vector<float>(static_cast<size_t>(payload), 1.0F));
+  for (auto _ : state) {
+    run_ranks(ranks, [&](int r, comm::Communicator& comm) {
+      comm.all_reduce_sum(bufs[static_cast<size_t>(r)]);
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * ranks * payload *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_RingAllreducePayloadSweep)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18)
+    ->Arg(1 << 22)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

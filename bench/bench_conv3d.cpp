@@ -1,0 +1,82 @@
+// K1 — kernel microbenchmarks for the layers dominating U-Net step time:
+// 3x3x3 convolution forward/backward, transposed convolution, pooling
+// and batch norm, at the tile sizes the real (host-scale) backend uses.
+#include <benchmark/benchmark.h>
+
+#include "nn/layers/batchnorm.hpp"
+#include "nn/layers/conv3d.hpp"
+#include "nn/layers/conv_transpose3d.hpp"
+#include "nn/layers/maxpool3d.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace dmis;
+
+NDArray random_input(const Shape& shape, uint64_t seed) {
+  NDArray t(shape);
+  Rng rng(seed);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+void BM_Conv3dForward(benchmark::State& state) {
+  const int64_t c = state.range(0);
+  Rng rng(1);
+  nn::Conv3d conv(c, c, 3, 1, 1, rng);
+  const NDArray in = random_input(Shape{1, c, 16, 16, 16}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward1(in, true).data());
+  }
+  // 2 FLOPs per tap per output voxel.
+  state.SetItemsProcessed(state.iterations() * 2 * 27 * c * c * 16 * 16 * 16);
+}
+BENCHMARK(BM_Conv3dForward)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_Conv3dBackward(benchmark::State& state) {
+  const int64_t c = state.range(0);
+  Rng rng(1);
+  nn::Conv3d conv(c, c, 3, 1, 1, rng);
+  const NDArray in = random_input(Shape{1, c, 16, 16, 16}, 2);
+  const NDArray out = conv.forward1(in, true);
+  const NDArray grad = random_input(out.shape(), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.backward(grad).front().data());
+  }
+}
+BENCHMARK(BM_Conv3dBackward)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_ConvTranspose3dForward(benchmark::State& state) {
+  const int64_t c = state.range(0);
+  Rng rng(1);
+  nn::ConvTranspose3d up(c, c, 2, 2, rng);
+  const NDArray in = random_input(Shape{1, c, 8, 8, 8}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(up.forward1(in, true).data());
+  }
+}
+BENCHMARK(BM_ConvTranspose3dForward)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_MaxPool3dForward(benchmark::State& state) {
+  nn::MaxPool3d pool(2, 2);
+  const NDArray in = random_input(Shape{2, 8, 16, 16, 16}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.forward1(in, true).data());
+  }
+}
+BENCHMARK(BM_MaxPool3dForward)->Unit(benchmark::kMillisecond);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  nn::BatchNorm bn(8);
+  const NDArray in = random_input(Shape{2, 8, 16, 16, 16}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bn.forward1(in, true).data());
+  }
+}
+BENCHMARK(BM_BatchNormForward)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Reproduces the section IV-C correctness claim: "the evaluation on the
+// validation and test sets provide a dice score of 0.89 ... our
+// methodology and architectures are capable of keeping the dice score
+// results" — i.e. none of the pipeline/distribution variants may change
+// model quality.
+//
+// On the real (host-scale, phantom) backend we train the same
+// configuration three ways and compare validation Dice:
+//   1. single device,
+//   2. data-parallel (2 mirrored replicas, global batch preserved),
+//   3. the same config selected out of a small Tune sweep.
+// The paper's absolute 0.89 belongs to MSD data; the parity claim is
+// what transfers: all variants must clear the quality bar AND agree.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/pipeline.hpp"
+
+int main() {
+  using namespace dmis;
+
+  const std::string work_dir =
+      (std::filesystem::temp_directory_path() / "dmis_dice_parity").string();
+  std::filesystem::remove_all(work_dir);
+
+  core::PipelineOptions popts;
+  popts.work_dir = work_dir;
+  popts.num_subjects = 16;
+  popts.phantom.depth = 11;  // crops to 8 with divisor 4
+  popts.phantom.height = 16;
+  popts.phantom.width = 16;
+  popts.model_depth = 3;
+  core::DistMisPipeline pipeline(popts);
+
+  core::ExperimentConfig cfg;
+  cfg.base_filters = 4;
+  cfg.epochs = 25;
+  cfg.lr = 3e-3;
+  cfg.batch_per_replica = 2;
+
+  std::printf("P1 — Dice parity across pipeline variants (phantom task)\n\n");
+
+  const train::TrainReport single = pipeline.run_single(cfg, 4);
+  std::printf("single device      : val dice %.4f\n", single.best_val_dice);
+
+  // Mirrored with 2 replicas and batch 2/replica -> same global batch 4.
+  const train::TrainReport mirrored = pipeline.run_data_parallel(cfg, 2);
+  std::printf("data parallel (x2) : val dice %.4f\n", mirrored.best_val_dice);
+
+  // Small sweep containing the same config: Tune must find it at least
+  // as good as the alternatives.
+  std::vector<core::ExperimentConfig> sweep;
+  for (double lr : {3e-3, 3e-5}) {
+    core::ExperimentConfig c = cfg;
+    c.lr = lr;
+    sweep.push_back(c);
+  }
+  const ray::TuneResult tuned = pipeline.run_experiment_parallel(sweep, 2);
+  const double tuned_best = tuned.best("val_dice").last_metrics.at("val_dice");
+  std::printf("tuned (best of %zu) : val dice %.4f\n", sweep.size(),
+              tuned_best);
+
+  const double floor = 0.80;   // quality bar on the phantom task
+  const double band = 0.08;    // parity band across variants
+  const bool quality = single.best_val_dice > floor &&
+                       mirrored.best_val_dice > floor && tuned_best > floor;
+  const bool parity =
+      std::abs(single.best_val_dice - mirrored.best_val_dice) < band &&
+      std::abs(single.best_val_dice - tuned_best) < band;
+  std::printf("\nquality (> %.2f): %s,  parity (±%.2f): %s\n", floor,
+              quality ? "PASS" : "FAIL", band, parity ? "PASS" : "FAIL");
+
+  std::filesystem::remove_all(work_dir);
+  return quality && parity ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Regenerates Figure 4a: mean elapsed time per number of GPUs with
+// min/max over the three repetitions, for both distribution methods.
+// Output is a plot-ready table (one row per GPU count) plus an ASCII
+// rendering of the two curves.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/format.hpp"
+#include "core/hp_space.hpp"
+#include "core/report.hpp"
+#include "core/scaling_study.hpp"
+
+int main() {
+  using namespace dmis;
+
+  const cluster::CostModel cost(cluster::ClusterSpec::marenostrum_cte());
+  const auto configs = core::HpSpace::expand(core::HpSpace::paper(), cost);
+  const core::ScalingStudy study(cost, configs);
+  const core::StudyResult result = study.run(core::StudyOptions{});
+
+  std::printf(
+      "FIG 4a — average elapsed time per #GPUs, with min and max over 3 "
+      "runs (hours)\n\n");
+  std::printf(
+      " #GPUs |        Data Parallel         |     Experiment Parallel\n");
+  std::printf(
+      "       |   mean      min      max     |   mean      min      max\n");
+  std::printf(
+      "-------+------------------------------+---------------------------\n");
+  const auto hours = [](double s) { return s / 3600.0; };
+  for (size_t i = 0; i < result.data_parallel.size(); ++i) {
+    const auto& dp = result.data_parallel[i];
+    const auto& ep = result.experiment_parallel[i];
+    std::printf(
+        "  %4d | %7.2f  %7.2f  %7.2f    | %7.2f  %7.2f  %7.2f\n", dp.gpus,
+        hours(dp.mean_seconds), hours(dp.min_seconds), hours(dp.max_seconds),
+        hours(ep.mean_seconds), hours(ep.min_seconds), hours(ep.max_seconds));
+  }
+
+  // ASCII curves: elapsed hours vs GPU count (log-x positions).
+  std::printf("\n  elapsed hours (D = data parallel, E = experiment parallel)\n");
+  const double top = hours(result.data_parallel.front().mean_seconds);
+  const int kRows = 16;
+  for (int r = kRows; r >= 0; --r) {
+    const double level = top * r / kRows;
+    std::printf("%6.1fh |", level);
+    for (size_t i = 0; i < result.data_parallel.size(); ++i) {
+      const double dp = hours(result.data_parallel[i].mean_seconds);
+      const double ep = hours(result.experiment_parallel[i].mean_seconds);
+      const double step = top / kRows;
+      char c = ' ';
+      const bool dp_here = std::fabs(dp - level) <= step / 2;
+      const bool ep_here = std::fabs(ep - level) <= step / 2;
+      if (dp_here && ep_here) c = '*';
+      else if (dp_here) c = 'D';
+      else if (ep_here) c = 'E';
+      std::printf("   %c   ", c);
+    }
+    std::printf("\n");
+  }
+  std::printf("        ");
+  for (const auto& cell : result.data_parallel) {
+    std::printf("  %4d ", cell.gpus);
+  }
+  std::printf("  <- #GPUs\n");
+
+  // Plot-ready artifact.
+  const char* csv = "fig4_scaling.csv";
+  core::save_study_csv(csv, result);
+  std::printf("\nwrote %s\n", csv);
+  return 0;
+}

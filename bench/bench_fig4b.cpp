@@ -1,0 +1,57 @@
+// Regenerates Figure 4b: average speed-up per number of GPUs for both
+// distribution methods, with the paper's reference series and an ASCII
+// rendering (ideal-linear reference included).
+#include <cmath>
+#include <cstdio>
+
+#include "core/hp_space.hpp"
+#include "core/scaling_study.hpp"
+
+int main() {
+  using namespace dmis;
+
+  const cluster::CostModel cost(cluster::ClusterSpec::marenostrum_cte());
+  const auto configs = core::HpSpace::expand(core::HpSpace::paper(), cost);
+  const core::ScalingStudy study(cost, configs);
+  const core::StudyResult result = study.run(core::StudyOptions{});
+
+  constexpr double kPaperDp[] = {1.00, 1.91, 2.92, 5.76, 7.38, 9.96, 13.18};
+  constexpr double kPaperEp[] = {1.00, 1.98, 3.84, 6.28, 7.93, 10.56, 15.19};
+
+  std::printf("FIG 4b — average speed-up per #GPUs (3 runs)\n\n");
+  std::printf(" #GPUs |  data-par   (paper) |  exp-par    (paper) | ideal\n");
+  std::printf("-------+---------------------+---------------------+------\n");
+  for (size_t i = 0; i < result.data_parallel.size(); ++i) {
+    const auto& dp = result.data_parallel[i];
+    const auto& ep = result.experiment_parallel[i];
+    std::printf("  %4d |   %6.2f   (%6.2f) |   %6.2f   (%6.2f) | %5d\n",
+                dp.gpus, dp.speedup, kPaperDp[i], ep.speedup, kPaperEp[i],
+                dp.gpus);
+  }
+
+  std::printf("\n  speedup (D = data parallel, E = experiment parallel, . = ideal)\n");
+  const int kRows = 16;
+  const double top = static_cast<double>(result.data_parallel.back().gpus);
+  for (int r = kRows; r >= 1; --r) {
+    const double level = top * r / kRows;
+    std::printf("%6.1fx |", level);
+    for (size_t i = 0; i < result.data_parallel.size(); ++i) {
+      const double step = top / kRows;
+      const double dp = result.data_parallel[i].speedup;
+      const double ep = result.experiment_parallel[i].speedup;
+      const double ideal = result.data_parallel[i].gpus;
+      char c = ' ';
+      if (std::fabs(ideal - level) <= step / 2) c = '.';
+      if (std::fabs(ep - level) <= step / 2) c = 'E';
+      if (std::fabs(dp - level) <= step / 2) c = (c == 'E') ? '*' : 'D';
+      std::printf("   %c   ", c);
+    }
+    std::printf("\n");
+  }
+  std::printf("        ");
+  for (const auto& cell : result.data_parallel) {
+    std::printf("  %4d ", cell.gpus);
+  }
+  std::printf("  <- #GPUs\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// A1 — the section III-B1 pipeline claim, measured for real:
+// "data loading and its transformation into binary records are the
+// principal bottlenecks ... such data can be binarized off-line before
+// starting the training process", plus the interleave/prefetch stages.
+//
+// Benchmarks (on phantom subjects, host scale):
+//   OnlinePreprocessEpoch  — raw volumes decoded + preprocessed per epoch
+//   BinarizedRecordEpoch   — pre-binarized records streamed per epoch
+//   RecordReadSequential / RecordReadInterleaved — file-level interleave
+//   EpochWithPrefetch / EpochWithoutPrefetch     — consumer overlap
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "data/dataset.hpp"
+#include "data/phantom.hpp"
+#include "data/record.hpp"
+#include "data/transforms.hpp"
+#include "data/volume.hpp"
+
+namespace {
+
+using namespace dmis;
+
+struct Fixture {
+  std::filesystem::path dir;
+  std::vector<std::string> volume_paths;   // raw int16 volumes per subject
+  std::vector<std::string> record_shards;  // pre-binarized .drec shards
+  int64_t num_subjects = 6;
+
+  Fixture() {
+    dir = std::filesystem::temp_directory_path() /
+          ("dmis_bench_pipe_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    // Mid-scale subjects (35x96x96): small enough to generate quickly,
+    // large enough that decode + preprocessing dominates framing CRCs,
+    // as it does at the paper's 155x240x240.
+    data::PhantomOptions popts;
+    popts.depth = 35;
+    popts.height = 96;
+    popts.width = 96;
+    const data::PhantomGenerator gen(popts);
+    std::vector<std::unique_ptr<data::RecordWriter>> writers;
+    for (int s = 0; s < 3; ++s) {
+      record_shards.push_back((dir / ("s" + std::to_string(s) + ".drec")).string());
+      writers.push_back(std::make_unique<data::RecordWriter>(record_shards.back()));
+    }
+    for (int64_t id = 0; id < num_subjects; ++id) {
+      const data::PhantomSubject subj = gen.generate(id);
+      const std::string img_path =
+          (dir / ("img" + std::to_string(id) + ".dvoi")).string();
+      const std::string lbl_path =
+          (dir / ("lbl" + std::to_string(id) + ".dvoi")).string();
+      // Raw acquisition form: int16 + scale, as NIfTI stores MRI.
+      subj.image.save_raw_i16(img_path);
+      subj.labels.save(lbl_path);
+      volume_paths.push_back(img_path);
+      volume_paths.push_back(lbl_path);
+      const data::Example ex =
+          data::preprocess_subject(subj.image, subj.labels, id, 8);
+      writers[static_cast<size_t>(id % 3)]->write(
+          data::Record::from_example(ex));
+    }
+  }
+  ~Fixture() { std::filesystem::remove_all(dir); }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+/// One "epoch" the un-optimized way: decode raw volumes from disk and
+/// run the full preprocessing chain for every subject, every time.
+void BM_OnlinePreprocessEpoch(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    double checksum = 0.0;
+    for (int64_t id = 0; id < f.num_subjects; ++id) {
+      const data::Volume img = data::Volume::load_raw_i16(
+          f.volume_paths[static_cast<size_t>(2 * id)]);
+      const data::Volume lbl =
+          data::Volume::load(f.volume_paths[static_cast<size_t>(2 * id + 1)]);
+      const data::Example ex = data::preprocess_subject(img, lbl, id, 8);
+      checksum += ex.image[0];
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * f.num_subjects);
+}
+BENCHMARK(BM_OnlinePreprocessEpoch)->Unit(benchmark::kMillisecond);
+
+/// One epoch the paper's way: records were binarized offline once.
+void BM_BinarizedRecordEpoch(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    auto stream = data::from_record_files(f.record_shards);
+    double checksum = 0.0;
+    int64_t n = 0;
+    while (auto e = stream->next()) {
+      checksum += e->image[0];
+      ++n;
+    }
+    benchmark::DoNotOptimize(checksum);
+    if (n != f.num_subjects) state.SkipWithError("lost records");
+  }
+  state.SetItemsProcessed(state.iterations() * f.num_subjects);
+}
+BENCHMARK(BM_BinarizedRecordEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_RecordReadSequential(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    auto stream = data::from_record_files(f.record_shards);
+    while (auto e = stream->next()) benchmark::DoNotOptimize(e->id);
+  }
+}
+BENCHMARK(BM_RecordReadSequential)->Unit(benchmark::kMillisecond);
+
+void BM_RecordReadInterleaved(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    auto stream = data::interleave_record_files(f.record_shards, 3);
+    while (auto e = stream->next()) benchmark::DoNotOptimize(e->id);
+  }
+}
+BENCHMARK(BM_RecordReadInterleaved)->Unit(benchmark::kMillisecond);
+
+namespace {
+/// Simulated per-example training compute so prefetch has work to
+/// overlap with.
+void consume(const data::Example& e) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < e.image.numel(); ++i) acc += e.image[i];
+  benchmark::DoNotOptimize(acc);
+}
+}  // namespace
+
+void BM_EpochWithoutPrefetch(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    auto stream = data::interleave_record_files(f.record_shards, 3);
+    while (auto e = stream->next()) consume(*e);
+  }
+}
+BENCHMARK(BM_EpochWithoutPrefetch)->Unit(benchmark::kMillisecond);
+
+void BM_EpochWithPrefetch(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    auto stream =
+        data::prefetch(data::interleave_record_files(f.record_shards, 3), 4);
+    while (auto e = stream->next()) consume(*e);
+  }
+}
+BENCHMARK(BM_EpochWithPrefetch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

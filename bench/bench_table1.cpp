@@ -1,0 +1,99 @@
+// Regenerates Table I: elapsed time and speedup of the 32-experiment
+// hyper-parameter search under data parallelism vs experiment
+// parallelism, for 1..32 V100s on the simulated MareNostrum-CTE cluster.
+// Three repetitions per point, averaged — exactly the paper's protocol.
+//
+// Paper reference values are printed alongside for direct comparison.
+// Absolute times come from a cost model calibrated against the paper's
+// single-GPU measurement; the reproduction claim is the SHAPE (who wins,
+// by what factor, where the node-boundary penalty lands).
+#include <cstdio>
+
+#include "core/format.hpp"
+#include "core/hp_space.hpp"
+#include "core/scaling_study.hpp"
+
+namespace {
+
+struct PaperRow {
+  int gpus;
+  const char* dp_time;
+  double dp_speedup;
+  const char* ep_time;
+  double ep_speedup;
+};
+
+// Table I of the paper, verbatim.
+constexpr PaperRow kPaper[] = {
+    {1, "44:18:02", 1.00, "44:20:19", 1.00},
+    {2, "23:09:28", 1.91, "22:24:39", 1.98},
+    {4, "15:09:35", 2.92, "11:32:20", 3.84},
+    {8, "7:41:12", 5.76, "7:03:17", 6.28},
+    {12, "5:59:59", 7.38, "5:35:22", 7.93},
+    {16, "4:26:50", 9.96, "4:11:54", 10.56},
+    {32, "3:21:44", 13.18, "2:55:06", 15.19},
+};
+
+}  // namespace
+
+int main() {
+  using namespace dmis;
+
+  const cluster::CostModel cost(cluster::ClusterSpec::marenostrum_cte());
+  const auto configs = core::HpSpace::expand(core::HpSpace::paper(), cost);
+  const core::ScalingStudy study(cost, configs);
+
+  core::StudyOptions options;  // 3 repetitions, n in {1,2,4,8,12,16,32}
+  const core::StudyResult result = study.run(options);
+
+  std::printf(
+      "TABLE I — %zu-experiment hyper-parameter search, MareNostrum-CTE "
+      "(4x V100 16GB per node), %d repetitions averaged\n\n",
+      configs.size(), options.repetitions);
+  std::printf(
+      "        |        Data Parallel Method         |      Experiment "
+      "Parallel Method\n");
+  std::printf(
+      " #GPUs  |  elapsed  speedup   (paper:  time  x)|  elapsed  speedup   "
+      "(paper:  time  x)\n");
+  std::printf(
+      "--------+-------------------------------------+------------------"
+      "-------------------\n");
+  for (size_t i = 0; i < result.data_parallel.size(); ++i) {
+    const core::StudyCell& dp = result.data_parallel[i];
+    const core::StudyCell& ep = result.experiment_parallel[i];
+    const PaperRow& paper = kPaper[i];
+    std::printf(
+        "  %4d  | %9s   %5s   (%9s %5.2f) | %9s   %5s   (%9s %5.2f)\n",
+        dp.gpus, core::format_hms(dp.mean_seconds).c_str(),
+        core::format_speedup(dp.speedup).c_str(), paper.dp_time,
+        paper.dp_speedup, core::format_hms(ep.mean_seconds).c_str(),
+        core::format_speedup(ep.speedup).c_str(), paper.ep_time,
+        paper.ep_speedup);
+  }
+
+  // Shape acceptance (DESIGN.md section 5): experiment parallelism wins
+  // at every n >= 2 and the end points land in the paper's bands.
+  bool ok = true;
+  for (size_t i = 1; i < result.data_parallel.size(); ++i) {
+    if (result.experiment_parallel[i].speedup <=
+        result.data_parallel[i].speedup) {
+      ok = false;
+      std::printf("SHAPE VIOLATION: EP <= DP at n=%d\n",
+                  result.data_parallel[i].gpus);
+    }
+  }
+  const double dp32 = result.data_parallel.back().speedup;
+  const double ep32 = result.experiment_parallel.back().speedup;
+  if (dp32 < 12.0 || dp32 > 14.5) {
+    ok = false;
+    std::printf("SHAPE VIOLATION: DP@32 = %.2f outside [12.0, 14.5]\n", dp32);
+  }
+  if (ep32 < 14.0 || ep32 > 16.5) {
+    ok = false;
+    std::printf("SHAPE VIOLATION: EP@32 = %.2f outside [14.0, 16.5]\n", ep32);
+  }
+  std::printf("\nshape check: %s (EP>DP for all n>=2; DP@32=%.2f, EP@32=%.2f)\n",
+              ok ? "PASS" : "FAIL", dp32, ep32);
+  return ok ? 0 : 1;
+}

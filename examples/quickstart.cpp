@@ -1,0 +1,68 @@
+// Quickstart: train one 3D U-Net on synthetic brain-tumor phantoms,
+// end to end through the public API — data preparation (offline
+// binarization into records), the tf.data-style input pipeline, and a
+// single-device training run reporting the Dice score.
+//
+//   ./examples/quickstart [work_dir]
+#include <cstdio>
+#include <filesystem>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmis;
+
+  const std::string work_dir =
+      argc > 1 ? argv[1]
+               : (std::filesystem::temp_directory_path() / "distmis_quickstart")
+                     .string();
+  std::printf("DistMIS-cpp quickstart (work dir: %s)\n\n", work_dir.c_str());
+
+  // 1. Describe the dataset and pipeline. Phantoms stand in for the MSD
+  //    Task-1 download; everything downstream is the same code path.
+  core::PipelineOptions options;
+  options.work_dir = work_dir;
+  options.num_subjects = 16;
+  options.phantom.depth = 11;   // raw depth, cropped to 8 (divisor 4)
+  options.phantom.height = 16;
+  options.phantom.width = 16;
+  options.model_depth = 3;
+
+  core::DistMisPipeline pipeline(options);
+
+  // 2. Offline binarization (the paper's key input optimization): raw
+  //    subjects -> preprocessed, record-framed shards per split.
+  const core::PreparedData& prep = pipeline.prepare();
+  std::printf("prepared %zu train / %zu val / %zu test subjects in %.2fs\n",
+              prep.split.train.size(), prep.split.val.size(),
+              prep.split.test.size(), prep.binarize_seconds);
+  std::printf("preprocessed example shape: %s\n\n",
+              prep.image_shape.str().c_str());
+
+  // 3. Pick a configuration and train.
+  core::ExperimentConfig config;
+  config.base_filters = 4;
+  config.epochs = 20;
+  config.lr = 3e-3;
+  config.loss = "dice";
+
+  std::printf("training %s for %lld epochs...\n", config.name().c_str(),
+              static_cast<long long>(config.epochs));
+  const train::TrainReport report = pipeline.run_single(config);
+  for (const auto& epoch : report.history) {
+    if (epoch.epoch % 5 == 0 || epoch.epoch + 1 ==
+                                    static_cast<int64_t>(report.history.size())) {
+      std::printf("  epoch %3lld  loss %.4f  val dice %.4f\n",
+                  static_cast<long long>(epoch.epoch), epoch.train_loss,
+                  epoch.val_dice.value_or(0.0));
+    }
+  }
+  std::printf("\nbest validation Dice: %.4f\n", report.best_val_dice);
+  std::printf("(the paper reports DSC 0.89 on MSD Task-1 at full scale)\n");
+
+  const std::string curve = work_dir + "/learning_curve.csv";
+  core::save_history_csv(curve, report);
+  std::printf("learning curve written to %s\n", curve.c_str());
+  return 0;
+}

@@ -1,0 +1,318 @@
+#include "cluster/costmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dmis::cluster {
+namespace {
+
+/// Per-layer accounting shared by the FLOP / parameter / activation
+/// models. Walks the same architecture dmis::nn::UNet3d builds:
+/// encoder steps s=1..depth (two 3^3 convs each, pooling between),
+/// keep-channels 2^3 transposed convs, two convs per decoder step,
+/// 1x1x1 head.
+struct LayerVisitor {
+  // conv: kernel k, cin -> cout at volume (d, h, w) output resolution.
+  std::function<void(int64_t k, int64_t cin, int64_t cout, int64_t d,
+                     int64_t h, int64_t w)>
+      conv;
+};
+
+void walk_unet(const ModelShape& m, const LayerVisitor& v) {
+  DMIS_CHECK(m.depth >= 2, "depth must be >= 2");
+  const int64_t div = int64_t{1} << (m.depth - 1);
+  DMIS_CHECK(m.vol_d % div == 0 && m.vol_h % div == 0 && m.vol_w % div == 0,
+             "volume not divisible by 2^(depth-1)");
+
+  const auto filters = [&](int s) { return m.base_filters << (s - 1); };
+  int64_t d = m.vol_d, h = m.vol_h, w = m.vol_w;
+
+  // Encoder.
+  int64_t cin = m.in_channels;
+  for (int s = 1; s <= m.depth; ++s) {
+    if (s > 1) {
+      d /= 2;
+      h /= 2;
+      w /= 2;
+    }
+    const int64_t f = filters(s);
+    v.conv(3, cin, f, d, h, w);
+    v.conv(3, f, f, d, h, w);
+    cin = f;
+  }
+
+  // Decoder (keep-channels transposed conv, concat, two convs).
+  for (int s = m.depth - 1; s >= 1; --s) {
+    d *= 2;
+    h *= 2;
+    w *= 2;
+    const int64_t f = filters(s);
+    v.conv(2, cin, cin, d, h, w);      // transposed conv (same FLOP form)
+    v.conv(3, cin + f, f, d, h, w);
+    v.conv(3, f, f, d, h, w);
+    cin = f;
+  }
+
+  // 1x1x1 head.
+  v.conv(1, cin, m.out_channels, d, h, w);
+}
+
+}  // namespace
+
+double unet3d_forward_flops(const ModelShape& m) {
+  double flops = 0.0;
+  LayerVisitor v;
+  v.conv = [&](int64_t k, int64_t cin, int64_t cout, int64_t d, int64_t h,
+               int64_t w) {
+    // 2 FLOPs (multiply + add) per kernel tap per output voxel.
+    flops += 2.0 * static_cast<double>(k * k * k) *
+             static_cast<double>(cin) * static_cast<double>(cout) *
+             static_cast<double>(d * h * w);
+  };
+  walk_unet(m, v);
+  return flops;
+}
+
+double unet3d_training_flops(const ModelShape& m) {
+  // Backward computes input grads + weight grads: ~2x forward cost.
+  return 3.0 * unet3d_forward_flops(m);
+}
+
+int64_t unet3d_param_count(const ModelShape& m) {
+  int64_t params = 0;
+  LayerVisitor v;
+  v.conv = [&](int64_t k, int64_t cin, int64_t cout, int64_t, int64_t,
+               int64_t) {
+    params += k * k * k * cin * cout + cout;  // weights + bias
+    if (k == 3) params += 2 * cout;           // BN gamma/beta after 3^3 convs
+  };
+  walk_unet(m, v);
+  return params;
+}
+
+double unet3d_activation_bytes(const ModelShape& m) {
+  double bytes = 0.0;
+  LayerVisitor v;
+  v.conv = [&](int64_t, int64_t, int64_t cout, int64_t d, int64_t h,
+               int64_t w) {
+    // Each conv output (and its BN/ReLU images, folded into the
+    // activation factor) is retained for backward: 4 bytes per voxel.
+    bytes += 4.0 * static_cast<double>(cout) * static_cast<double>(d * h * w);
+  };
+  walk_unet(m, v);
+  return bytes;
+}
+
+CostModel::CostModel(const ClusterSpec& spec, const CostModelParams& params)
+    : spec_(spec), params_(params) {
+  DMIS_CHECK(params.effective_tflops > 0.0, "throughput must be positive");
+  DMIS_CHECK(spec.num_nodes >= 1 && spec.node.gpus_per_node >= 1,
+             "bad cluster spec");
+}
+
+ModelShape CostModel::shape_for(const SimTrialConfig& cfg) const {
+  ModelShape m;
+  m.base_filters = cfg.base_filters;
+  return m;
+}
+
+double CostModel::memory_bytes(const ModelShape& m, int64_t batch) const {
+  DMIS_CHECK(batch >= 1, "batch must be >= 1, got " << batch);
+  const double params = static_cast<double>(unet3d_param_count(m));
+  // fp32 master weights + gradient + two Adam moments.
+  const double param_state = params * 4.0 * 4.0;
+  const double acts = unet3d_activation_bytes(m) * params_.activation_factor *
+                      static_cast<double>(batch);
+  return param_state + acts + params_.framework_memory_gb * 1e9;
+}
+
+int64_t CostModel::max_batch_per_replica(const ModelShape& m) const {
+  const double capacity = spec_.node.gpu.memory_gb * 1e9;
+  int64_t batch = 0;
+  while (batch < 1024 && memory_bytes(m, batch + 1) <= capacity) ++batch;
+  return batch;
+}
+
+double CostModel::step_compute_seconds(const ModelShape& m,
+                                       int64_t batch) const {
+  return unet3d_training_flops(m) * static_cast<double>(batch) /
+         (params_.effective_tflops * 1e12);
+}
+
+double CostModel::sync_overhead_frac(int n_gpus) const {
+  DMIS_CHECK(n_gpus >= 1, "need >= 1 GPU");
+  if (n_gpus == 1) return 0.0;
+  double frac = params_.sync_base_frac;
+  if (n_gpus > 2) frac += params_.sync_crosspair_frac;
+  const int nodes = spec_.nodes_for(n_gpus);
+  frac += params_.sync_node_coeff *
+          static_cast<double>((nodes - 1) * (nodes - 1));
+  return frac;
+}
+
+double CostModel::allreduce_seconds(int n_gpus, double bytes) const {
+  DMIS_CHECK(n_gpus >= 1 && bytes >= 0.0, "bad allreduce args");
+  if (n_gpus == 1) return 0.0;
+  // Ring: 2(n-1) sequential steps; traffic per rank 2(n-1)/n * V over the
+  // slowest link in the ring.
+  const int nodes = spec_.nodes_for(n_gpus);
+  const LinkSpec& link = nodes > 1                ? spec_.infiniband
+                         : n_gpus > 2             ? spec_.node.xbus
+                                                  : spec_.node.nvlink;
+  const double n = static_cast<double>(n_gpus);
+  const double transfer = 2.0 * (n - 1.0) / n * bytes /
+                          (link.bandwidth_gbs * 1e9);
+  const double latency = 2.0 * (n - 1.0) * link.latency_us * 1e-6;
+  return transfer + latency;
+}
+
+double CostModel::trial_seconds(const SimTrialConfig& cfg, int n_gpus,
+                                int64_t epochs, int64_t n_train,
+                                int64_t n_val) const {
+  DMIS_CHECK(n_gpus >= 1, "need >= 1 GPU");
+  DMIS_CHECK(epochs >= 1 && n_train >= 1 && n_val >= 0, "bad workload");
+  const ModelShape m = shape_for(cfg);
+  const int64_t b = cfg.batch_per_replica;
+  DMIS_CHECK(b >= 1 && b <= max_batch_per_replica(m),
+             "batch " << b << " does not fit device memory for bf="
+                      << cfg.base_filters << " (max "
+                      << max_batch_per_replica(m) << ")");
+
+  const int64_t global_batch = b * n_gpus;
+  const int64_t steps = (n_train + global_batch - 1) / global_batch;
+
+  double step = step_compute_seconds(m, b);
+  if (cfg.augment) step *= 1.0 + params_.augment_cost_frac;
+  step *= 1.0 + sync_overhead_frac(n_gpus);
+
+  // Validation: forward-only (validation_flop_ratio of a training
+  // sample's cost), distributed like the training step (the mirrored
+  // strategy replicates evaluation too), every epoch.
+  const double val = static_cast<double>(n_val) * unet3d_training_flops(m) *
+                     params_.validation_flop_ratio /
+                     (params_.effective_tflops * 1e12) /
+                     static_cast<double>(n_gpus) *
+                     (1.0 + sync_overhead_frac(n_gpus));
+
+  const double epoch_seconds = static_cast<double>(steps) * step + val;
+  return params_.trial_setup_seconds +
+         static_cast<double>(epochs) * epoch_seconds;
+}
+
+double CostModel::pipeline_boundary_bytes(const ModelShape& m) const {
+  // Skips at steps 1..depth-1 plus the bottleneck at step depth.
+  double bytes = 0.0;
+  int64_t d = m.vol_d, h = m.vol_h, w = m.vol_w;
+  for (int s = 1; s <= m.depth; ++s) {
+    if (s > 1) {
+      d /= 2;
+      h /= 2;
+      w /= 2;
+    }
+    const int64_t f = m.base_filters << (s - 1);
+    bytes += 4.0 * static_cast<double>(f) * static_cast<double>(d * h * w);
+  }
+  return bytes;
+}
+
+CostModel::PipelineEstimate CostModel::pipeline_step(const ModelShape& m,
+                                                     int64_t batch,
+                                                     int stages,
+                                                     int microbatches) const {
+  DMIS_CHECK(stages >= 1 && microbatches >= 1, "bad pipeline geometry");
+  DMIS_CHECK(batch >= microbatches, "batch smaller than microbatch count");
+  // The decoder stage carries the concat tensors, so the 2-stage cut is
+  // imbalanced: the busiest stage holds ~this fraction of the work.
+  constexpr double kStageImbalance = 0.78;
+  const double imbalance =
+      stages == 1 ? 1.0
+                  : std::max(kStageImbalance, 1.0 / static_cast<double>(stages));
+
+  const double per_micro_compute =
+      step_compute_seconds(m, std::max<int64_t>(1, batch / microbatches)) *
+      imbalance * (1.0 + 1.0 / 3.0);  // recomputation re-runs forward
+  const double boundary = pipeline_boundary_bytes(m) *
+                          static_cast<double>(batch / microbatches) /
+                          (spec_.node.nvlink.bandwidth_gbs * 1e9);
+  const double per_micro = per_micro_compute + boundary;
+
+  PipelineEstimate est;
+  const double slots = static_cast<double>(stages - 1 + microbatches);
+  est.step_seconds = slots * per_micro;
+  est.bubble_frac = static_cast<double>(stages - 1) / slots;
+
+  // Memory on the busiest stage: parameter state share + one
+  // microbatch's working activations (recomputation) + the retained
+  // boundary tensors for every in-flight microbatch.
+  const double params = static_cast<double>(unet3d_param_count(m));
+  const double micro_batchf =
+      static_cast<double>(batch) / static_cast<double>(microbatches);
+  est.memory_per_stage =
+      params * 16.0 / static_cast<double>(stages) +
+      unet3d_activation_bytes(m) * params_.activation_factor * micro_batchf *
+          imbalance +
+      pipeline_boundary_bytes(m) * micro_batchf *
+          static_cast<double>(microbatches) +
+      params_.framework_memory_gb * 1e9;
+  return est;
+}
+
+int64_t CostModel::pipeline_max_batch(const ModelShape& m, int stages,
+                                      int microbatches) const {
+  const double capacity = spec_.node.gpu.memory_gb * 1e9;
+  int64_t batch = 0;
+  for (int64_t b = microbatches; b <= 1024; ++b) {
+    if (pipeline_step(m, b, stages, microbatches).memory_per_stage <=
+        capacity) {
+      batch = b;
+    }
+  }
+  return batch;
+}
+
+double CostModel::calibrate_effective_tflops(
+    const ClusterSpec& spec, const CostModelParams& base,
+    const std::vector<SimTrialConfig>& trials, int64_t epochs,
+    int64_t n_train, int64_t n_val, double measured_seconds) {
+  DMIS_CHECK(!trials.empty(), "need at least one trial to calibrate");
+  DMIS_CHECK(measured_seconds > 0.0, "measured time must be positive");
+  const double constant =
+      base.trial_setup_seconds * static_cast<double>(trials.size());
+  DMIS_CHECK(measured_seconds > constant,
+             "measured time " << measured_seconds
+                              << "s is below the constant overheads "
+                              << constant << "s");
+
+  // Total at a probe throughput; the compute part scales exactly as
+  // 1/throughput, so one evaluation determines the curve.
+  const CostModel probe(spec, base);
+  double total = 0.0;
+  for (const SimTrialConfig& cfg : trials) {
+    total += probe.trial_seconds(cfg, 1, epochs, n_train, n_val);
+  }
+  const double compute_at_probe = total - constant;
+  const double compute_units = compute_at_probe * base.effective_tflops;
+  return compute_units / (measured_seconds - constant);
+}
+
+double CostModel::binarize_seconds(const ModelShape& m,
+                                   int64_t n_subjects) const {
+  // Reading raw subjects (4 channels, uncropped depth ~ vol_d + 3) from
+  // node storage plus CPU-side transform, parallel over cores but
+  // bounded by host read bandwidth.
+  const double bytes_per_subject = 4.0 * static_cast<double>(m.in_channels) *
+                                   static_cast<double>(m.vol_d + 3) *
+                                   static_cast<double>(m.vol_h) *
+                                   static_cast<double>(m.vol_w);
+  const double read = bytes_per_subject / (spec_.node.host_read_gbs * 1e9);
+  const double cpu = 0.35;  // seconds of transform per subject per core
+  const double per_subject =
+      read + cpu / static_cast<double>(spec_.node.cpu_cores);
+  return static_cast<double>(n_subjects) * per_subject;
+}
+
+}  // namespace dmis::cluster

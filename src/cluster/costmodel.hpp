@@ -1,0 +1,189 @@
+// Calibrated performance model of paper-scale 3D U-Net training.
+//
+// The Table-I / Fig-4 reproduction cannot run 44-hour V100 trainings, so
+// elapsed times come from this analytic model executed inside the
+// discrete-event simulator. The model is mechanistic where the paper
+// gives mechanisms, and calibrated where it only gives end-to-end
+// measurements:
+//
+//  * Per-step compute time = training FLOPs (derived from the actual
+//    U-Net architecture at 4x240x240x152) / effective device throughput.
+//    The throughput constant is CALIBRATED once against the paper's
+//    single-GPU elapsed time (44h20m for the whole search) and implies
+//    ~50 TFLOPS effective — consistent with V100 tensor-core
+//    mixed-precision execution, not fp32 peak.
+//  * GPU memory = parameters + optimizer state + retained activations.
+//    With the activation-retention factor below, base_filters=8 fits
+//    batch 2 and base_filters=16 only batch 1, *deriving* the paper's
+//    "batch sizes forcefully reduced to 2 or even 1" constraint.
+//  * Data-parallel sync overhead per step is a calibrated piecewise
+//    function of the replica ring: a baseline replica-sync term, a
+//    cross-GPU-pair term once the ring leaves an NVLink pair (n > 2),
+//    and a node term growing quadratically in spanned nodes (ring spans
+//    more IB hops and stragglers compound). Constants fitted to the
+//    paper's data-parallel speedup column.
+//  * Ragged last batches: steps/epoch = ceil(N / (b * n)) wastes compute
+//    exactly as in the paper (338 training subjects).
+//  * Validation runs forward-only, distributed like training (the
+//    mirrored strategy replicates evaluation too).
+//  * Heterogeneity: per-trial straggler multipliers (lognormal) and
+//    per-run jitter reproduce the paper's min/max bars and its
+//    sub-linear single-wave experiment parallelism at 32 GPUs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "tensor/rng.hpp"
+
+namespace dmis::cluster {
+
+/// Geometry of the trained network at paper scale.
+struct ModelShape {
+  int64_t in_channels = 4;
+  int64_t out_channels = 1;
+  int64_t base_filters = 8;
+  int depth = 4;
+  int64_t vol_d = 152;  ///< post-crop depth
+  int64_t vol_h = 240;
+  int64_t vol_w = 240;
+};
+
+/// Forward FLOPs for one sample through the U-Net (convolutions and
+/// transposed convolutions; pointwise ops are negligible and ignored).
+double unet3d_forward_flops(const ModelShape& m);
+
+/// Training FLOPs per sample: forward + backward ~= 3x forward.
+double unet3d_training_flops(const ModelShape& m);
+
+/// Learnable parameter count (keep-channels decoder policy — matches
+/// dmis::nn::UNet3d exactly).
+int64_t unet3d_param_count(const ModelShape& m);
+
+/// Bytes of activations retained for backward, per sample.
+double unet3d_activation_bytes(const ModelShape& m);
+
+/// One point of the hyper-parameter search at paper scale.
+struct SimTrialConfig {
+  double lr = 1e-4;
+  std::string loss = "dice";    ///< "dice" or "qdice" (no cost impact)
+  int64_t base_filters = 8;
+  bool augment = false;         ///< on-the-fly augmentation (+pipeline cost)
+  int64_t batch_per_replica = 2;  ///< must satisfy the memory model
+};
+
+struct CostModelParams {
+  /// Effective sustained throughput per GPU (TFLOPS). CALIBRATED:
+  /// chosen so the 32-trial paper workload totals 44h20m on one GPU
+  /// (~40% of the V100's 125 TFLOPS tensor-core peak — consistent with
+  /// mixed-precision execution, far above its 15.7 TFLOPS fp32 peak).
+  double effective_tflops = 49.7;
+
+  /// Activation-retention multiplier on unet3d_activation_bytes: conv
+  /// outputs plus the BN normalized copies, ReLU images and in-flight
+  /// gradient buffers TF keeps alive during backward. Tuned inside the
+  /// physically-motivated 2-3x band so bf=8 fits batch 2 and bf=16
+  /// batch 1 on a 16 GB V100 — *deriving* the paper's batch limits.
+  double activation_factor = 2.6;
+  double framework_memory_gb = 1.2;   ///< CUDA context + cuDNN workspace.
+
+  // Data-parallel per-step sync overhead, as fractions of step compute:
+  double sync_base_frac = 0.040;      ///< any multi-replica step
+  double sync_crosspair_frac = 0.28;  ///< ring leaves an NVLink pair (n>2)
+  double sync_node_coeff = 0.012;     ///< x (spanned_nodes - 1)^2
+
+  /// Per-trial straggler multiplier: lognormal(mu=0, sigma).
+  double straggler_sigma = 0.15;
+  /// Per-(run, trial) measurement jitter: lognormal(mu=0, sigma).
+  double run_jitter_sigma = 0.015;
+
+  double trial_setup_seconds = 60.0;    ///< staging + model build
+  double cluster_boot_seconds = 150.0;  ///< Ray cluster spin-up
+  double augment_cost_frac = 0.08;      ///< extra step time when augmenting
+
+  /// Validation forward pass cost relative to a training step, per
+  /// sample (forward is ~1/3 of forward+backward).
+  double validation_flop_ratio = 1.0 / 3.0;
+};
+
+class CostModel {
+ public:
+  CostModel(const ClusterSpec& spec, const CostModelParams& params = {});
+
+  const ClusterSpec& spec() const { return spec_; }
+  const CostModelParams& params() const { return params_; }
+
+  /// GPU memory needed to train `m` with the given per-replica batch.
+  double memory_bytes(const ModelShape& m, int64_t batch) const;
+
+  /// Largest per-replica batch fitting in GPU memory (0 if none).
+  int64_t max_batch_per_replica(const ModelShape& m) const;
+
+  /// Compute seconds for one training step of `batch` samples on one GPU.
+  double step_compute_seconds(const ModelShape& m, int64_t batch) const;
+
+  /// Calibrated data-parallel sync overhead fraction for an n-replica
+  /// ring on this topology (0 for n == 1).
+  double sync_overhead_frac(int n_gpus) const;
+
+  /// Ring-allreduce transfer seconds for `bytes` over n replicas — the
+  /// mechanistic lower bound (reported by ablation benches; the
+  /// calibrated sync fraction above dominates in practice).
+  double allreduce_seconds(int n_gpus, double bytes) const;
+
+  /// Elapsed seconds for one full trial trained data-parallel across
+  /// `n_gpus` (n_gpus == 1 gives the self-contained single-GPU trial
+  /// used by experiment parallelism). Deterministic; stragglers/jitter
+  /// are applied by the caller.
+  double trial_seconds(const SimTrialConfig& cfg, int n_gpus, int64_t epochs,
+                       int64_t n_train, int64_t n_val) const;
+
+  /// Offline binarization of `n_subjects` raw subjects into records
+  /// (parallel across node CPU cores, bounded by host read bandwidth).
+  double binarize_seconds(const ModelShape& m, int64_t n_subjects) const;
+
+  // --- Pipeline (model) parallelism projection — the paper's §V-C
+  // future work, mirroring nn::PipelinedUNet3d's GPipe execution. ---
+
+  /// Bytes crossing the encoder/decoder cut per sample: the bottleneck
+  /// feature map plus every skip connection.
+  double pipeline_boundary_bytes(const ModelShape& m) const;
+
+  struct PipelineEstimate {
+    double step_seconds = 0.0;       ///< one optimizer step (global batch)
+    double bubble_frac = 0.0;        ///< fill-drain idle fraction
+    double memory_per_stage = 0.0;   ///< bytes on the busiest stage
+  };
+
+  /// Projects one training step split over `stages` GPUs with
+  /// `microbatches` slices and activation recomputation: per-microbatch
+  /// stage time ~ compute/stages (with a stage-imbalance factor), the
+  /// (stages-1) bubble, boundary transfers over the intra-node link,
+  /// and ~1/3 extra compute for the recomputation pass.
+  PipelineEstimate pipeline_step(const ModelShape& m, int64_t batch,
+                                 int stages, int microbatches) const;
+
+  /// Largest global batch a pipelined configuration fits (0 if none).
+  int64_t pipeline_max_batch(const ModelShape& m, int stages,
+                             int microbatches) const;
+
+  /// The Table-I n=1 calibration as code: solves for the
+  /// effective_tflops that makes `trials` (run sequentially on one GPU,
+  /// `epochs` each over the given subject counts) total
+  /// `measured_seconds`. Every compute term scales as 1/throughput and
+  /// the per-trial setup does not, so the solution is exact.
+  static double calibrate_effective_tflops(
+      const ClusterSpec& spec, const CostModelParams& base,
+      const std::vector<SimTrialConfig>& trials, int64_t epochs,
+      int64_t n_train, int64_t n_val, double measured_seconds);
+
+  ModelShape shape_for(const SimTrialConfig& cfg) const;
+
+ private:
+  ClusterSpec spec_;
+  CostModelParams params_;
+};
+
+}  // namespace dmis::cluster

@@ -1,0 +1,26 @@
+#include "cluster/desim.hpp"
+
+#include "common/check.hpp"
+
+namespace dmis::cluster {
+
+void EventSim::schedule(double delay, Handler fn) {
+  DMIS_CHECK(delay >= 0.0, "cannot schedule into the past (delay " << delay
+                           << ")");
+  DMIS_CHECK(fn != nullptr, "null event handler");
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+double EventSim::run() {
+  while (!queue_.empty()) {
+    // Move out the top event before popping so the handler may schedule.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+}  // namespace dmis::cluster

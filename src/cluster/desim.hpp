@@ -1,0 +1,51 @@
+// EventSim: a minimal deterministic discrete-event simulation engine.
+//
+// Events are (time, sequence, closure) triples on a min-heap; run()
+// executes them in time order (FIFO among equal timestamps, so results
+// are bit-reproducible). Handlers schedule further events relative to
+// the current simulated time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dmis::cluster {
+
+class EventSim {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulated time in seconds.
+  double now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  void schedule(double delay, Handler fn);
+
+  /// Runs until the event queue drains; returns the final time.
+  double run();
+
+  /// Number of events executed so far.
+  int64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    double time;
+    int64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  int64_t next_seq_ = 0;
+  int64_t executed_ = 0;
+};
+
+}  // namespace dmis::cluster

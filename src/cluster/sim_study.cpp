@@ -1,0 +1,87 @@
+#include "cluster/sim_study.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace dmis::cluster {
+
+SimOutcome simulate_experiment_parallel(const std::vector<double>& durations,
+                                        int n_gpus, double boot_seconds,
+                                        SchedulePolicy policy) {
+  DMIS_CHECK(n_gpus >= 1, "need >= 1 GPU");
+  DMIS_CHECK(boot_seconds >= 0.0, "negative boot time");
+  for (double d : durations) DMIS_CHECK(d >= 0.0, "negative trial duration");
+
+  std::vector<int> order(durations.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (policy == SchedulePolicy::kLpt) {
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return durations[static_cast<size_t>(a)] >
+             durations[static_cast<size_t>(b)];
+    });
+  }
+
+  EventSim sim;
+  SimOutcome outcome;
+  outcome.timeline.reserve(durations.size());
+  std::deque<int> queue(order.begin(), order.end());
+  std::vector<int> idle_gpus;
+  for (int g = n_gpus - 1; g >= 0; --g) idle_gpus.push_back(g);
+
+  // Dispatch loop: whenever a GPU frees up (or at boot), start the next
+  // queued trial on it.
+  std::function<void(int)> start_next = [&](int gpu) {
+    if (queue.empty()) return;
+    const int trial = queue.front();
+    queue.pop_front();
+    const double dur = durations[static_cast<size_t>(trial)];
+    const double start = sim.now();
+    sim.schedule(dur, [&, gpu, trial, start] {
+      outcome.timeline.push_back(TrialTimeline{trial, gpu, start, sim.now()});
+      start_next(gpu);
+    });
+  };
+
+  sim.schedule(boot_seconds, [&] {
+    while (!idle_gpus.empty() && !queue.empty()) {
+      const int gpu = idle_gpus.back();
+      idle_gpus.pop_back();
+      start_next(gpu);
+    }
+  });
+
+  outcome.makespan_seconds = sim.run();
+  DMIS_ASSERT(outcome.timeline.size() == durations.size(),
+              "scheduler lost trials: " << outcome.timeline.size() << " of "
+                                        << durations.size());
+  return outcome;
+}
+
+SimOutcome simulate_data_parallel(const std::vector<double>& durations,
+                                  double boot_seconds) {
+  DMIS_CHECK(boot_seconds >= 0.0, "negative boot time");
+  EventSim sim;
+  SimOutcome outcome;
+  outcome.timeline.reserve(durations.size());
+
+  std::function<void(size_t)> run_trial = [&](size_t i) {
+    if (i >= durations.size()) return;
+    DMIS_CHECK(durations[i] >= 0.0, "negative trial duration");
+    const double start = sim.now();
+    sim.schedule(durations[i], [&, i, start] {
+      outcome.timeline.push_back(
+          TrialTimeline{static_cast<int>(i), 0, start, sim.now()});
+      run_trial(i + 1);
+    });
+  };
+
+  sim.schedule(boot_seconds, [&] { run_trial(0); });
+  outcome.makespan_seconds = sim.run();
+  return outcome;
+}
+
+}  // namespace dmis::cluster

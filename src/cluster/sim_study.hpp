@@ -1,0 +1,47 @@
+// Scheduling simulation for the two distribution strategies.
+//
+// Experiment parallelism (Ray.Tune): trials are queued and dispatched to
+// single-GPU workers as they free up — the paper's Tune.Run behaviour is
+// FIFO over the submission order. LPT (longest-processing-time-first) is
+// provided as a scheduling ablation: it needs oracle durations, which a
+// real tuner does not have.
+//
+// Data parallelism: trials run one after another, each spanning all
+// GPUs; the makespan is the sum plus the cluster boot.
+#pragma once
+
+#include <vector>
+
+#include "cluster/desim.hpp"
+
+namespace dmis::cluster {
+
+enum class SchedulePolicy {
+  kFifo,  ///< Dispatch in submission order (Ray.Tune default).
+  kLpt,   ///< Longest first (oracle ablation).
+};
+
+struct TrialTimeline {
+  int trial = -1;      ///< Index into the duration vector.
+  int gpu = -1;        ///< Worker that ran it.
+  double start = 0.0;  ///< Simulated seconds.
+  double end = 0.0;
+};
+
+struct SimOutcome {
+  double makespan_seconds = 0.0;
+  std::vector<TrialTimeline> timeline;
+};
+
+/// Runs `durations` (seconds per trial, setup included) over `n_gpus`
+/// single-GPU workers after `boot_seconds` of cluster spin-up.
+SimOutcome simulate_experiment_parallel(const std::vector<double>& durations,
+                                        int n_gpus, double boot_seconds,
+                                        SchedulePolicy policy);
+
+/// Serializes `durations` (each already the n-GPU data-parallel trial
+/// time) on the whole allocation.
+SimOutcome simulate_data_parallel(const std::vector<double>& durations,
+                                  double boot_seconds);
+
+}  // namespace dmis::cluster

@@ -1,0 +1,22 @@
+#include "cluster/topology.hpp"
+
+#include "common/check.hpp"
+
+namespace dmis::cluster {
+
+int ClusterSpec::nodes_for(int n_gpus) const {
+  DMIS_CHECK(n_gpus >= 1, "need >= 1 GPU, got " << n_gpus);
+  DMIS_CHECK(n_gpus <= total_gpus(),
+             n_gpus << " GPUs exceed cluster capacity " << total_gpus());
+  return (n_gpus + node.gpus_per_node - 1) / node.gpus_per_node;
+}
+
+ClusterSpec ClusterSpec::marenostrum_cte() {
+  ClusterSpec spec;
+  spec.name = "MareNostrum-CTE";
+  spec.num_nodes = 52;
+  spec.node = NodeSpec{};  // defaults model the Power9 + 4xV100 node
+  return spec;
+}
+
+}  // namespace dmis::cluster

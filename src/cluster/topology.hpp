@@ -1,0 +1,52 @@
+// Cluster topology specifications.
+//
+// The paper's benchmarking environment is the BSC MareNostrum-CTE GPU
+// partition: 52 IBM Power9 nodes (2x 20-core @2.4GHz) with 4x NVIDIA
+// V100-SXM2 16GB each, NVLink 2.0 within a node (GPUs in pairs bridged by
+// the X-bus) and EDR Infiniband between nodes. The simulator consumes
+// these specs; marenostrum_cte() is the preset used by every Table-I /
+// Fig-4 reproduction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dmis::cluster {
+
+struct GpuSpec {
+  std::string model = "V100-SXM2-16GB";
+  double peak_fp32_tflops = 15.7;   ///< Vendor peak, fp32 CUDA cores.
+  double peak_tensor_tflops = 125;  ///< Tensor-core mixed precision.
+  double memory_gb = 16.0;
+};
+
+struct LinkSpec {
+  double bandwidth_gbs = 0.0;   ///< GB/s per direction.
+  double latency_us = 0.0;      ///< One-way message latency.
+};
+
+struct NodeSpec {
+  int gpus_per_node = 4;
+  GpuSpec gpu;
+  LinkSpec nvlink{75.0, 8.0};      ///< GPU<->GPU within a pair.
+  LinkSpec xbus{32.0, 12.0};       ///< Cross-pair via CPU X-bus.
+  double host_read_gbs = 2.0;      ///< Node-local storage streaming rate.
+  int cpu_cores = 40;
+};
+
+struct ClusterSpec {
+  std::string name;
+  int num_nodes = 1;
+  NodeSpec node;
+  LinkSpec infiniband{12.0, 2.5};  ///< EDR IB (~100 Gb/s) node-to-node.
+
+  int total_gpus() const { return num_nodes * node.gpus_per_node; }
+
+  /// Number of nodes spanned by `n_gpus` GPUs packed densely.
+  int nodes_for(int n_gpus) const;
+
+  /// The paper's environment (52 nodes; experiments use up to 8).
+  static ClusterSpec marenostrum_cte();
+};
+
+}  // namespace dmis::cluster

@@ -1,0 +1,141 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace dmis::comm {
+
+CollectiveContext::CollectiveContext(int size)
+    : size_(size),
+      barrier_(size),
+      ptrs_(static_cast<size_t>(size), nullptr),
+      cptrs_(static_cast<size_t>(size), nullptr),
+      sizes_(static_cast<size_t>(size), 0) {
+  DMIS_CHECK(size >= 1, "communicator group needs >= 1 rank, got " << size);
+}
+
+Communicator::Communicator(std::shared_ptr<CollectiveContext> ctx, int rank)
+    : ctx_(std::move(ctx)), rank_(rank) {
+  DMIS_CHECK(ctx_ != nullptr, "null collective context");
+  DMIS_CHECK(rank >= 0 && rank < ctx_->size(),
+             "rank " << rank << " out of range for group of "
+                     << ctx_->size());
+}
+
+void Communicator::barrier() { ctx_->sync(); }
+
+void Communicator::broadcast(std::span<float> data, int root) {
+  DMIS_CHECK(root >= 0 && root < size(), "bad broadcast root " << root);
+  auto& ctx = *ctx_;
+  ctx.ptrs_[static_cast<size_t>(rank_)] = data.data();
+  ctx.sizes_[static_cast<size_t>(rank_)] = data.size();
+  ctx.sync();
+  DMIS_CHECK(ctx.sizes_[static_cast<size_t>(root)] == data.size(),
+             "broadcast size mismatch: root has "
+                 << ctx.sizes_[static_cast<size_t>(root)] << ", rank "
+                 << rank_ << " has " << data.size());
+  if (rank_ != root) {
+    const float* src = ctx.ptrs_[static_cast<size_t>(root)];
+    std::memcpy(data.data(), src, data.size() * sizeof(float));
+  }
+  ctx.sync();
+}
+
+void Communicator::all_reduce_sum(std::span<float> data) {
+  const int n = size();
+  if (n == 1) return;
+  auto& ctx = *ctx_;
+  ctx.ptrs_[static_cast<size_t>(rank_)] = data.data();
+  ctx.sizes_[static_cast<size_t>(rank_)] = data.size();
+  ctx.sync();
+  DMIS_CHECK(ctx.sizes_[0] == data.size(),
+             "all_reduce size mismatch: rank 0 has " << ctx.sizes_[0]
+                                                     << ", rank " << rank_
+                                                     << " has " << data.size());
+
+  // Chunk geometry: chunk c covers [c*chunk_len, min((c+1)*chunk_len, len)).
+  const size_t len = data.size();
+  const size_t chunk_len = (len + static_cast<size_t>(n) - 1) /
+                           static_cast<size_t>(n);
+  const auto chunk_begin = [&](int c) {
+    return std::min(len, static_cast<size_t>(c) * chunk_len);
+  };
+  const auto chunk_end = [&](int c) {
+    return std::min(len, (static_cast<size_t>(c) + 1) * chunk_len);
+  };
+  const int left = (rank_ - 1 + n) % n;
+  float* mine = data.data();
+  const float* theirs = ctx.ptrs_[static_cast<size_t>(left)];
+
+  // Phase 1 — reduce-scatter: at step s, rank i accumulates chunk
+  // (i - 1 - s) mod n from its left neighbor. After n-1 steps rank i
+  // holds the complete chunk (i + 1) mod n.
+  for (int s = 0; s < n - 1; ++s) {
+    const int c = ((rank_ - 1 - s) % n + n) % n;
+    const size_t b = chunk_begin(c), e = chunk_end(c);
+    for (size_t k = b; k < e; ++k) mine[k] += theirs[k];
+    ctx.sync();
+  }
+
+  // Phase 2 — all-gather: at step s, rank i copies chunk (i - s) mod n
+  // (the one its left neighbor just completed or received).
+  for (int s = 0; s < n - 1; ++s) {
+    const int c = ((rank_ - s) % n + n) % n;
+    const size_t b = chunk_begin(c), e = chunk_end(c);
+    if (e > b) std::memcpy(mine + b, theirs + b, (e - b) * sizeof(float));
+    ctx.sync();
+  }
+}
+
+void Communicator::all_reduce_mean(std::span<float> data) {
+  all_reduce_sum(data);
+  const float inv = 1.0F / static_cast<float>(size());
+  for (float& v : data) v *= inv;
+}
+
+void Communicator::reduce_sum(std::span<float> data, int root) {
+  DMIS_CHECK(root >= 0 && root < size(), "bad reduce root " << root);
+  auto& ctx = *ctx_;
+  ctx.ptrs_[static_cast<size_t>(rank_)] = data.data();
+  ctx.sizes_[static_cast<size_t>(rank_)] = data.size();
+  ctx.sync();
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      DMIS_CHECK(ctx.sizes_[static_cast<size_t>(r)] == data.size(),
+                 "reduce size mismatch at rank " << r);
+      const float* src = ctx.ptrs_[static_cast<size_t>(r)];
+      for (size_t k = 0; k < data.size(); ++k) data[k] += src[k];
+    }
+  }
+  ctx.sync();
+}
+
+std::vector<float> Communicator::all_gather(std::span<const float> data) {
+  auto& ctx = *ctx_;
+  ctx.cptrs_[static_cast<size_t>(rank_)] = data.data();
+  ctx.sizes_[static_cast<size_t>(rank_)] = data.size();
+  ctx.sync();
+  size_t total = 0;
+  for (int r = 0; r < size(); ++r) total += ctx.sizes_[static_cast<size_t>(r)];
+  std::vector<float> out;
+  out.reserve(total);
+  for (int r = 0; r < size(); ++r) {
+    const float* src = ctx.cptrs_[static_cast<size_t>(r)];
+    out.insert(out.end(), src, src + ctx.sizes_[static_cast<size_t>(r)]);
+  }
+  ctx.sync();
+  return out;
+}
+
+std::vector<Communicator> make_group(int size) {
+  auto ctx = std::make_shared<CollectiveContext>(size);
+  std::vector<Communicator> comms;
+  comms.reserve(static_cast<size_t>(size));
+  for (int r = 0; r < size; ++r) comms.emplace_back(ctx, r);
+  return comms;
+}
+
+}  // namespace dmis::comm

@@ -1,0 +1,84 @@
+// In-process collectives — the NCCL / Ray.SGD synchronization substrate.
+//
+// The paper's data-parallel strategy synchronizes replica gradients with
+// an allreduce every step (tf.MirroredStrategy within a node, Ray.SGD
+// across nodes, NCCL underneath). This module provides the same
+// collectives for replicas that are threads of one process, using the
+// MPI naming scheme: a fixed group of `size` ranks, each owning a
+// Communicator handle bound to a shared CollectiveContext.
+//
+// all_reduce_sum implements the *chunked ring* algorithm NCCL uses —
+// a reduce-scatter phase followed by an all-gather phase, each of
+// size-1 steps separated by barriers — rather than a trivial
+// shared-memory reduction, so the communication structure (and the
+// 2*(n-1)/n traffic factor modeled by the cluster simulator) is real.
+//
+// Usage is SPMD: every rank must call the same collectives in the same
+// order. Collectives block until the whole group participates.
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace dmis::comm {
+
+/// Shared rendezvous state for one group of ranks.
+class CollectiveContext {
+ public:
+  explicit CollectiveContext(int size);
+
+  int size() const { return size_; }
+
+ private:
+  friend class Communicator;
+
+  void sync() { barrier_.arrive_and_wait(); }
+
+  int size_;
+  std::barrier<> barrier_;
+  std::vector<float*> ptrs_;          // per-rank buffer registration
+  std::vector<const float*> cptrs_;   // per-rank const registration
+  std::vector<size_t> sizes_;
+};
+
+/// One rank's handle onto the group.
+class Communicator {
+ public:
+  Communicator(std::shared_ptr<CollectiveContext> ctx, int rank);
+
+  int rank() const { return rank_; }
+  int size() const { return ctx_->size(); }
+
+  /// Blocks until every rank has arrived.
+  void barrier();
+
+  /// Copies root's buffer into every rank's buffer (sizes must match).
+  void broadcast(std::span<float> data, int root);
+
+  /// Element-wise sum across ranks; every rank ends with the total.
+  /// Chunked ring algorithm (reduce-scatter + all-gather).
+  void all_reduce_sum(std::span<float> data);
+
+  /// all_reduce_sum followed by division by the group size — the
+  /// gradient-averaging form used by data-parallel training.
+  void all_reduce_mean(std::span<float> data);
+
+  /// Sums every rank's buffer into root's buffer (others unchanged).
+  void reduce_sum(std::span<float> data, int root);
+
+  /// Concatenates every rank's buffer in rank order; all ranks receive
+  /// the full result. Buffers may have different lengths.
+  std::vector<float> all_gather(std::span<const float> data);
+
+ private:
+  std::shared_ptr<CollectiveContext> ctx_;
+  int rank_;
+};
+
+/// Creates one communicator per rank over a fresh shared context.
+std::vector<Communicator> make_group(int size);
+
+}  // namespace dmis::comm

@@ -1,0 +1,86 @@
+// Error-handling primitives for DistMIS-cpp.
+//
+// Library errors are reported with exceptions (C++ Core Guidelines E.2):
+// precondition violations throw dmis::InvalidArgument, internal invariant
+// failures throw dmis::InternalError, and I/O failures throw dmis::IoError.
+// The DMIS_CHECK* macros attach file/line context to the message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dmis {
+
+/// Base class for all DistMIS-cpp exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed; indicates a bug in this library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// A file or stream operation failed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+template <class Ex>
+[[noreturn]] inline void throw_with_context(const char* file, int line,
+                                            const char* cond,
+                                            const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed";
+  if (cond != nullptr && *cond != '\0') os << " (" << cond << ")";
+  if (!msg.empty()) os << ": " << msg;
+  throw Ex(os.str());
+}
+
+}  // namespace detail
+}  // namespace dmis
+
+/// Validates a public-API precondition; throws dmis::InvalidArgument.
+#define DMIS_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream dmis_check_os_;                                   \
+      dmis_check_os_ << msg; /* NOLINT */                                  \
+      ::dmis::detail::throw_with_context<::dmis::InvalidArgument>(         \
+          __FILE__, __LINE__, #cond, dmis_check_os_.str());                \
+    }                                                                      \
+  } while (false)
+
+/// Validates an internal invariant; throws dmis::InternalError.
+#define DMIS_ASSERT(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream dmis_check_os_;                                   \
+      dmis_check_os_ << msg; /* NOLINT */                                  \
+      ::dmis::detail::throw_with_context<::dmis::InternalError>(           \
+          __FILE__, __LINE__, #cond, dmis_check_os_.str());                \
+    }                                                                      \
+  } while (false)
+
+/// Validates an I/O postcondition; throws dmis::IoError.
+#define DMIS_CHECK_IO(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream dmis_check_os_;                                   \
+      dmis_check_os_ << msg; /* NOLINT */                                  \
+      ::dmis::detail::throw_with_context<::dmis::IoError>(                 \
+          __FILE__, __LINE__, #cond, dmis_check_os_.str());                \
+    }                                                                      \
+  } while (false)

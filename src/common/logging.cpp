@@ -1,0 +1,68 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace dmis {
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("DMIS_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "TRACE") == 0) return LogLevel::kTrace;
+  if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "INFO") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "WARN") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "OFF") == 0) return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+std::atomic<int> g_level{static_cast<int>(level_from_env())};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  using Clock = std::chrono::system_clock;
+  const auto now = Clock::now();
+  const auto secs = std::chrono::time_point_cast<std::chrono::seconds>(now);
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - secs)
+          .count();
+  const std::time_t tt = Clock::to_time_t(now);
+  std::tm tm_buf{};
+  localtime_r(&tt, &tm_buf);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%H:%M:%S", &tm_buf);
+
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s.%03d %s] %s\n", stamp, static_cast<int>(ms),
+               level_name(level), message.c_str());
+}
+
+}  // namespace dmis

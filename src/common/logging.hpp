@@ -1,0 +1,59 @@
+// Minimal leveled logger.
+//
+// Thread-safe (a global mutex serializes line emission), cheap when the
+// level is filtered out, and intentionally free of global configuration
+// files: tools set the level with set_log_level() or the DMIS_LOG_LEVEL
+// environment variable (TRACE|DEBUG|INFO|WARN|ERROR|OFF).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dmis {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel log_level();
+
+/// Emits one formatted line (timestamp, level, message) to stderr.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Stream-style collector used by the DMIS_LOG macro.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, os_.str()); }
+
+  template <class T>
+  LogMessage& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace dmis
+
+#define DMIS_LOG(level)                                     \
+  if (::dmis::LogLevel::level < ::dmis::log_level()) {      \
+  } else                                                    \
+    ::dmis::detail::LogMessage(::dmis::LogLevel::level)

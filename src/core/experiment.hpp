@@ -1,0 +1,36 @@
+// ExperimentConfig: one point of the hyper-parameter search, usable by
+// both backends — the real thread-based trainer (dmis_train) and the
+// simulated cluster (dmis_cluster).
+#pragma once
+
+#include <string>
+
+#include "cluster/costmodel.hpp"
+#include "raylite/search_space.hpp"
+
+namespace dmis::core {
+
+struct ExperimentConfig {
+  double lr = 1e-4;
+  std::string loss = "dice";
+  int64_t base_filters = 8;
+  bool augment = false;
+  int64_t batch_per_replica = 2;
+  int64_t epochs = 250;
+  uint64_t seed = 42;
+
+  /// Parses the Tune ParamSet produced by HpSpace (keys: lr, loss,
+  /// base_filters, augment).
+  static ExperimentConfig from_params(const ray::ParamSet& params);
+
+  /// Tune-style dictionary form.
+  ray::ParamSet to_params() const;
+
+  /// The paper-scale cost-model view of this configuration.
+  cluster::SimTrialConfig to_sim() const;
+
+  /// Stable human-readable id, e.g. "lr1e-04_dice_bf8_aug0_b2".
+  std::string name() const;
+};
+
+}  // namespace dmis::core

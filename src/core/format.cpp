@@ -1,0 +1,29 @@
+#include "core/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace dmis::core {
+
+std::string format_hms(double seconds) {
+  DMIS_CHECK(seconds >= 0.0, "negative duration " << seconds);
+  const auto total = static_cast<int64_t>(std::llround(seconds));
+  const int64_t h = total / 3600;
+  const int64_t m = (total % 3600) / 60;
+  const int64_t s = total % 60;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld:%02lld:%02lld",
+                static_cast<long long>(h), static_cast<long long>(m),
+                static_cast<long long>(s));
+  return buf;
+}
+
+std::string format_speedup(double speedup) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", speedup);
+  return buf;
+}
+
+}  // namespace dmis::core

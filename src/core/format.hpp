@@ -1,0 +1,15 @@
+// Formatting helpers for the Table-I / Fig-4 harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dmis::core {
+
+/// Seconds -> "H:MM:SS" (hours unpadded, like the paper's 44:18:02).
+std::string format_hms(double seconds);
+
+/// Fixed-precision speedup, e.g. "13.18".
+std::string format_speedup(double speedup);
+
+}  // namespace dmis::core

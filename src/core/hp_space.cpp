@@ -1,0 +1,39 @@
+#include "core/hp_space.hpp"
+
+#include "common/check.hpp"
+
+namespace dmis::core {
+
+ray::SearchSpace HpSpace::paper() {
+  ray::SearchSpace space;
+  space.choice("lr", {1e-3, 1e-4, 1e-5, 1e-6})
+      .choice("loss", {std::string("dice"), std::string("qdice")})
+      .choice("base_filters", {int64_t{8}, int64_t{16}})
+      .choice("augment", {false, true});
+  return space;
+}
+
+std::vector<ExperimentConfig> HpSpace::expand(const ray::SearchSpace& space,
+                                              const cluster::CostModel& cost,
+                                              int64_t epochs, uint64_t seed) {
+  const auto grid = space.grid();
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    ExperimentConfig cfg = ExperimentConfig::from_params(grid[i]);
+    cfg.epochs = epochs;
+    cfg.seed = seed + i;
+    cluster::ModelShape shape;
+    shape.base_filters = cfg.base_filters;
+    const int64_t max_batch = cost.max_batch_per_replica(shape);
+    DMIS_CHECK(max_batch >= 1,
+               "config " << cfg.name() << " fits no batch in "
+                         << cost.spec().node.gpu.memory_gb << " GB");
+    // The paper trains with batch 2 per replica where it fits.
+    cfg.batch_per_replica = std::min<int64_t>(2, max_batch);
+    configs.push_back(std::move(cfg));
+  }
+  return configs;
+}
+
+}  // namespace dmis::core

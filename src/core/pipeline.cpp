@@ -1,0 +1,184 @@
+#include "core/pipeline.hpp"
+
+#include <chrono>
+#include <filesystem>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "data/augment.hpp"
+#include "data/record.hpp"
+#include "data/transforms.hpp"
+
+namespace dmis::core {
+
+DistMisPipeline::DistMisPipeline(const PipelineOptions& options)
+    : options_(options) {
+  DMIS_CHECK(!options.work_dir.empty(), "work_dir must be set");
+  // 70/15/15 needs at least 7 subjects for a non-empty validation split.
+  DMIS_CHECK(options.num_subjects >= 7, "need >= 7 subjects for a split");
+  DMIS_CHECK(options.shards_per_split >= 1, "need >= 1 shard per split");
+  DMIS_CHECK(options.model_depth >= 2, "model depth must be >= 2");
+}
+
+const PreparedData& DistMisPipeline::prepared() const {
+  DMIS_CHECK(prepared_.has_value(), "call prepare() first");
+  return *prepared_;
+}
+
+std::vector<std::string> DistMisPipeline::write_shards(
+    const std::vector<int64_t>& ids, const std::string& split_name) {
+  const data::PhantomGenerator gen(options_.phantom);
+  const int64_t divisor = int64_t{1} << (options_.model_depth - 1);
+  const int64_t shards =
+      std::min<int64_t>(options_.shards_per_split,
+                        std::max<int64_t>(1, static_cast<int64_t>(ids.size())));
+  std::vector<std::string> paths;
+  std::vector<std::unique_ptr<data::RecordWriter>> writers;
+  for (int64_t s = 0; s < shards; ++s) {
+    const std::string path = options_.work_dir + "/" + split_name + "_" +
+                             std::to_string(s) + ".drec";
+    paths.push_back(path);
+    writers.push_back(std::make_unique<data::RecordWriter>(path));
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const data::PhantomSubject subject = gen.generate(ids[i]);
+    const data::Example ex = data::preprocess_subject(
+        subject.image, subject.labels, subject.id, divisor);
+    writers[i % writers.size()]->write(data::Record::from_example(ex));
+  }
+  return paths;
+}
+
+const PreparedData& DistMisPipeline::prepare() {
+  if (prepared_.has_value()) return *prepared_;
+
+  std::filesystem::create_directories(options_.work_dir);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  PreparedData prep;
+  prep.split = data::split_dataset_paper(options_.num_subjects,
+                                         options_.seed);
+  prep.train_records = write_shards(prep.split.train, "train");
+  prep.val_records = write_shards(prep.split.val, "val");
+  prep.test_records = write_shards(prep.split.test, "test");
+
+  // Probe the preprocessed geometry from the first train record.
+  const auto records = data::read_all_records(prep.train_records.front());
+  DMIS_CHECK(!records.empty(), "no training records written");
+  prep.image_shape = records.front().to_example().image.shape();
+
+  prep.binarize_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  DMIS_LOG(kDebug) << "prepared " << options_.num_subjects << " subjects in "
+                   << prep.binarize_seconds << "s";
+  prepared_ = std::move(prep);
+  return *prepared_;
+}
+
+data::StreamPtr DistMisPipeline::train_stream(bool augment) const {
+  const PreparedData& prep = prepared();
+  data::StreamPtr s = data::interleave_record_files(prep.train_records,
+                                                    options_.interleave_cycle);
+  if (augment) {
+    const uint64_t seed = options_.seed;
+    const data::AugmentOptions aug;  // flips + light intensity jitter
+    s = data::map(
+        std::move(s),
+        [seed, aug](data::Example ex) {
+          return data::augment(std::move(ex), aug, seed);
+        },
+        options_.map_workers);
+  }
+  s = data::shuffle(std::move(s), options_.shuffle_buffer, options_.seed);
+  return data::prefetch(std::move(s), options_.prefetch_buffer);
+}
+
+data::StreamPtr DistMisPipeline::val_stream() const {
+  return data::from_record_files(prepared().val_records);
+}
+
+nn::UNet3dOptions DistMisPipeline::model_options(
+    const ExperimentConfig& cfg) const {
+  nn::UNet3dOptions opts;
+  opts.in_channels = 4;
+  opts.out_channels = 1;
+  opts.base_filters = cfg.base_filters;
+  opts.depth = options_.model_depth;
+  opts.seed = cfg.seed;
+  return opts;
+}
+
+train::TrainReport DistMisPipeline::run_single(const ExperimentConfig& cfg,
+                                               int64_t global_batch) {
+  prepare();
+  nn::UNet3d model(model_options(cfg));
+  train::TrainOptions topt;
+  topt.epochs = cfg.epochs;
+  topt.lr = cfg.lr;
+  topt.loss = cfg.loss;
+  train::Trainer trainer(model, topt);
+  data::BatchStream train(train_stream(cfg.augment), global_batch);
+  data::BatchStream val(val_stream(), global_batch);
+  return trainer.fit(train, &val);
+}
+
+train::TrainReport DistMisPipeline::run_data_parallel(
+    const ExperimentConfig& cfg, int replicas) {
+  prepare();
+  train::MirroredOptions mopt;
+  mopt.num_replicas = replicas;
+  mopt.train.epochs = cfg.epochs;
+  mopt.train.lr = cfg.lr;
+  mopt.train.loss = cfg.loss;
+  mopt.scale_lr = true;  // the paper's 1e-4 x #GPUs rule
+  train::MirroredStrategy strategy(model_options(cfg), mopt);
+  const int64_t global_batch = cfg.batch_per_replica * replicas;
+  data::BatchStream train(train_stream(cfg.augment), global_batch);
+  data::BatchStream val(val_stream(), global_batch);
+  return strategy.fit(train, &val);
+}
+
+ray::TuneResult DistMisPipeline::run_experiment_parallel(
+    const std::vector<ExperimentConfig>& configs, int gpus,
+    const std::optional<ray::AshaOptions>& asha) {
+  prepare();
+  std::vector<ray::ParamSet> params;
+  params.reserve(configs.size());
+  std::map<std::string, ExperimentConfig> by_key;
+  for (const ExperimentConfig& cfg : configs) {
+    ray::ParamSet p = cfg.to_params();
+    by_key[ray::param_set_str(p)] = cfg;
+    params.push_back(std::move(p));
+  }
+
+  // The paper's "training function": builds its own streams and model
+  // from the hyper-parameter dictionary and reports through the callback.
+  const auto trainable = [this, &by_key](const ray::ParamSet& p,
+                                         ray::Reporter& reporter) {
+    const ExperimentConfig cfg = by_key.at(ray::param_set_str(p));
+    nn::UNet3d model(model_options(cfg));
+    train::TrainOptions topt;
+    topt.epochs = cfg.epochs;
+    topt.lr = cfg.lr;
+    topt.loss = cfg.loss;
+    train::Trainer trainer(model, topt);
+    data::BatchStream train(train_stream(cfg.augment),
+                            cfg.batch_per_replica);
+    data::BatchStream val(val_stream(), cfg.batch_per_replica);
+    trainer.fit(train, &val, [&](const train::EpochStats& stats) {
+      reporter.report(stats.epoch,
+                      {{"train_loss", stats.train_loss},
+                       {"val_dice", stats.val_dice.value_or(0.0)}});
+      return !reporter.should_stop();
+    });
+  };
+
+  ray::TuneOptions topts;
+  topts.num_gpus = gpus;
+  topts.per_trial = ray::Resources{1, 1};
+  topts.asha = asha;
+  return ray::tune_run(trainable, params, topts);
+}
+
+}  // namespace dmis::core

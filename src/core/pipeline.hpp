@@ -1,0 +1,95 @@
+// DistMisPipeline: the end-to-end real-backend facade (paper Fig 1).
+//
+// Wires every substrate together at host scale: phantom subjects stand
+// in for the MSD download, preprocessing + offline binarization produce
+// record shards per split (the paper's key pipeline optimization), and
+// tf.data-style streams feed either distribution strategy:
+//
+//   pipeline.prepare();                         // once, offline
+//   pipeline.run_single(cfg);                   // 1 "GPU"
+//   pipeline.run_data_parallel(cfg, 4);         // MirroredStrategy
+//   pipeline.run_experiment_parallel(cfgs, 4);  // Ray.Tune
+//
+// The "GPUs" of this backend are worker threads; the paper-scale elapsed
+// times come from the simulated backend (core/scaling_study.hpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "data/dataset.hpp"
+#include "data/phantom.hpp"
+#include "data/split.hpp"
+#include "raylite/tune.hpp"
+#include "train/mirrored.hpp"
+#include "train/trainer.hpp"
+
+namespace dmis::core {
+
+struct PipelineOptions {
+  std::string work_dir;          ///< Directory for .dvol/.drec artifacts.
+  int64_t num_subjects = 24;
+  data::PhantomOptions phantom;  ///< Default: 19x24x24 raw (16 after crop).
+  uint64_t seed = 2022;
+  int model_depth = 3;           ///< Scaled-down U-Net (divisor 4).
+  int64_t shards_per_split = 2;  ///< Record files per split (interleave).
+  int interleave_cycle = 2;
+  int map_workers = 2;
+  int64_t shuffle_buffer = 8;
+  int64_t prefetch_buffer = 2;
+};
+
+struct PreparedData {
+  data::DatasetSplit split;
+  std::vector<std::string> train_records;
+  std::vector<std::string> val_records;
+  std::vector<std::string> test_records;
+  Shape image_shape;  ///< (C, D, H, W) after preprocessing
+  double binarize_seconds = 0.0;  ///< measured offline-binarization cost
+};
+
+class DistMisPipeline {
+ public:
+  explicit DistMisPipeline(const PipelineOptions& options);
+
+  /// Generates subjects, preprocesses and binarizes them into record
+  /// shards (70/15/15). Idempotent: repeated calls reuse the artifacts.
+  const PreparedData& prepare();
+
+  /// Training stream: interleave -> (augment) map -> shuffle -> prefetch.
+  data::StreamPtr train_stream(bool augment) const;
+
+  /// Validation stream: plain sequential record read.
+  data::StreamPtr val_stream() const;
+
+  /// Model options for a config, scaled to this pipeline's geometry.
+  nn::UNet3dOptions model_options(const ExperimentConfig& cfg) const;
+
+  /// Trains one configuration on a single device.
+  train::TrainReport run_single(const ExperimentConfig& cfg,
+                                int64_t global_batch = 2);
+
+  /// Trains one configuration data-parallel over `replicas` threads
+  /// (global batch = batch_per_replica x replicas, lr linearly scaled).
+  train::TrainReport run_data_parallel(const ExperimentConfig& cfg,
+                                       int replicas);
+
+  /// Runs the experiment set through Tune over `gpus` worker slots.
+  ray::TuneResult run_experiment_parallel(
+      const std::vector<ExperimentConfig>& configs, int gpus,
+      const std::optional<ray::AshaOptions>& asha = std::nullopt);
+
+  const PipelineOptions& options() const { return options_; }
+  const PreparedData& prepared() const;
+
+ private:
+  std::vector<std::string> write_shards(const std::vector<int64_t>& ids,
+                                        const std::string& split_name);
+
+  PipelineOptions options_;
+  std::optional<PreparedData> prepared_;
+};
+
+}  // namespace dmis::core

@@ -1,0 +1,31 @@
+// Result export: plot-ready CSV artifacts for the scaling study and a
+// Ray-style console table for Tune runs.
+#pragma once
+
+#include <string>
+
+#include "core/scaling_study.hpp"
+#include "raylite/tune.hpp"
+#include "train/trainer.hpp"
+
+namespace dmis::core {
+
+/// Writes one row per (strategy, gpu-count):
+///   strategy,gpus,mean_s,min_s,max_s,speedup
+void save_study_csv(const std::string& path, const StudyResult& result);
+
+/// Writes a learning curve: epoch,steps,train_loss,val_dice,lr
+/// (val_dice empty when no validation ran).
+void save_history_csv(const std::string& path,
+                      const train::TrainReport& report);
+
+/// Renders trials as an aligned console table (config, status,
+/// iterations, metric) — the CLIReporter-style summary.
+std::string tune_table(const ray::TuneResult& result,
+                       const std::string& metric = "val_dice");
+
+/// Writes one row per trial: id,config,status,iterations,<metric>.
+void save_tune_csv(const std::string& path, const ray::TuneResult& result,
+                   const std::string& metric = "val_dice");
+
+}  // namespace dmis::core

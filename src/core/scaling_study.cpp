@@ -1,0 +1,122 @@
+#include "core/scaling_study.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "tensor/rng.hpp"
+
+namespace dmis::core {
+
+ScalingStudy::ScalingStudy(const cluster::CostModel& cost,
+                           std::vector<ExperimentConfig> configs)
+    : cost_(cost), configs_(std::move(configs)) {
+  DMIS_CHECK(!configs_.empty(), "no experiments to study");
+}
+
+std::vector<double> ScalingStudy::trial_multipliers(
+    const StudyOptions& options, int repetition,
+    bool with_stragglers) const {
+  Rng rng(options.seed * 0x9E3779B97F4A7C15ULL +
+          static_cast<uint64_t>(repetition) + 1);
+  const auto& p = cost_.params();
+  std::vector<double> mult(configs_.size(), 1.0);
+  for (double& m : mult) {
+    m = rng.lognormal(0.0, p.run_jitter_sigma);
+    if (with_stragglers) m *= rng.lognormal(0.0, p.straggler_sigma);
+  }
+  return mult;
+}
+
+double ScalingStudy::run_data_parallel_once(int n_gpus,
+                                            const StudyOptions& options,
+                                            int repetition) const {
+  const auto mult = trial_multipliers(options, repetition,
+                                      /*with_stragglers=*/false);
+  std::vector<double> durations(configs_.size());
+  for (size_t i = 0; i < configs_.size(); ++i) {
+    durations[i] = cost_.trial_seconds(configs_[i].to_sim(), n_gpus,
+                                       configs_[i].epochs, options.n_train,
+                                       options.n_val) *
+                   mult[i];
+  }
+  double boot = cost_.params().cluster_boot_seconds;
+  if (options.include_binarization) {
+    boot += cost_.binarize_seconds(cluster::ModelShape{},
+                                   options.n_train + options.n_val);
+  }
+  return cluster::simulate_data_parallel(durations, boot).makespan_seconds;
+}
+
+double ScalingStudy::run_experiment_parallel_once(int n_gpus,
+                                                  const StudyOptions& options,
+                                                  int repetition) const {
+  const auto mult = trial_multipliers(options, repetition,
+                                      /*with_stragglers=*/true);
+  // Self-contained single-GPU experiments.
+  std::vector<double> durations(configs_.size());
+  for (size_t i = 0; i < configs_.size(); ++i) {
+    durations[i] = cost_.trial_seconds(configs_[i].to_sim(), 1,
+                                       configs_[i].epochs, options.n_train,
+                                       options.n_val) *
+                   mult[i];
+  }
+  // Tune receives trials in submission order; model run-to-run queue
+  // order variation with a seeded shuffle.
+  std::vector<size_t> order(durations.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(options.seed * 7919 + static_cast<uint64_t>(repetition) * 131 + 3);
+  shuffle(order.begin(), order.end(), rng);
+  std::vector<double> queued(durations.size());
+  for (size_t i = 0; i < order.size(); ++i) queued[i] = durations[order[i]];
+
+  double boot = cost_.params().cluster_boot_seconds;
+  if (options.include_binarization) {
+    boot += cost_.binarize_seconds(cluster::ModelShape{},
+                                   options.n_train + options.n_val);
+  }
+  return cluster::simulate_experiment_parallel(queued, n_gpus, boot,
+                                               options.policy)
+      .makespan_seconds;
+}
+
+StudyResult ScalingStudy::run(const StudyOptions& options) const {
+  DMIS_CHECK(options.repetitions >= 1, "need >= 1 repetition");
+  DMIS_CHECK(!options.gpu_counts.empty(), "no GPU counts");
+  DMIS_CHECK(options.gpu_counts.front() == 1,
+             "gpu_counts must start at 1 (speedup baseline)");
+
+  StudyResult result;
+  const auto aggregate = [&](bool data_parallel) {
+    std::vector<StudyCell> cells;
+    double base_mean = 0.0;
+    for (int n : options.gpu_counts) {
+      StudyCell cell;
+      cell.gpus = n;
+      cell.min_seconds = std::numeric_limits<double>::infinity();
+      cell.max_seconds = 0.0;
+      double sum = 0.0;
+      for (int rep = 0; rep < options.repetitions; ++rep) {
+        const double t =
+            data_parallel
+                ? run_data_parallel_once(n, options, rep)
+                : run_experiment_parallel_once(n, options, rep);
+        sum += t;
+        cell.min_seconds = std::min(cell.min_seconds, t);
+        cell.max_seconds = std::max(cell.max_seconds, t);
+      }
+      cell.mean_seconds = sum / options.repetitions;
+      if (n == 1) base_mean = cell.mean_seconds;
+      cell.speedup = base_mean / cell.mean_seconds;
+      cells.push_back(cell);
+    }
+    return cells;
+  };
+
+  result.data_parallel = aggregate(true);
+  result.experiment_parallel = aggregate(false);
+  return result;
+}
+
+}  // namespace dmis::core

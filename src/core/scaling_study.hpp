@@ -1,0 +1,76 @@
+// ScalingStudy: the paper's benchmarking methodology (section IV),
+// executed on the simulated MareNostrum-CTE cluster.
+//
+// For each GPU count n in {1, 2, 4, 8, 12, 16, 32} and each distribution
+// strategy, the study runs the full 32-experiment hyper-parameter search
+// `repetitions` times (the paper runs every point three times and
+// reports the average, with min/max shown in Fig 4a):
+//
+//  * Data parallelism — experiments serialized; each trains across all
+//    n GPUs with per-step gradient synchronization (cost model
+//    sync_overhead_frac) and ragged ceil(N/(b*n)) steps per epoch.
+//  * Experiment parallelism — Ray.Tune FIFO dispatch of self-contained
+//    single-GPU experiments over n workers.
+//
+// Per-trial straggler multipliers and per-run jitter come from the cost
+// model parameters, seeded deterministically per (run, trial).
+#pragma once
+
+#include <vector>
+
+#include "cluster/costmodel.hpp"
+#include "cluster/sim_study.hpp"
+#include "core/experiment.hpp"
+
+namespace dmis::core {
+
+struct StudyOptions {
+  std::vector<int> gpu_counts{1, 2, 4, 8, 12, 16, 32};
+  int repetitions = 3;
+  uint64_t seed = 2022;
+  int64_t n_train = 338;  ///< 70% of the 484 MSD subjects
+  int64_t n_val = 72;     ///< 15%
+  cluster::SchedulePolicy policy = cluster::SchedulePolicy::kFifo;
+  bool include_binarization = true;  ///< offline preprocessing stage
+};
+
+/// One (strategy, n) cell aggregated over repetitions.
+struct StudyCell {
+  int gpus = 0;
+  double mean_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  double speedup = 0.0;  ///< vs the same strategy's n=1 mean
+};
+
+struct StudyResult {
+  std::vector<StudyCell> data_parallel;
+  std::vector<StudyCell> experiment_parallel;
+};
+
+class ScalingStudy {
+ public:
+  ScalingStudy(const cluster::CostModel& cost,
+               std::vector<ExperimentConfig> configs);
+
+  /// Runs both strategies over all GPU counts.
+  StudyResult run(const StudyOptions& options) const;
+
+  /// Elapsed seconds for one (strategy, n, repetition) point.
+  double run_data_parallel_once(int n_gpus, const StudyOptions& options,
+                                int repetition) const;
+  double run_experiment_parallel_once(int n_gpus, const StudyOptions& options,
+                                      int repetition) const;
+
+  const std::vector<ExperimentConfig>& configs() const { return configs_; }
+
+ private:
+  std::vector<double> trial_multipliers(const StudyOptions& options,
+                                        int repetition,
+                                        bool with_stragglers) const;
+
+  cluster::CostModel cost_;
+  std::vector<ExperimentConfig> configs_;
+};
+
+}  // namespace dmis::core

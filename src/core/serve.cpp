@@ -1,0 +1,55 @@
+#include "core/serve.hpp"
+
+#include "common/check.hpp"
+#include "data/transforms.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/infer.hpp"
+
+namespace dmis::core {
+
+SegmentationService::SegmentationService(const nn::UNet3dOptions& options,
+                                         const std::string& checkpoint_path)
+    : model_(options) {
+  if (!checkpoint_path.empty()) {
+    auto params = model_.checkpoint_params();
+    nn::load_checkpoint(checkpoint_path, params);
+  }
+}
+
+SegmentationResult SegmentationService::segment(const data::Volume& volume,
+                                                float threshold) {
+  DMIS_CHECK(volume.channels() == model_.options().in_channels,
+             "service expects " << model_.options().in_channels
+                                << " modalities, got " << volume.channels());
+  DMIS_CHECK(threshold > 0.0F && threshold < 1.0F,
+             "threshold must be in (0,1), got " << threshold);
+
+  // Same preprocessing as training: per-channel standardization. The
+  // spatial crop is NOT applied — padding handles divisibility and the
+  // output keeps the caller's geometry.
+  data::Volume standardized = volume;
+  data::standardize_per_channel(standardized);
+
+  NDArray input(Shape{1, volume.channels(), volume.depth(), volume.height(),
+                      volume.width()},
+                standardized.tensor().span());
+  const NDArray probs = nn::infer_padded(model_, input);
+
+  SegmentationResult result;
+  result.probabilities =
+      data::Volume(1, volume.depth(), volume.height(), volume.width(),
+                   volume.spacing());
+  result.mask = data::Volume(1, volume.depth(), volume.height(),
+                             volume.width(), volume.spacing());
+  for (int64_t i = 0; i < probs.numel(); ++i) {
+    result.probabilities.tensor()[i] = probs[i];
+    const bool tumor = probs[i] >= threshold;
+    result.mask.tensor()[i] = tumor ? 1.0F : 0.0F;
+    result.tumor_voxels += tumor;
+  }
+  result.tumor_fraction = static_cast<double>(result.tumor_voxels) /
+                          static_cast<double>(probs.numel());
+  return result;
+}
+
+}  // namespace dmis::core

@@ -1,0 +1,41 @@
+// Segmentation serving: the deployment path a downstream user runs
+// after training — load a checkpoint once, then segment raw multi-modal
+// volumes end to end (preprocess, padded full-volume inference,
+// threshold, report).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/volume.hpp"
+#include "nn/unet3d.hpp"
+
+namespace dmis::core {
+
+struct SegmentationResult {
+  data::Volume mask;           ///< (1, D, H, W) binary mask, input geometry.
+  data::Volume probabilities;  ///< (1, D, H, W) raw probabilities.
+  double tumor_fraction = 0.0; ///< Fraction of voxels above threshold.
+  int64_t tumor_voxels = 0;
+};
+
+class SegmentationService {
+ public:
+  /// Builds the model from `options` and, if `checkpoint_path` is
+  /// non-empty, restores weights and batch-norm state from it.
+  SegmentationService(const nn::UNet3dOptions& options,
+                      const std::string& checkpoint_path);
+
+  /// Segments one raw multi-modal volume. The input is standardized
+  /// per channel (as the training pipeline does) and padded to the
+  /// model's divisor; the outputs match the INPUT geometry exactly.
+  SegmentationResult segment(const data::Volume& volume,
+                             float threshold = 0.5F);
+
+  nn::UNet3d& model() { return model_; }
+
+ private:
+  nn::UNet3d model_;
+};
+
+}  // namespace dmis::core

@@ -1,0 +1,71 @@
+#include "data/augment.hpp"
+
+#include "common/check.hpp"
+#include "tensor/rng.hpp"
+
+namespace dmis::data {
+
+void flip_tensor(NDArray& tensor, bool flip_d, bool flip_h, bool flip_w) {
+  if (!flip_d && !flip_h && !flip_w) return;
+  const Shape& s = tensor.shape();
+  DMIS_CHECK(s.rank() == 4, "flip expects (C,D,H,W), got " << s.str());
+  const int64_t c = s.dim(0), d = s.dim(1), h = s.dim(2), w = s.dim(3);
+  NDArray out(s);
+  for (int64_t ci = 0; ci < c; ++ci) {
+    for (int64_t z = 0; z < d; ++z) {
+      const int64_t sz = flip_d ? d - 1 - z : z;
+      for (int64_t y = 0; y < h; ++y) {
+        const int64_t sy = flip_h ? h - 1 - y : y;
+        for (int64_t x = 0; x < w; ++x) {
+          const int64_t sx = flip_w ? w - 1 - x : x;
+          out[((ci * d + z) * h + y) * w + x] =
+              tensor[((ci * d + sz) * h + sy) * w + sx];
+        }
+      }
+    }
+  }
+  tensor = std::move(out);
+}
+
+Example augment(Example example, const AugmentOptions& options,
+                uint64_t seed) {
+  DMIS_CHECK(options.flip_w_prob >= 0.0 && options.flip_w_prob <= 1.0 &&
+                 options.flip_h_prob >= 0.0 && options.flip_h_prob <= 1.0 &&
+                 options.flip_d_prob >= 0.0 && options.flip_d_prob <= 1.0,
+             "flip probabilities must be in [0,1]");
+  DMIS_CHECK(options.intensity_shift >= 0.0 &&
+                 options.intensity_scale >= 0.0 &&
+                 options.noise_sigma >= 0.0,
+             "intensity magnitudes must be non-negative");
+
+  Rng rng(seed ^ (static_cast<uint64_t>(example.id) * 0x9E3779B97F4A7C15ULL));
+
+  // Geometric: identical transform on image and mask.
+  const bool fd = rng.uniform() < options.flip_d_prob;
+  const bool fh = rng.uniform() < options.flip_h_prob;
+  const bool fw = rng.uniform() < options.flip_w_prob;
+  flip_tensor(example.image, fd, fh, fw);
+  flip_tensor(example.label, fd, fh, fw);
+
+  // Intensity: image only, per channel.
+  const Shape& s = example.image.shape();
+  const int64_t c = s.dim(0);
+  const int64_t per = example.image.numel() / c;
+  for (int64_t ci = 0; ci < c; ++ci) {
+    const float shift = static_cast<float>(
+        rng.uniform(-options.intensity_shift, options.intensity_shift));
+    const float scale = static_cast<float>(rng.uniform(
+        1.0 - options.intensity_scale, 1.0 + options.intensity_scale));
+    float* ch = example.image.data() + ci * per;
+    for (int64_t i = 0; i < per; ++i) ch[i] = ch[i] * scale + shift;
+  }
+  if (options.noise_sigma > 0.0) {
+    for (int64_t i = 0; i < example.image.numel(); ++i) {
+      example.image[i] +=
+          static_cast<float>(rng.normal(0.0, options.noise_sigma));
+    }
+  }
+  return example;
+}
+
+}  // namespace dmis::data

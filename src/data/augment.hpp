@@ -1,0 +1,33 @@
+// Training-time augmentation for volumetric examples.
+//
+// Deterministic per-(seed, example-id): the same example augments the
+// same way within an epoch regardless of pipeline parallelism, and
+// differently across epochs when the caller folds the epoch into the
+// seed. Geometric transforms apply identically to image and mask;
+// intensity transforms apply to the image only.
+#pragma once
+
+#include <cstdint>
+
+#include "data/transforms.hpp"
+
+namespace dmis::data {
+
+struct AugmentOptions {
+  double flip_w_prob = 0.5;        ///< Mirror along the width axis.
+  double flip_h_prob = 0.5;        ///< Mirror along the height axis.
+  double flip_d_prob = 0.0;        ///< Mirror along depth (off: MRI axial).
+  double intensity_shift = 0.1;    ///< Additive shift ~ U(-s, s) per channel.
+  double intensity_scale = 0.1;    ///< Multiplicative ~ U(1-s, 1+s) per channel.
+  double noise_sigma = 0.0;        ///< Additive Gaussian voxel noise.
+};
+
+/// Applies the configured augmentations to one example. `seed` is the
+/// stream seed; the example id is folded in internally.
+Example augment(Example example, const AugmentOptions& options,
+                uint64_t seed);
+
+/// Mirrors a (C, D, H, W) tensor along the chosen spatial axes.
+void flip_tensor(NDArray& tensor, bool flip_d, bool flip_h, bool flip_w);
+
+}  // namespace dmis::data

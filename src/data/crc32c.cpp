@@ -1,0 +1,76 @@
+#include "data/crc32c.hpp"
+
+#include <array>
+
+namespace dmis::data {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78U;  // reflected Castagnoli polynomial
+constexpr uint32_t kMaskDelta = 0xA282EAD8U;
+
+// Slicing-by-8: eight lookup tables let the hot loop consume 8 bytes
+// per iteration instead of 1 (Kounavis & Berry). Table 0 is the classic
+// byte-at-a-time table used for the unaligned head/tail.
+struct Tables {
+  uint32_t t[8][256];
+};
+
+Tables make_tables() {
+  Tables tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc & 1U) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables.t[0][i];
+    for (int k = 1; k < 8; ++k) {
+      crc = (crc >> 8) ^ tables.t[0][crc & 0xFFU];
+      tables.t[k][i] = crc;
+    }
+  }
+  return tables;
+}
+
+const Tables& tables() {
+  static const Tables t = make_tables();
+  return t;
+}
+
+}  // namespace
+
+uint32_t crc32c(const void* data, size_t len) {
+  const Tables& tb = tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFU;
+
+  // 8-byte main loop (little-endian load via memcpy for strict aliasing).
+  while (len >= 8) {
+    uint64_t word = 0;
+    __builtin_memcpy(&word, p, 8);
+    word ^= crc;
+    crc = tb.t[7][word & 0xFFU] ^ tb.t[6][(word >> 8) & 0xFFU] ^
+          tb.t[5][(word >> 16) & 0xFFU] ^ tb.t[4][(word >> 24) & 0xFFU] ^
+          tb.t[3][(word >> 32) & 0xFFU] ^ tb.t[2][(word >> 40) & 0xFFU] ^
+          tb.t[1][(word >> 48) & 0xFFU] ^ tb.t[0][(word >> 56) & 0xFFU];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFFU];
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+uint32_t mask_crc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+uint32_t unmask_crc(uint32_t masked) {
+  const uint32_t rot = masked - kMaskDelta;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace dmis::data

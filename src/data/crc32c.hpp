@@ -1,0 +1,20 @@
+// CRC32C (Castagnoli) — the checksum TFRecord uses for its framing.
+// Software table implementation, plus TFRecord's "masked" form that
+// protects stored CRCs from accidentally checksumming themselves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dmis::data {
+
+/// CRC32C of `len` bytes at `data`.
+uint32_t crc32c(const void* data, size_t len);
+
+/// TFRecord CRC masking: rotate right 15 and add a constant.
+uint32_t mask_crc(uint32_t crc);
+
+/// Inverse of mask_crc.
+uint32_t unmask_crc(uint32_t masked);
+
+}  // namespace dmis::data

@@ -1,0 +1,424 @@
+#include "data/dataset.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+#include "data/record.hpp"
+#include "tensor/rng.hpp"
+
+namespace dmis::data {
+namespace {
+
+class VectorStream final : public ExampleStream {
+ public:
+  explicit VectorStream(std::vector<Example> examples)
+      : examples_(std::move(examples)) {}
+
+  std::optional<Example> next() override {
+    if (pos_ >= examples_.size()) return std::nullopt;
+    return examples_[pos_++];
+  }
+
+  void reset() override { pos_ = 0; }
+  int64_t size_hint() const override {
+    return static_cast<int64_t>(examples_.size());
+  }
+
+ private:
+  std::vector<Example> examples_;
+  size_t pos_ = 0;
+};
+
+class RecordFileStream final : public ExampleStream {
+ public:
+  explicit RecordFileStream(std::vector<std::string> paths)
+      : paths_(std::move(paths)) {}
+
+  std::optional<Example> next() override {
+    for (;;) {
+      if (reader_ == nullptr) {
+        if (file_idx_ >= paths_.size()) return std::nullopt;
+        reader_ = std::make_unique<RecordReader>(paths_[file_idx_]);
+      }
+      Record r;
+      if (reader_->read(r)) return r.to_example();
+      reader_.reset();
+      ++file_idx_;
+    }
+  }
+
+  void reset() override {
+    reader_.reset();
+    file_idx_ = 0;
+  }
+
+ private:
+  std::vector<std::string> paths_;
+  size_t file_idx_ = 0;
+  std::unique_ptr<RecordReader> reader_;
+};
+
+class InterleaveStream final : public ExampleStream {
+ public:
+  InterleaveStream(std::vector<std::string> paths, int cycle_length)
+      : paths_(std::move(paths)),
+        cycle_(static_cast<size_t>(cycle_length)) {
+    DMIS_CHECK(cycle_length >= 1, "cycle_length must be >= 1");
+  }
+
+  std::optional<Example> next() override {
+    for (;;) {
+      // Keep the cycle topped up with open readers.
+      while (readers_.size() < cycle_ && next_file_ < paths_.size()) {
+        readers_.push_back(
+            std::make_unique<RecordReader>(paths_[next_file_++]));
+      }
+      if (readers_.empty()) return std::nullopt;
+      if (turn_ >= readers_.size()) turn_ = 0;
+      Record r;
+      if (readers_[turn_]->read(r)) {
+        turn_ = (turn_ + 1) % std::max<size_t>(readers_.size(), 1);
+        return r.to_example();
+      }
+      // This file is drained: drop it and retry without advancing turn_,
+      // so the next reader in the cycle takes its slot.
+      readers_.erase(readers_.begin() + static_cast<std::ptrdiff_t>(turn_));
+    }
+  }
+
+  void reset() override {
+    readers_.clear();
+    next_file_ = 0;
+    turn_ = 0;
+  }
+
+ private:
+  std::vector<std::string> paths_;
+  size_t cycle_;
+  std::vector<std::unique_ptr<RecordReader>> readers_;
+  size_t next_file_ = 0;
+  size_t turn_ = 0;
+};
+
+class MapStream final : public ExampleStream {
+ public:
+  MapStream(StreamPtr input, std::function<Example(Example)> fn, int workers)
+      : input_(std::move(input)), fn_(std::move(fn)), workers_(workers) {
+    DMIS_CHECK(workers >= 1, "map workers must be >= 1");
+  }
+
+  std::optional<Example> next() override {
+    if (buffer_pos_ >= buffer_.size()) refill();
+    if (buffer_.empty()) return std::nullopt;
+    return std::move(buffer_[buffer_pos_++]);
+  }
+
+  void reset() override {
+    input_->reset();
+    buffer_.clear();
+    buffer_pos_ = 0;
+  }
+
+  int64_t size_hint() const override { return input_->size_hint(); }
+
+ private:
+  void refill() {
+    buffer_.clear();
+    buffer_pos_ = 0;
+    const int chunk = workers_ == 1 ? 1 : workers_ * 2;
+    std::vector<Example> raw;
+    raw.reserve(static_cast<size_t>(chunk));
+    for (int i = 0; i < chunk; ++i) {
+      auto e = input_->next();
+      if (!e) break;
+      raw.push_back(std::move(*e));
+    }
+    if (raw.empty()) return;
+    buffer_.resize(raw.size());
+    if (workers_ == 1) {
+      for (size_t i = 0; i < raw.size(); ++i) {
+        buffer_[i] = fn_(std::move(raw[i]));
+      }
+    } else {
+      parallel_for(0, static_cast<int64_t>(raw.size()),
+                   [&](int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) {
+                       buffer_[static_cast<size_t>(i)] =
+                           fn_(std::move(raw[static_cast<size_t>(i)]));
+                     }
+                   });
+    }
+  }
+
+  StreamPtr input_;
+  std::function<Example(Example)> fn_;
+  int workers_;
+  std::vector<Example> buffer_;
+  size_t buffer_pos_ = 0;
+};
+
+class ShuffleStream final : public ExampleStream {
+ public:
+  ShuffleStream(StreamPtr input, int64_t buffer_size, uint64_t seed)
+      : input_(std::move(input)),
+        buffer_size_(buffer_size),
+        seed_(seed),
+        rng_(seed) {
+    DMIS_CHECK(buffer_size >= 1, "shuffle buffer must be >= 1");
+  }
+
+  std::optional<Example> next() override {
+    if (!primed_) {
+      while (static_cast<int64_t>(buffer_.size()) < buffer_size_) {
+        auto e = input_->next();
+        if (!e) break;
+        buffer_.push_back(std::move(*e));
+      }
+      primed_ = true;
+    }
+    if (buffer_.empty()) return std::nullopt;
+    const auto idx = static_cast<size_t>(
+        rng_.uniform_int(0, static_cast<int64_t>(buffer_.size()) - 1));
+    Example out = std::move(buffer_[idx]);
+    if (auto refill = input_->next()) {
+      buffer_[idx] = std::move(*refill);
+    } else {
+      buffer_[idx] = std::move(buffer_.back());
+      buffer_.pop_back();
+    }
+    return out;
+  }
+
+  void reset() override {
+    input_->reset();
+    buffer_.clear();
+    primed_ = false;
+    rng_ = Rng(seed_ + ++epoch_);  // fresh order every epoch
+  }
+
+  int64_t size_hint() const override { return input_->size_hint(); }
+
+ private:
+  StreamPtr input_;
+  int64_t buffer_size_;
+  uint64_t seed_;
+  uint64_t epoch_ = 0;
+  Rng rng_;
+  std::vector<Example> buffer_;
+  bool primed_ = false;
+};
+
+class PrefetchStream final : public ExampleStream {
+ public:
+  PrefetchStream(StreamPtr input, int64_t buffer_size)
+      : input_(std::move(input)), buffer_size_(buffer_size) {
+    DMIS_CHECK(buffer_size >= 1, "prefetch buffer must be >= 1");
+    start();
+  }
+
+  ~PrefetchStream() override { stop(); }
+
+  std::optional<Example> next() override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_consumer_.wait(lock, [this] {
+      return !queue_.empty() || done_ || error_ != nullptr;
+    });
+    if (!queue_.empty()) {
+      Example e = std::move(queue_.front());
+      queue_.pop_front();
+      cv_producer_.notify_one();
+      return e;
+    }
+    if (error_ != nullptr) {
+      auto err = error_;
+      error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+    return std::nullopt;
+  }
+
+  void reset() override {
+    stop();
+    input_->reset();
+    start();
+  }
+
+  int64_t size_hint() const override { return input_->size_hint(); }
+
+ private:
+  void start() {
+    done_ = false;
+    stop_requested_ = false;
+    error_ = nullptr;
+    queue_.clear();
+    worker_ = std::thread([this] { produce(); });
+  }
+
+  void stop() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_requested_ = true;
+    }
+    cv_producer_.notify_all();
+    if (worker_.joinable()) worker_.join();
+  }
+
+  void produce() {
+    try {
+      for (;;) {
+        auto e = input_->next();
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!e) {
+          done_ = true;
+          cv_consumer_.notify_all();
+          return;
+        }
+        cv_producer_.wait(lock, [this] {
+          return static_cast<int64_t>(queue_.size()) < buffer_size_ ||
+                 stop_requested_;
+        });
+        if (stop_requested_) return;
+        queue_.push_back(std::move(*e));
+        cv_consumer_.notify_one();
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      error_ = std::current_exception();
+      done_ = true;
+      cv_consumer_.notify_all();
+    }
+  }
+
+  StreamPtr input_;
+  int64_t buffer_size_;
+  std::thread worker_;
+  std::mutex mutex_;
+  std::condition_variable cv_consumer_;
+  std::condition_variable cv_producer_;
+  std::deque<Example> queue_;
+  bool done_ = false;
+  bool stop_requested_ = false;
+  std::exception_ptr error_;
+};
+
+class TakeStream final : public ExampleStream {
+ public:
+  TakeStream(StreamPtr input, int64_t n) : input_(std::move(input)), n_(n) {
+    DMIS_CHECK(n >= 0, "take count must be >= 0");
+  }
+
+  std::optional<Example> next() override {
+    if (emitted_ >= n_) return std::nullopt;
+    auto e = input_->next();
+    if (e) ++emitted_;
+    return e;
+  }
+
+  void reset() override {
+    input_->reset();
+    emitted_ = 0;
+  }
+
+  int64_t size_hint() const override {
+    const int64_t inner = input_->size_hint();
+    return inner < 0 ? n_ : std::min(inner, n_);
+  }
+
+ private:
+  StreamPtr input_;
+  int64_t n_;
+  int64_t emitted_ = 0;
+};
+
+}  // namespace
+
+StreamPtr from_examples(std::vector<Example> examples) {
+  return std::make_unique<VectorStream>(std::move(examples));
+}
+
+StreamPtr from_record_files(std::vector<std::string> paths) {
+  return std::make_unique<RecordFileStream>(std::move(paths));
+}
+
+StreamPtr interleave_record_files(std::vector<std::string> paths,
+                                  int cycle_length) {
+  return std::make_unique<InterleaveStream>(std::move(paths), cycle_length);
+}
+
+StreamPtr map(StreamPtr input, std::function<Example(Example)> fn,
+              int workers) {
+  return std::make_unique<MapStream>(std::move(input), std::move(fn),
+                                     workers);
+}
+
+StreamPtr shuffle(StreamPtr input, int64_t buffer_size, uint64_t seed) {
+  return std::make_unique<ShuffleStream>(std::move(input), buffer_size, seed);
+}
+
+StreamPtr prefetch(StreamPtr input, int64_t buffer_size) {
+  return std::make_unique<PrefetchStream>(std::move(input), buffer_size);
+}
+
+StreamPtr take(StreamPtr input, int64_t n) {
+  return std::make_unique<TakeStream>(std::move(input), n);
+}
+
+BatchStream::BatchStream(StreamPtr input, int64_t batch_size,
+                         bool drop_remainder)
+    : input_(std::move(input)),
+      batch_size_(batch_size),
+      drop_remainder_(drop_remainder) {
+  DMIS_CHECK(batch_size >= 1, "batch size must be >= 1, got " << batch_size);
+}
+
+std::optional<Batch> BatchStream::next() {
+  std::vector<Example> items;
+  items.reserve(static_cast<size_t>(batch_size_));
+  while (static_cast<int64_t>(items.size()) < batch_size_) {
+    auto e = input_->next();
+    if (!e) break;
+    items.push_back(std::move(*e));
+  }
+  if (items.empty()) return std::nullopt;
+  if (drop_remainder_ &&
+      static_cast<int64_t>(items.size()) < batch_size_) {
+    return std::nullopt;
+  }
+
+  const Shape& img_shape = items.front().image.shape();
+  const Shape& lbl_shape = items.front().label.shape();
+  const int64_t n = static_cast<int64_t>(items.size());
+  Shape batched_img = Shape{n};
+  for (int i = 0; i < img_shape.rank(); ++i) {
+    batched_img = batched_img.appended(img_shape.dim(i));
+  }
+  Shape batched_lbl = Shape{n};
+  for (int i = 0; i < lbl_shape.rank(); ++i) {
+    batched_lbl = batched_lbl.appended(lbl_shape.dim(i));
+  }
+
+  Batch batch;
+  batch.images = NDArray(batched_img);
+  batch.labels = NDArray(batched_lbl);
+  const int64_t img_per = img_shape.numel();
+  const int64_t lbl_per = lbl_shape.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    const Example& ex = items[static_cast<size_t>(i)];
+    DMIS_CHECK(ex.image.shape() == img_shape && ex.label.shape() == lbl_shape,
+               "batch: inconsistent example shapes");
+    std::copy(ex.image.data(), ex.image.data() + img_per,
+              batch.images.data() + i * img_per);
+    std::copy(ex.label.data(), ex.label.data() + lbl_per,
+              batch.labels.data() + i * lbl_per);
+    batch.ids.push_back(ex.id);
+  }
+  return batch;
+}
+
+void BatchStream::reset() { input_->reset(); }
+
+}  // namespace dmis::data

@@ -1,0 +1,100 @@
+// Composable input pipeline — the tf.data stand-in (paper section II-B3).
+//
+// The paper builds its input pipeline from tf.data stages: interleaved
+// parallel file reads, mapped transforms, shuffling, batching and
+// prefetching. The same stages exist here as pull-based ExampleStream
+// decorators:
+//
+//   auto s = prefetch(
+//       shuffle(
+//           map(interleave_record_files(paths, 4), standardize, 4),
+//           buffer, seed),
+//       2);
+//   BatchStream batches(std::move(s), batch_size);
+//
+// Streams are single-consumer. reset() rewinds a stream for the next
+// epoch (re-shuffling with a fresh epoch-derived seed, as tf.data does).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/transforms.hpp"
+#include "tensor/thread_pool.hpp"
+
+namespace dmis::data {
+
+class ExampleStream {
+ public:
+  virtual ~ExampleStream() = default;
+
+  /// Next element, or nullopt at end of epoch.
+  virtual std::optional<Example> next() = 0;
+
+  /// Rewinds for another epoch.
+  virtual void reset() = 0;
+
+  /// Number of elements per epoch if known, -1 otherwise.
+  virtual int64_t size_hint() const { return -1; }
+};
+
+using StreamPtr = std::unique_ptr<ExampleStream>;
+
+/// In-memory source (keeps a copy of the examples).
+StreamPtr from_examples(std::vector<Example> examples);
+
+/// Reads record files sequentially, one after another.
+StreamPtr from_record_files(std::vector<std::string> paths);
+
+/// tf.data-style interleave: keeps `cycle_length` files open and emits
+/// round-robin across them, overlapping consumption across files.
+StreamPtr interleave_record_files(std::vector<std::string> paths,
+                                  int cycle_length);
+
+/// Applies `fn` to every element; `workers > 1` maps chunks in parallel
+/// on the global thread pool while preserving element order.
+StreamPtr map(StreamPtr input, std::function<Example(Example)> fn,
+              int workers = 1);
+
+/// Buffered shuffle (tf.data semantics): a reservoir of `buffer_size`
+/// elements, emitting a uniformly chosen one and refilling from upstream.
+/// Each epoch reshuffles with a seed derived from (seed, epoch).
+StreamPtr shuffle(StreamPtr input, int64_t buffer_size, uint64_t seed);
+
+/// Decouples producer and consumer with a background thread and a
+/// bounded queue of `buffer_size` elements.
+StreamPtr prefetch(StreamPtr input, int64_t buffer_size);
+
+/// Truncates the stream to the first `n` elements per epoch.
+StreamPtr take(StreamPtr input, int64_t n);
+
+/// A stacked mini-batch.
+struct Batch {
+  NDArray images;             ///< (N, C, D, H, W)
+  NDArray labels;             ///< (N, 1, D, H, W)
+  std::vector<int64_t> ids;   ///< subject ids, size N
+  int64_t size() const { return static_cast<int64_t>(ids.size()); }
+};
+
+/// Groups consecutive examples into batches. The final ragged batch is
+/// emitted unless `drop_remainder` — the paper's steps-per-epoch
+/// ceil(N / batch) behaviour comes from keeping it.
+class BatchStream {
+ public:
+  BatchStream(StreamPtr input, int64_t batch_size,
+              bool drop_remainder = false);
+
+  std::optional<Batch> next();
+  void reset();
+  int64_t batch_size() const { return batch_size_; }
+
+ private:
+  StreamPtr input_;
+  int64_t batch_size_;
+  bool drop_remainder_;
+};
+
+}  // namespace dmis::data

@@ -1,0 +1,185 @@
+#include "data/patches.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.hpp"
+
+namespace dmis::data {
+namespace {
+
+void check_options(const Example& ex, const PatchOptions& o) {
+  const Shape& s = ex.image.shape();
+  DMIS_CHECK(s.rank() == 4, "expects (C,D,H,W) examples, got " << s.str());
+  DMIS_CHECK(o.size_d >= 1 && o.size_h >= 1 && o.size_w >= 1,
+             "patch extents must be positive");
+  DMIS_CHECK(o.size_d <= s.dim(1) && o.size_h <= s.dim(2) &&
+                 o.size_w <= s.dim(3),
+             "patch " << o.size_d << "x" << o.size_h << "x" << o.size_w
+                      << " exceeds volume " << s.str());
+  DMIS_CHECK(o.foreground_bias >= 0.0 && o.foreground_bias <= 1.0,
+             "foreground_bias must be in [0,1]");
+}
+
+NDArray crop4(const NDArray& t, int64_t z0, int64_t y0, int64_t x0,
+              int64_t dz, int64_t dy, int64_t dx) {
+  const Shape& s = t.shape();
+  const int64_t c = s.dim(0), d = s.dim(1), h = s.dim(2), w = s.dim(3);
+  NDArray out(Shape{c, dz, dy, dx});
+  for (int64_t ci = 0; ci < c; ++ci) {
+    for (int64_t z = 0; z < dz; ++z) {
+      for (int64_t y = 0; y < dy; ++y) {
+        const float* src =
+            t.data() + ((ci * d + z0 + z) * h + y0 + y) * w + x0;
+        float* dst = out.data() + ((ci * dz + z) * dy + y) * dx;
+        std::copy(src, src + dx, dst);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Example> sample_patches(const Example& example,
+                                    const PatchOptions& options,
+                                    uint64_t seed) {
+  check_options(example, options);
+  DMIS_CHECK(options.patches_per_subject >= 1, "need >= 1 patch");
+  const Shape& s = example.image.shape();
+  const int64_t D = s.dim(1), H = s.dim(2), W = s.dim(3);
+
+  Rng rng(seed ^ (static_cast<uint64_t>(example.id) * 0x9E3779B97F4A7C15ULL +
+                  0x1234));
+
+  // Precompute foreground voxel coordinates once (the standard patch
+  // pipeline keeps this index): biased draws center a patch on a
+  // uniformly chosen tumor voxel, so they always succeed when a tumor
+  // exists at all.
+  std::vector<std::array<int64_t, 3>> foreground;
+  for (int64_t z = 0; z < D; ++z) {
+    for (int64_t y = 0; y < H; ++y) {
+      const float* row = example.label.data() + (z * H + y) * W;
+      for (int64_t x = 0; x < W; ++x) {
+        if (row[x] > 0.5F) foreground.push_back({z, y, x});
+      }
+    }
+  }
+
+  std::vector<Example> out;
+  out.reserve(static_cast<size_t>(options.patches_per_subject));
+  for (int p = 0; p < options.patches_per_subject; ++p) {
+    const bool want_fg =
+        !foreground.empty() && rng.uniform() < options.foreground_bias;
+    int64_t z0, y0, x0;
+    if (want_fg) {
+      const auto& v = foreground[static_cast<size_t>(rng.uniform_int(
+          0, static_cast<int64_t>(foreground.size()) - 1))];
+      const auto clamp_origin = [&](int64_t center, int64_t size,
+                                    int64_t extent) {
+        return std::clamp<int64_t>(center - size / 2, 0, extent - size);
+      };
+      z0 = clamp_origin(v[0], options.size_d, D);
+      y0 = clamp_origin(v[1], options.size_h, H);
+      x0 = clamp_origin(v[2], options.size_w, W);
+    } else {
+      z0 = rng.uniform_int(0, D - options.size_d);
+      y0 = rng.uniform_int(0, H - options.size_h);
+      x0 = rng.uniform_int(0, W - options.size_w);
+    }
+    Example patch;
+    patch.id = example.id * 1000 + p;
+    patch.image = crop4(example.image, z0, y0, x0, options.size_d,
+                        options.size_h, options.size_w);
+    patch.label = crop4(example.label, z0, y0, x0, options.size_d,
+                        options.size_h, options.size_w);
+    out.push_back(std::move(patch));
+  }
+  return out;
+}
+
+std::vector<TiledPatch> tile_example(const Example& example,
+                                     const PatchOptions& options,
+                                     int64_t overlap) {
+  check_options(example, options);
+  DMIS_CHECK(overlap >= 0 && overlap < options.size_d &&
+                 overlap < options.size_h && overlap < options.size_w,
+             "overlap must be smaller than the patch");
+  const Shape& s = example.image.shape();
+  const int64_t D = s.dim(1), H = s.dim(2), W = s.dim(3);
+
+  const auto positions = [&](int64_t extent, int64_t size) {
+    std::vector<int64_t> pos;
+    const int64_t stride = size - overlap;
+    for (int64_t p = 0;; p += stride) {
+      if (p + size >= extent) {
+        pos.push_back(extent - size);  // clamp final tile to the border
+        break;
+      }
+      pos.push_back(p);
+    }
+    return pos;
+  };
+
+  std::vector<TiledPatch> tiles;
+  for (int64_t z0 : positions(D, options.size_d)) {
+    for (int64_t y0 : positions(H, options.size_h)) {
+      for (int64_t x0 : positions(W, options.size_w)) {
+        TiledPatch tile;
+        tile.z0 = z0;
+        tile.y0 = y0;
+        tile.x0 = x0;
+        tile.patch.id = example.id;
+        tile.patch.image = crop4(example.image, z0, y0, x0, options.size_d,
+                                 options.size_h, options.size_w);
+        tile.patch.label = crop4(example.label, z0, y0, x0, options.size_d,
+                                 options.size_h, options.size_w);
+        tiles.push_back(std::move(tile));
+      }
+    }
+  }
+  return tiles;
+}
+
+NDArray stitch_patches(const std::vector<TiledPatch>& tiles,
+                       const std::vector<NDArray>& predictions,
+                       const Shape& shape) {
+  DMIS_CHECK(tiles.size() == predictions.size(),
+             "tiles/predictions count mismatch");
+  DMIS_CHECK(shape.rank() == 4 && shape.dim(0) == 1,
+             "expects (1,D,H,W) target, got " << shape.str());
+  const int64_t D = shape.dim(1), H = shape.dim(2), W = shape.dim(3);
+  NDArray sum(shape);
+  NDArray count(shape);
+
+  for (size_t t = 0; t < tiles.size(); ++t) {
+    const TiledPatch& tile = tiles[t];
+    const NDArray& pred = predictions[t];
+    const Shape& ps = pred.shape();
+    DMIS_CHECK(ps.rank() == 4 && ps.dim(0) == 1,
+               "prediction must be (1,d,h,w), got " << ps.str());
+    const int64_t dz = ps.dim(1), dy = ps.dim(2), dx = ps.dim(3);
+    DMIS_CHECK(tile.z0 + dz <= D && tile.y0 + dy <= H && tile.x0 + dx <= W,
+               "tile exceeds target volume");
+    for (int64_t z = 0; z < dz; ++z) {
+      for (int64_t y = 0; y < dy; ++y) {
+        const float* src = pred.data() + (z * dy + y) * dx;
+        float* dsum =
+            sum.data() + ((tile.z0 + z) * H + tile.y0 + y) * W + tile.x0;
+        float* dcnt =
+            count.data() + ((tile.z0 + z) * H + tile.y0 + y) * W + tile.x0;
+        for (int64_t x = 0; x < dx; ++x) {
+          dsum[x] += src[x];
+          dcnt[x] += 1.0F;
+        }
+      }
+    }
+  }
+  for (int64_t i = 0; i < sum.numel(); ++i) {
+    DMIS_CHECK(count[i] > 0.0F, "stitching left uncovered voxels");
+    sum[i] /= count[i];
+  }
+  return sum;
+}
+
+}  // namespace dmis::data

@@ -1,0 +1,56 @@
+// Sub-patch extraction and stitching — the baseline the paper argues
+// against.
+//
+// Patch-based 3D segmentation (e.g. the BraTS'17 pipelines the paper
+// cites) trains on sampled sub-volumes to fit GPU memory, losing global
+// spatial context; at inference the volume is tiled and predictions are
+// stitched (averaging overlaps). The paper's position is that
+// full-volume input "leads to good qualitative results but also better
+// convergence time"; this module implements the baseline so the claim
+// can be measured (bench_fullvolume_vs_patch).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/transforms.hpp"
+#include "tensor/rng.hpp"
+
+namespace dmis::data {
+
+struct PatchOptions {
+  int64_t size_d = 8;
+  int64_t size_h = 8;
+  int64_t size_w = 8;
+  /// Random patches sampled per subject (training).
+  int patches_per_subject = 4;
+  /// Fraction of training patches forced to contain tumor voxels —
+  /// the foreground-biased sampling patch pipelines rely on.
+  double foreground_bias = 0.5;
+};
+
+/// Randomly samples training patches from one example, deterministic in
+/// (seed, example id). Patch ids encode the parent id.
+std::vector<Example> sample_patches(const Example& example,
+                                    const PatchOptions& options,
+                                    uint64_t seed);
+
+/// Regular tiling of an example for inference: patches whose union
+/// covers the volume, with positions returned for stitching.
+struct TiledPatch {
+  Example patch;
+  int64_t z0 = 0;
+  int64_t y0 = 0;
+  int64_t x0 = 0;
+};
+std::vector<TiledPatch> tile_example(const Example& example,
+                                     const PatchOptions& options,
+                                     int64_t overlap = 0);
+
+/// Stitches per-patch probability maps back into a full-volume map,
+/// averaging where tiles overlap. `shape` is the (1, D, H, W) target.
+NDArray stitch_patches(const std::vector<TiledPatch>& tiles,
+                       const std::vector<NDArray>& predictions,
+                       const Shape& shape);
+
+}  // namespace dmis::data

@@ -1,0 +1,155 @@
+#include "data/phantom.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/rng.hpp"
+
+namespace dmis::data {
+namespace {
+
+/// Axis-aligned ellipsoid membership test in normalized coordinates.
+struct Ellipsoid {
+  double cz, cy, cx;  // center (voxel units)
+  double rz, ry, rx;  // radii (voxel units)
+
+  bool contains(int64_t z, int64_t y, int64_t x) const {
+    const double dz = (static_cast<double>(z) - cz) / rz;
+    const double dy = (static_cast<double>(y) - cy) / ry;
+    const double dx = (static_cast<double>(x) - cx) / rx;
+    return dz * dz + dy * dy + dx * dx <= 1.0;
+  }
+
+  Ellipsoid scaled(double f) const {
+    return {cz, cy, cx, rz * f, ry * f, rx * f};
+  }
+};
+
+// Mean intensity of each tissue class per modality, loosely following MRI
+// contrast behaviour: index [modality][tissue].
+// Tissues: background, brain, edema, non-enhancing, enhancing.
+constexpr double kContrast[4][5] = {
+    // FLAIR: CSF dark, edema very bright.
+    {0.02, 0.45, 0.95, 0.70, 0.60},
+    // T1w: tumor hypo-intense.
+    {0.02, 0.70, 0.40, 0.35, 0.30},
+    // T1gd: like T1w but the enhancing core lights up.
+    {0.02, 0.70, 0.40, 0.35, 0.95},
+    // T2w: fluid bright.
+    {0.02, 0.50, 0.85, 0.75, 0.65},
+};
+
+}  // namespace
+
+PhantomOptions PhantomOptions::paper_scale() {
+  PhantomOptions o;
+  o.depth = 155;
+  o.height = 240;
+  o.width = 240;
+  return o;
+}
+
+PhantomGenerator::PhantomGenerator(const PhantomOptions& opts) : opts_(opts) {
+  DMIS_CHECK(opts.depth > 4 && opts.height > 4 && opts.width > 4,
+             "phantom geometry too small");
+  DMIS_CHECK(opts.max_tumors >= 1, "need at least one tumor");
+  DMIS_CHECK(opts.noise_sigma >= 0.0F, "negative noise sigma");
+}
+
+PhantomSubject PhantomGenerator::generate(int64_t id) const {
+  DMIS_CHECK(id >= 0, "subject id must be non-negative, got " << id);
+  // Subject stream: independent of other subjects, stable across calls.
+  Rng rng(opts_.seed * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(id) + 1);
+
+  const int64_t D = opts_.depth, H = opts_.height, W = opts_.width;
+  PhantomSubject subject;
+  subject.id = id;
+  subject.image = Volume(4, D, H, W);
+  subject.labels = Volume(1, D, H, W);
+
+  // Brain: centered ellipsoid with shape jitter.
+  const Ellipsoid brain{
+      D / 2.0 + rng.uniform(-1.0, 1.0),
+      H / 2.0 + rng.uniform(-1.0, 1.0),
+      W / 2.0 + rng.uniform(-1.0, 1.0),
+      D * rng.uniform(0.33, 0.42),
+      H * rng.uniform(0.35, 0.45),
+      W * rng.uniform(0.35, 0.45),
+  };
+
+  // Tumors: nested ellipsoids placed inside the brain. In the
+  // lateralized variant, tumor 0 sits in the left half of the width
+  // axis (labeled) and tumor 1 mirrors it on the right (rendered in the
+  // image but NOT labeled) — distinguishable only by global position.
+  const int num_tumors =
+      opts_.lateralized_task
+          ? 2
+          : static_cast<int>(rng.uniform_int(1, opts_.max_tumors));
+  std::vector<Ellipsoid> edema, nonenh, enhancing;
+  size_t labeled_tumors = enhancing.size();  // set below
+  for (int t = 0; t < num_tumors; ++t) {
+    Ellipsoid core;
+    if (opts_.lateralized_task) {
+      const double rz = std::max(1.2, D * rng.uniform(0.07, 0.12));
+      const double ry = std::max(1.2, H * rng.uniform(0.07, 0.12));
+      const double rx = std::max(1.2, W * rng.uniform(0.07, 0.12));
+      const double cz = brain.cz + rng.uniform(-0.3, 0.3) * brain.rz;
+      const double cy = brain.cy + rng.uniform(-0.3, 0.3) * brain.ry;
+      const double side = t == 0 ? -1.0 : 1.0;  // left then right
+      const double cx = brain.cx + side * rng.uniform(0.35, 0.6) * brain.rx;
+      core = Ellipsoid{cz, cy, cx, rz, ry, rx};
+    } else {
+      const double theta = rng.uniform(0.0, 2.0 * 3.14159265358979);
+      const double rad = rng.uniform(0.0, 0.45);
+      core = Ellipsoid{
+          brain.cz + std::sin(theta) * rad * brain.rz,
+          brain.cy + std::cos(theta) * rad * brain.ry,
+          brain.cx + rng.uniform(-0.4, 0.4) * brain.rx,
+          std::max(1.2, D * rng.uniform(0.05, 0.12)),
+          std::max(1.2, H * rng.uniform(0.05, 0.12)),
+          std::max(1.2, W * rng.uniform(0.05, 0.12)),
+      };
+    }
+    enhancing.push_back(core);
+    nonenh.push_back(core.scaled(1.6));
+    edema.push_back(core.scaled(2.4));
+  }
+  labeled_tumors = opts_.lateralized_task ? 1 : enhancing.size();
+
+  // Rasterize tissue maps, then render the four modalities. The image
+  // renders EVERY tumor; the label covers only the first
+  // `labeled_tumors` (all of them except in the lateralized variant).
+  const auto tissue_at = [&](int64_t z, int64_t y, int64_t x,
+                             size_t tumor_count) {
+    if (!brain.contains(z, y, x)) return 0;
+    for (size_t t = 0; t < tumor_count; ++t) {
+      if (enhancing[t].contains(z, y, x)) return 4;
+      if (nonenh[t].contains(z, y, x)) return 3;
+      if (edema[t].contains(z, y, x)) return 2;
+    }
+    return 1;  // healthy brain
+  };
+
+  for (int64_t z = 0; z < D; ++z) {
+    for (int64_t y = 0; y < H; ++y) {
+      for (int64_t x = 0; x < W; ++x) {
+        const int render = tissue_at(z, y, x, enhancing.size());
+        const int labeled = tissue_at(z, y, x, labeled_tumors);
+        // Label volume uses MSD semantics (0..3); healthy brain is
+        // background there.
+        subject.labels.at(0, z, y, x) =
+            labeled >= 2 ? static_cast<float>(labeled - 1) : 0.0F;
+        for (int64_t m = 0; m < 4; ++m) {
+          const double base = kContrast[m][render];
+          subject.image.at(m, z, y, x) = static_cast<float>(
+              base + rng.normal(0.0, opts_.noise_sigma));
+        }
+      }
+    }
+  }
+  return subject;
+}
+
+}  // namespace dmis::data

@@ -1,0 +1,79 @@
+// Synthetic MSD-Task-1-like subjects ("phantoms").
+//
+// The paper benchmarks on the MSD Brain-Tumor dataset: 484 multi-modal
+// multi-site MRI subjects with 4-class ground truth (background, edema,
+// non-enhancing tumor, enhancing tumor). That data is gated, so this
+// generator produces structurally analogous subjects that exercise the
+// identical pipeline code paths (see DESIGN.md section 3):
+//
+//  * a brain ellipsoid with per-subject shape jitter,
+//  * 1..3 tumors, each a nested set of ellipsoids: enhancing core (3)
+//    inside non-enhancing tumor (2) inside an edema halo (1),
+//  * four modality channels rendering the same tissue map with
+//    modality-specific contrasts plus Gaussian noise (T1w, T2w, T1gd —
+//    which brightens the enhancing core, as gadolinium does — and FLAIR,
+//    which brightens edema),
+//  * an uncropped depth (default 155 ~ scaled) so the pipeline's crop
+//    stage has real work, matching the paper's 155 -> 152 crop.
+//
+// Everything is deterministic in (seed, subject_id).
+#pragma once
+
+#include <cstdint>
+
+#include "data/volume.hpp"
+
+namespace dmis::data {
+
+/// Tissue classes in the label volume (MSD Task-1 semantics).
+enum class Tissue : int {
+  kBackground = 0,
+  kEdema = 1,
+  kNonEnhancing = 2,
+  kEnhancing = 3,
+};
+
+struct PhantomOptions {
+  // Raw (pre-crop) geometry. The paper's subjects are 240x240x155; the
+  // defaults are a scaled-down analog whose depth is likewise 3 voxels
+  // beyond a multiple of 8 so the crop stage is exercised.
+  int64_t depth = 19;     ///< Becomes 16 after the crop stage.
+  int64_t height = 24;
+  int64_t width = 24;
+  uint64_t seed = 2022;   ///< Dataset-level seed.
+  float noise_sigma = 0.08F;
+  int max_tumors = 3;
+
+  /// Context-dependent variant: every subject gets exactly two tumors
+  /// with identical local appearance — one in the left hemisphere
+  /// (labeled) and a distractor in the right (unlabeled). Local patches
+  /// cannot tell them apart; full-volume input can. Used to measure the
+  /// paper's "subpatching loses spatial information" claim.
+  bool lateralized_task = false;
+
+  /// Geometry matching the paper exactly (240x240x155). Heavy; used by
+  /// the cost model and for documentation, not for CPU training.
+  static PhantomOptions paper_scale();
+};
+
+/// One generated subject: 4-channel image + 1-channel class labels.
+struct PhantomSubject {
+  int64_t id = 0;
+  Volume image;   ///< (4, D, H, W), raw intensities (pre-standardization).
+  Volume labels;  ///< (1, D, H, W), values in {0, 1, 2, 3}.
+};
+
+class PhantomGenerator {
+ public:
+  explicit PhantomGenerator(const PhantomOptions& opts = {});
+
+  /// Deterministically renders subject `id` (same id -> same subject).
+  PhantomSubject generate(int64_t id) const;
+
+  const PhantomOptions& options() const { return opts_; }
+
+ private:
+  PhantomOptions opts_;
+};
+
+}  // namespace dmis::data

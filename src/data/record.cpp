@@ -1,0 +1,176 @@
+#include "data/record.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "data/crc32c.hpp"
+
+namespace dmis::data {
+namespace {
+
+void append_pod(std::vector<char>& buf, const void* p, size_t n) {
+  const auto* c = static_cast<const char*>(p);
+  buf.insert(buf.end(), c, c + n);
+}
+
+template <class T>
+void append(std::vector<char>& buf, const T& v) {
+  append_pod(buf, &v, sizeof(T));
+}
+
+template <class T>
+T read_at(const std::vector<char>& buf, size_t& off) {
+  DMIS_CHECK_IO(off + sizeof(T) <= buf.size(), "record payload truncated");
+  T v{};
+  std::memcpy(&v, buf.data() + off, sizeof(T));
+  off += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+Record Record::from_example(const Example& ex) {
+  Record r;
+  r.id = ex.id;
+  r.features.emplace("image", ex.image);
+  r.features.emplace("label", ex.label);
+  return r;
+}
+
+Example Record::to_example() const {
+  const auto img = features.find("image");
+  const auto lbl = features.find("label");
+  DMIS_CHECK_IO(img != features.end() && lbl != features.end(),
+                "record missing image/label features");
+  Example ex;
+  ex.id = id;
+  ex.image = img->second;
+  ex.label = lbl->second;
+  return ex;
+}
+
+std::vector<char> serialize_record(const Record& record) {
+  std::vector<char> buf;
+  append(buf, static_cast<int64_t>(record.id));
+  append(buf, static_cast<uint32_t>(record.features.size()));
+  for (const auto& [name, tensor] : record.features) {
+    append(buf, static_cast<uint32_t>(name.size()));
+    append_pod(buf, name.data(), name.size());
+    const Shape& s = tensor.shape();
+    append(buf, static_cast<uint32_t>(s.rank()));
+    for (int i = 0; i < s.rank(); ++i) append(buf, s.dim(i));
+    append_pod(buf, tensor.data(),
+               static_cast<size_t>(tensor.numel()) * sizeof(float));
+  }
+  return buf;
+}
+
+Record parse_record(const std::vector<char>& payload) {
+  size_t off = 0;
+  Record r;
+  r.id = read_at<int64_t>(payload, off);
+  const auto count = read_at<uint32_t>(payload, off);
+  for (uint32_t f = 0; f < count; ++f) {
+    const auto name_len = read_at<uint32_t>(payload, off);
+    DMIS_CHECK_IO(off + name_len <= payload.size(), "record name truncated");
+    std::string name(payload.data() + off, name_len);
+    off += name_len;
+    const auto rank = read_at<uint32_t>(payload, off);
+    DMIS_CHECK_IO(rank <= static_cast<uint32_t>(Shape::kMaxRank),
+                  "corrupt record: rank " << rank);
+    Shape shape;
+    for (uint32_t d = 0; d < rank; ++d) {
+      shape = shape.appended(read_at<int64_t>(payload, off));
+    }
+    NDArray tensor(shape);
+    const size_t bytes = static_cast<size_t>(tensor.numel()) * sizeof(float);
+    DMIS_CHECK_IO(off + bytes <= payload.size(), "record data truncated");
+    std::memcpy(tensor.data(), payload.data() + off, bytes);
+    off += bytes;
+    r.features.emplace(std::move(name), std::move(tensor));
+  }
+  return r;
+}
+
+// --- Writer ---
+
+struct RecordWriter::Impl {
+  std::ofstream os;
+  std::string path;
+};
+
+RecordWriter::RecordWriter(const std::string& path)
+    : impl_(std::make_unique<Impl>(Impl{
+          std::ofstream(path, std::ios::binary | std::ios::trunc), path})) {
+  DMIS_CHECK_IO(impl_->os.good(), "cannot open '" << path << "' for writing");
+}
+
+RecordWriter::~RecordWriter() = default;
+
+void RecordWriter::write(const Record& record) {
+  DMIS_CHECK_IO(impl_->os.is_open(), "write() on a closed RecordWriter");
+  const std::vector<char> payload = serialize_record(record);
+  const uint64_t len = payload.size();
+  const uint32_t len_crc = mask_crc(crc32c(&len, sizeof(len)));
+  const uint32_t data_crc = mask_crc(crc32c(payload.data(), payload.size()));
+  auto& os = impl_->os;
+  os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  os.write(reinterpret_cast<const char*>(&len_crc), sizeof(len_crc));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  os.write(reinterpret_cast<const char*>(&data_crc), sizeof(data_crc));
+  DMIS_CHECK_IO(os.good(), "write failed for '" << impl_->path << "'");
+  ++count_;
+}
+
+void RecordWriter::close() {
+  if (impl_->os.is_open()) impl_->os.close();
+}
+
+// --- Reader ---
+
+struct RecordReader::Impl {
+  std::ifstream is;
+  std::string path;
+};
+
+RecordReader::RecordReader(const std::string& path)
+    : impl_(std::make_unique<Impl>(
+          Impl{std::ifstream(path, std::ios::binary), path})) {
+  DMIS_CHECK_IO(impl_->is.good(), "cannot open '" << path << "' for reading");
+}
+
+RecordReader::~RecordReader() = default;
+
+bool RecordReader::read(Record& out) {
+  auto& is = impl_->is;
+  uint64_t len = 0;
+  is.read(reinterpret_cast<char*>(&len), sizeof(len));
+  if (is.eof() && is.gcount() == 0) return false;  // clean end of file
+  DMIS_CHECK_IO(is.gcount() == sizeof(len),
+                "truncated frame header in '" << impl_->path << "'");
+  uint32_t len_crc = 0;
+  is.read(reinterpret_cast<char*>(&len_crc), sizeof(len_crc));
+  DMIS_CHECK_IO(is.good(), "truncated frame header in '" << impl_->path << "'");
+  DMIS_CHECK_IO(unmask_crc(len_crc) == crc32c(&len, sizeof(len)),
+                "length CRC mismatch in '" << impl_->path << "'");
+  std::vector<char> payload(len);
+  is.read(payload.data(), static_cast<std::streamsize>(len));
+  uint32_t data_crc = 0;
+  is.read(reinterpret_cast<char*>(&data_crc), sizeof(data_crc));
+  DMIS_CHECK_IO(is.good(), "truncated record in '" << impl_->path << "'");
+  DMIS_CHECK_IO(unmask_crc(data_crc) == crc32c(payload.data(), payload.size()),
+                "payload CRC mismatch in '" << impl_->path << "'");
+  out = parse_record(payload);
+  return true;
+}
+
+std::vector<Record> read_all_records(const std::string& path) {
+  RecordReader reader(path);
+  std::vector<Record> out;
+  Record r;
+  while (reader.read(r)) out.push_back(std::move(r));
+  return out;
+}
+
+}  // namespace dmis::data

@@ -1,0 +1,79 @@
+// Framed binary records — the TFRecord stand-in (paper section III-B1).
+//
+// The paper's key pipeline optimization is binarizing subjects into
+// records *offline*, once, instead of re-preprocessing every epoch. A
+// record file holds a sequence of frames, each TFRecord-style:
+//   u64 payload_len | u32 masked_crc32c(payload_len) |
+//   payload bytes   | u32 masked_crc32c(payload)
+// The payload is a feature map: named float tensors (e.g. "image",
+// "label") plus an i64 subject id.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/transforms.hpp"
+#include "tensor/ndarray.hpp"
+
+namespace dmis::data {
+
+/// Named-tensor payload of one record.
+struct Record {
+  int64_t id = 0;
+  std::map<std::string, NDArray> features;
+
+  /// Converts a preprocessed example to a record ("image" + "label").
+  static Record from_example(const Example& ex);
+
+  /// Inverse of from_example; throws if features are missing.
+  Example to_example() const;
+};
+
+/// Serializes a record payload (without framing).
+std::vector<char> serialize_record(const Record& record);
+
+/// Parses a payload produced by serialize_record.
+Record parse_record(const std::vector<char>& payload);
+
+/// Appends framed records to a file.
+class RecordWriter {
+ public:
+  explicit RecordWriter(const std::string& path);
+  ~RecordWriter();
+  RecordWriter(const RecordWriter&) = delete;
+  RecordWriter& operator=(const RecordWriter&) = delete;
+
+  void write(const Record& record);
+  int64_t records_written() const { return count_; }
+  void close();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  int64_t count_ = 0;
+};
+
+/// Sequentially reads framed records from a file, verifying both CRCs.
+class RecordReader {
+ public:
+  explicit RecordReader(const std::string& path);
+  ~RecordReader();
+  RecordReader(const RecordReader&) = delete;
+  RecordReader& operator=(const RecordReader&) = delete;
+
+  /// Reads the next record; returns false cleanly at end of file.
+  /// Throws IoError on CRC mismatch or truncation.
+  bool read(Record& out);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Reads every record in a file.
+std::vector<Record> read_all_records(const std::string& path);
+
+}  // namespace dmis::data

@@ -1,0 +1,34 @@
+#include "data/split.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+#include "tensor/rng.hpp"
+
+namespace dmis::data {
+
+DatasetSplit split_dataset(int64_t n, double train_frac, double val_frac,
+                           uint64_t seed) {
+  DMIS_CHECK(n > 0, "need at least one subject, got " << n);
+  DMIS_CHECK(train_frac > 0.0 && val_frac >= 0.0 &&
+                 train_frac + val_frac <= 1.0,
+             "bad fractions: train=" << train_frac << " val=" << val_frac);
+  std::vector<int64_t> ids(static_cast<size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  Rng rng(seed);
+  shuffle(ids.begin(), ids.end(), rng);
+
+  const auto n_train = static_cast<int64_t>(
+      static_cast<double>(n) * train_frac);
+  const auto n_val =
+      static_cast<int64_t>(static_cast<double>(n) * val_frac);
+  DMIS_CHECK(n_train >= 1, "train split is empty");
+
+  DatasetSplit split;
+  split.train.assign(ids.begin(), ids.begin() + n_train);
+  split.val.assign(ids.begin() + n_train, ids.begin() + n_train + n_val);
+  split.test.assign(ids.begin() + n_train + n_val, ids.end());
+  return split;
+}
+
+}  // namespace dmis::data

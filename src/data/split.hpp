@@ -1,0 +1,26 @@
+// Dataset splitting (paper section IV-A: 70% train / 15% val / 15% test).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dmis::data {
+
+struct DatasetSplit {
+  std::vector<int64_t> train;
+  std::vector<int64_t> val;
+  std::vector<int64_t> test;
+};
+
+/// Randomly partitions subject ids [0, n) into train/val/test with the
+/// given fractions (val and test get at least the floor of their share;
+/// train receives the remainder, matching the paper's 70/15/15).
+DatasetSplit split_dataset(int64_t n, double train_frac, double val_frac,
+                           uint64_t seed);
+
+/// The paper's split: 70/15/15.
+inline DatasetSplit split_dataset_paper(int64_t n, uint64_t seed) {
+  return split_dataset(n, 0.70, 0.15, seed);
+}
+
+}  // namespace dmis::data

@@ -1,0 +1,103 @@
+#include "data/transforms.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dmis::data {
+
+Volume center_crop(const Volume& v, int64_t depth, int64_t height,
+                   int64_t width) {
+  DMIS_CHECK(depth > 0 && height > 0 && width > 0,
+             "crop extents must be positive");
+  DMIS_CHECK(depth <= v.depth() && height <= v.height() && width <= v.width(),
+             "crop " << depth << "x" << height << "x" << width
+                     << " exceeds source " << v.depth() << "x" << v.height()
+                     << "x" << v.width());
+  const int64_t z0 = (v.depth() - depth) / 2;
+  const int64_t y0 = (v.height() - height) / 2;
+  const int64_t x0 = (v.width() - width) / 2;
+
+  Volume out(v.channels(), depth, height, width, v.spacing());
+  for (int64_t c = 0; c < v.channels(); ++c) {
+    for (int64_t z = 0; z < depth; ++z) {
+      for (int64_t y = 0; y < height; ++y) {
+        for (int64_t x = 0; x < width; ++x) {
+          out.at(c, z, y, x) = v.at(c, z0 + z, y0 + y, x0 + x);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void standardize_per_channel(Volume& v) {
+  const int64_t per = v.voxels_per_channel();
+  float* data = v.tensor().data();
+  for (int64_t c = 0; c < v.channels(); ++c) {
+    float* ch = data + c * per;
+    double sum = 0.0, sq = 0.0;
+    for (int64_t i = 0; i < per; ++i) {
+      sum += ch[i];
+      sq += static_cast<double>(ch[i]) * ch[i];
+    }
+    const double mean = sum / static_cast<double>(per);
+    const double var = sq / static_cast<double>(per) - mean * mean;
+    const double std = var > 1e-12 ? std::sqrt(var) : 0.0;
+    if (std == 0.0) {
+      for (int64_t i = 0; i < per; ++i) ch[i] = 0.0F;
+    } else {
+      for (int64_t i = 0; i < per; ++i) {
+        ch[i] = static_cast<float>((ch[i] - mean) / std);
+      }
+    }
+  }
+}
+
+Volume join_labels_binary(const Volume& labels) {
+  DMIS_CHECK(labels.channels() == 1,
+             "label volume must have 1 channel, got " << labels.channels());
+  Volume out(1, labels.depth(), labels.height(), labels.width(),
+             labels.spacing());
+  const float* src = labels.tensor().data();
+  float* dst = out.tensor().data();
+  for (int64_t i = 0; i < labels.tensor().numel(); ++i) {
+    const int cls = static_cast<int>(std::lround(src[i]));
+    DMIS_CHECK(cls >= 0 && cls <= 3, "label value " << src[i]
+                                     << " outside MSD classes {0..3}");
+    dst[i] = cls > 0 ? 1.0F : 0.0F;
+  }
+  return out;
+}
+
+CropGeometry crop_to_divisible(const Volume& v, int64_t divisor) {
+  DMIS_CHECK(divisor >= 1, "divisor must be >= 1, got " << divisor);
+  const auto down = [divisor](int64_t extent) {
+    const int64_t cropped = (extent / divisor) * divisor;
+    DMIS_CHECK(cropped > 0, "extent " << extent
+                            << " too small for divisor " << divisor);
+    return cropped;
+  };
+  return {down(v.depth()), down(v.height()), down(v.width())};
+}
+
+Example preprocess_subject(const Volume& image, const Volume& labels,
+                           int64_t id, int64_t divisor) {
+  DMIS_CHECK(image.depth() == labels.depth() &&
+                 image.height() == labels.height() &&
+                 image.width() == labels.width(),
+             "image/label geometry mismatch");
+  const CropGeometry g = crop_to_divisible(image, divisor);
+  Volume img = center_crop(image, g.depth, g.height, g.width);
+  standardize_per_channel(img);
+  const Volume lbl =
+      join_labels_binary(center_crop(labels, g.depth, g.height, g.width));
+
+  Example ex;
+  ex.id = id;
+  ex.image = img.tensor();
+  ex.label = lbl.tensor();
+  return ex;
+}
+
+}  // namespace dmis::data

@@ -1,0 +1,48 @@
+// Preprocessing transforms (paper section IV-A).
+//
+// The paper's pipeline: crop [240,240,155] -> [240,240,152] so extents are
+// divisible by 2^3; transpose to channels-first; join the three tumor
+// classes into one binary "whole tumor" label; standardize voxel
+// intensities per modality. Volumes here are already channels-first, so
+// the transpose is represented by the Example layout itself.
+#pragma once
+
+#include "data/volume.hpp"
+
+namespace dmis::data {
+
+/// One training example: channels-first image and binary mask tensors.
+struct Example {
+  int64_t id = 0;
+  NDArray image;  ///< (C, D, H, W)
+  NDArray label;  ///< (1, D, H, W), values in {0, 1}
+};
+
+/// Center-crops every spatial axis to the requested extents (the paper
+/// crops depth 155 -> 152). Throws if a target exceeds the source.
+Volume center_crop(const Volume& v, int64_t depth, int64_t height,
+                   int64_t width);
+
+/// Z-score standardization per channel (in place): x <- (x - mean) / std.
+/// Channels with zero variance become all-zero.
+void standardize_per_channel(Volume& v);
+
+/// Joins MSD classes {1, 2, 3} into binary "whole tumor" (the paper's
+/// 4-class -> binary reduction). Input values outside {0..3} throw.
+Volume join_labels_binary(const Volume& labels);
+
+/// Largest multiples of `divisor` not exceeding each spatial extent —
+/// the generic form of the paper's 155 -> 152 rule.
+struct CropGeometry {
+  int64_t depth;
+  int64_t height;
+  int64_t width;
+};
+CropGeometry crop_to_divisible(const Volume& v, int64_t divisor);
+
+/// Full preprocessing: crop to divisibility, standardize, binarize labels,
+/// and package image + mask tensors as an Example.
+Example preprocess_subject(const Volume& image, const Volume& labels,
+                           int64_t id, int64_t divisor = 8);
+
+}  // namespace dmis::data

@@ -1,0 +1,189 @@
+#include "data/volume.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dmis::data {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'V', 'O', 'L'};
+constexpr uint32_t kVersion = 1;
+
+template <class T>
+void write_pod(std::ofstream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::ifstream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+const char* modality_name(Modality m) {
+  switch (m) {
+    case Modality::kFlair: return "FLAIR";
+    case Modality::kT1w: return "T1w";
+    case Modality::kT1gd: return "T1gd";
+    case Modality::kT2w: return "T2w";
+  }
+  return "?";
+}
+
+Volume::Volume(int64_t channels, int64_t depth, int64_t height, int64_t width,
+               std::array<float, 3> spacing_mm)
+    : channels_(channels),
+      depth_(depth),
+      height_(height),
+      width_(width),
+      spacing_(spacing_mm),
+      data_(Shape{channels, depth, height, width}) {
+  DMIS_CHECK(channels > 0 && depth > 0 && height > 0 && width > 0,
+             "volume dims must be positive");
+}
+
+float& Volume::at(int64_t c, int64_t d, int64_t h, int64_t w) {
+  return data_[((c * depth_ + d) * height_ + h) * width_ + w];
+}
+
+float Volume::at(int64_t c, int64_t d, int64_t h, int64_t w) const {
+  return data_[((c * depth_ + d) * height_ + h) * width_ + w];
+}
+
+void Volume::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  DMIS_CHECK_IO(os.good(), "cannot open '" << path << "' for writing");
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<uint32_t>(channels_));
+  write_pod(os, static_cast<uint32_t>(depth_));
+  write_pod(os, static_cast<uint32_t>(height_));
+  write_pod(os, static_cast<uint32_t>(width_));
+  for (float s : spacing_) write_pod(os, s);
+  os.write(reinterpret_cast<const char*>(data_.data()),
+           static_cast<std::streamsize>(data_.numel() * sizeof(float)));
+  DMIS_CHECK_IO(os.good(), "write failed for '" << path << "'");
+}
+
+Volume Volume::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DMIS_CHECK_IO(is.good(), "cannot open '" << path << "' for reading");
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  DMIS_CHECK_IO(is.good() && std::equal(magic, magic + 4, kMagic),
+                "'" << path << "' is not a DVOL volume");
+  const auto version = read_pod<uint32_t>(is);
+  DMIS_CHECK_IO(version == kVersion, "unsupported DVOL version " << version);
+  const auto c = read_pod<uint32_t>(is);
+  const auto d = read_pod<uint32_t>(is);
+  const auto h = read_pod<uint32_t>(is);
+  const auto w = read_pod<uint32_t>(is);
+  DMIS_CHECK_IO(c > 0 && d > 0 && h > 0 && w > 0, "corrupt DVOL header");
+  std::array<float, 3> spacing{};
+  for (float& s : spacing) s = read_pod<float>(is);
+  Volume vol(c, d, h, w, spacing);
+  is.read(reinterpret_cast<char*>(vol.data_.data()),
+          static_cast<std::streamsize>(vol.data_.numel() * sizeof(float)));
+  DMIS_CHECK_IO(is.good(), "truncated DVOL '" << path << "'");
+  return vol;
+}
+
+namespace {
+constexpr char kRawMagic[4] = {'D', 'V', 'O', 'I'};
+}
+
+void Volume::save_raw_i16(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  DMIS_CHECK_IO(os.good(), "cannot open '" << path << "' for writing");
+  os.write(kRawMagic, sizeof(kRawMagic));
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<uint32_t>(channels_));
+  write_pod(os, static_cast<uint32_t>(depth_));
+  write_pod(os, static_cast<uint32_t>(height_));
+  write_pod(os, static_cast<uint32_t>(width_));
+  for (float s : spacing_) write_pod(os, s);
+
+  // Quantization scale: max |v| maps to 32767 (NIfTI scl_slope).
+  float max_abs = 0.0F;
+  for (int64_t i = 0; i < data_.numel(); ++i) {
+    max_abs = std::max(max_abs, std::abs(data_[i]));
+  }
+  const float scale = max_abs > 0.0F ? max_abs / 32767.0F : 1.0F;
+  write_pod(os, scale);
+  for (int64_t i = 0; i < data_.numel(); ++i) {
+    const auto q = static_cast<int16_t>(
+        std::clamp(data_[i] / scale, -32767.0F, 32767.0F));
+    write_pod(os, q);
+  }
+  DMIS_CHECK_IO(os.good(), "write failed for '" << path << "'");
+}
+
+Volume Volume::load_raw_i16(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DMIS_CHECK_IO(is.good(), "cannot open '" << path << "' for reading");
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  DMIS_CHECK_IO(is.good() && std::equal(magic, magic + 4, kRawMagic),
+                "'" << path << "' is not a DVOI raw volume");
+  const auto version = read_pod<uint32_t>(is);
+  DMIS_CHECK_IO(version == kVersion, "unsupported DVOI version " << version);
+  const auto c = read_pod<uint32_t>(is);
+  const auto d = read_pod<uint32_t>(is);
+  const auto h = read_pod<uint32_t>(is);
+  const auto w = read_pod<uint32_t>(is);
+  DMIS_CHECK_IO(c > 0 && d > 0 && h > 0 && w > 0, "corrupt DVOI header");
+  std::array<float, 3> spacing{};
+  for (float& s : spacing) s = read_pod<float>(is);
+  const float scale = read_pod<float>(is);
+
+  Volume vol(c, d, h, w, spacing);
+  std::vector<int16_t> quantized(static_cast<size_t>(vol.data_.numel()));
+  is.read(reinterpret_cast<char*>(quantized.data()),
+          static_cast<std::streamsize>(quantized.size() * sizeof(int16_t)));
+  DMIS_CHECK_IO(is.good(), "truncated DVOI '" << path << "'");
+  for (int64_t i = 0; i < vol.data_.numel(); ++i) {
+    vol.data_[i] = static_cast<float>(quantized[static_cast<size_t>(i)]) *
+                   scale;
+  }
+  return vol;
+}
+
+void Volume::write_pgm_slice(const std::string& path, int64_t channel,
+                             int64_t depth_index) const {
+  DMIS_CHECK(channel >= 0 && channel < channels_,
+             "channel " << channel << " out of range");
+  DMIS_CHECK(depth_index >= 0 && depth_index < depth_,
+             "slice " << depth_index << " out of range");
+  float lo = at(channel, depth_index, 0, 0);
+  float hi = lo;
+  for (int64_t h = 0; h < height_; ++h) {
+    for (int64_t w = 0; w < width_; ++w) {
+      const float v = at(channel, depth_index, h, w);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const float range = hi > lo ? hi - lo : 1.0F;
+
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  DMIS_CHECK_IO(os.good(), "cannot open '" << path << "' for writing");
+  os << "P5\n" << width_ << " " << height_ << "\n255\n";
+  for (int64_t h = 0; h < height_; ++h) {
+    for (int64_t w = 0; w < width_; ++w) {
+      const float v = (at(channel, depth_index, h, w) - lo) / range;
+      const auto byte = static_cast<unsigned char>(
+          std::clamp(v * 255.0F, 0.0F, 255.0F));
+      os.put(static_cast<char>(byte));
+    }
+  }
+  DMIS_CHECK_IO(os.good(), "write failed for '" << path << "'");
+}
+
+}  // namespace dmis::data

@@ -1,0 +1,77 @@
+// Volume: the NIfTI-stand-in container for multi-modal medical images.
+//
+// The MSD Task-1 subjects are 4-modality MRI volumes (FLAIR, T1w, T1gd,
+// T2w) of 240x240x155 voxels at 1mm^3 spacing, plus a 4-class label
+// volume. A Volume here is channels-first (C, D, H, W) float data with
+// per-axis spacing, serialized to a simple binary `.dvol` format:
+//   magic "DVOL" | u32 version | u32 channels | u32 d,h,w |
+//   f32 spacing[3] | f32 data[C*D*H*W]
+// The label volume stores class ids {0,1,2,3} as floats in one channel.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/ndarray.hpp"
+
+namespace dmis::data {
+
+/// MSD Task-1 modality order used throughout this library.
+enum class Modality : int { kFlair = 0, kT1w = 1, kT1gd = 2, kT2w = 3 };
+
+/// Human-readable modality name ("FLAIR", "T1w", ...).
+const char* modality_name(Modality m);
+
+class Volume {
+ public:
+  Volume() = default;
+
+  /// Zero-filled volume of the given geometry.
+  Volume(int64_t channels, int64_t depth, int64_t height, int64_t width,
+         std::array<float, 3> spacing_mm = {1.0F, 1.0F, 1.0F});
+
+  int64_t channels() const { return channels_; }
+  int64_t depth() const { return depth_; }
+  int64_t height() const { return height_; }
+  int64_t width() const { return width_; }
+  std::array<float, 3> spacing() const { return spacing_; }
+  int64_t voxels_per_channel() const { return depth_ * height_ * width_; }
+
+  /// Underlying (C, D, H, W) tensor.
+  NDArray& tensor() { return data_; }
+  const NDArray& tensor() const { return data_; }
+
+  float& at(int64_t c, int64_t d, int64_t h, int64_t w);
+  float at(int64_t c, int64_t d, int64_t h, int64_t w) const;
+
+  /// Writes the `.dvol` binary form; throws IoError on failure.
+  void save(const std::string& path) const;
+
+  /// Reads a `.dvol` file.
+  static Volume load(const std::string& path);
+
+  /// Writes the raw-acquisition form: int16 voxels plus a float scale,
+  /// the way NIfTI stores MRI. Halves the bytes but every load pays a
+  /// decode pass — the cost the paper's offline binarization removes.
+  void save_raw_i16(const std::string& path) const;
+
+  /// Reads and decodes a raw int16 volume back to float.
+  static Volume load_raw_i16(const std::string& path);
+
+  /// Exports one axial slice of one channel as an 8-bit PGM image
+  /// (min-max normalized) — the Fig 3 inspection path.
+  void write_pgm_slice(const std::string& path, int64_t channel,
+                       int64_t depth_index) const;
+
+ private:
+  int64_t channels_ = 0;
+  int64_t depth_ = 0;
+  int64_t height_ = 0;
+  int64_t width_ = 0;
+  std::array<float, 3> spacing_{1.0F, 1.0F, 1.0F};
+  NDArray data_;
+};
+
+}  // namespace dmis::data

@@ -1,0 +1,100 @@
+#include "nn/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace dmis::nn {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'M', 'C', 'K'};
+constexpr uint32_t kVersion = 1;
+
+template <class T>
+void write_pod(std::ofstream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::ifstream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path,
+                     const std::vector<Param>& params) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  DMIS_CHECK_IO(os.good(), "cannot open '" << path << "' for writing");
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<uint64_t>(params.size()));
+  for (const Param& p : params) {
+    write_pod(os, static_cast<uint32_t>(p.name.size()));
+    os.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    const Shape& s = p.value->shape();
+    write_pod(os, static_cast<uint32_t>(s.rank()));
+    for (int i = 0; i < s.rank(); ++i) write_pod(os, s.dim(i));
+    os.write(reinterpret_cast<const char*>(p.value->data()),
+             static_cast<std::streamsize>(p.value->numel() * sizeof(float)));
+  }
+  DMIS_CHECK_IO(os.good(), "write failed for '" << path << "'");
+}
+
+void load_checkpoint(const std::string& path, std::vector<Param>& params) {
+  std::ifstream is(path, std::ios::binary);
+  DMIS_CHECK_IO(is.good(), "cannot open '" << path << "' for reading");
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  DMIS_CHECK_IO(is.good() && std::equal(magic, magic + 4, kMagic),
+                "'" << path << "' is not a DMCK checkpoint");
+  const auto version = read_pod<uint32_t>(is);
+  DMIS_CHECK_IO(version == kVersion,
+                "unsupported checkpoint version " << version);
+  const auto count = read_pod<uint64_t>(is);
+
+  struct Entry {
+    Shape shape;
+    std::vector<float> data;
+  };
+  std::map<std::string, Entry> entries;
+  for (uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    const auto rank = read_pod<uint32_t>(is);
+    DMIS_CHECK_IO(rank <= static_cast<uint32_t>(Shape::kMaxRank),
+                  "corrupt checkpoint: rank " << rank);
+    Shape shape;
+    for (uint32_t d = 0; d < rank; ++d) {
+      shape = shape.appended(read_pod<int64_t>(is));
+    }
+    Entry e;
+    e.shape = shape;
+    e.data.resize(static_cast<size_t>(shape.numel()));
+    is.read(reinterpret_cast<char*>(e.data.data()),
+            static_cast<std::streamsize>(e.data.size() * sizeof(float)));
+    DMIS_CHECK_IO(is.good(), "truncated checkpoint '" << path << "'");
+    entries.emplace(std::move(name), std::move(e));
+  }
+
+  for (Param& p : params) {
+    const auto it = entries.find(p.name);
+    DMIS_CHECK_IO(it != entries.end(),
+                  "checkpoint '" << path << "' missing param '" << p.name
+                                 << "'");
+    DMIS_CHECK_IO(it->second.shape == p.value->shape(),
+                  "checkpoint shape " << it->second.shape.str()
+                                      << " != param shape "
+                                      << p.value->shape().str() << " for '"
+                                      << p.name << "'");
+    std::copy(it->second.data.begin(), it->second.data.end(),
+              p.value->data());
+  }
+}
+
+}  // namespace dmis::nn

@@ -1,0 +1,27 @@
+// Binary checkpointing of named parameters.
+//
+// Format (little-endian):
+//   magic "DMCK" | u32 version | u64 param_count |
+//   per param: u32 name_len | name bytes | u32 rank | i64 dims[rank] |
+//              f32 data[numel]
+// Load matches by name and verifies shapes, so checkpoints survive graph
+// reconstruction as long as node names are stable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace dmis::nn {
+
+/// Writes all `params` to `path`; throws IoError on failure.
+void save_checkpoint(const std::string& path,
+                     const std::vector<Param>& params);
+
+/// Loads values into `params` from `path`. Every parameter in `params`
+/// must be present in the file with a matching shape; extra file entries
+/// are ignored.
+void load_checkpoint(const std::string& path, std::vector<Param>& params);
+
+}  // namespace dmis::nn

@@ -1,0 +1,79 @@
+#include "nn/infer.hpp"
+
+#include "common/check.hpp"
+
+namespace dmis::nn {
+namespace {
+
+int64_t round_up(int64_t value, int64_t divisor) {
+  return (value + divisor - 1) / divisor * divisor;
+}
+
+}  // namespace
+
+NDArray pad_to_divisible(const NDArray& input, int64_t divisor) {
+  const Shape& s = input.shape();
+  DMIS_CHECK(s.rank() == 5, "expects (N,C,D,H,W), got " << s.str());
+  DMIS_CHECK(divisor >= 1, "divisor must be >= 1, got " << divisor);
+  const int64_t N = s.n(), C = s.c(), D = s.d(), H = s.dim(3), W = s.dim(4);
+  const int64_t PD = round_up(D, divisor);
+  const int64_t PH = round_up(H, divisor);
+  const int64_t PW = round_up(W, divisor);
+  if (PD == D && PH == H && PW == W) return input;
+
+  NDArray out(Shape{N, C, PD, PH, PW});
+  const int64_t z0 = (PD - D) / 2, y0 = (PH - H) / 2, x0 = (PW - W) / 2;
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t c = 0; c < C; ++c) {
+      const float* src = input.data() + (n * C + c) * D * H * W;
+      float* dst = out.data() + (n * C + c) * PD * PH * PW;
+      for (int64_t z = 0; z < D; ++z) {
+        for (int64_t y = 0; y < H; ++y) {
+          const float* srow = src + (z * H + y) * W;
+          float* drow = dst + ((z + z0) * PH + (y + y0)) * PW + x0;
+          std::copy(srow, srow + W, drow);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+NDArray crop_spatial(const NDArray& padded, int64_t depth, int64_t height,
+                     int64_t width) {
+  const Shape& s = padded.shape();
+  DMIS_CHECK(s.rank() == 5, "expects (N,C,D,H,W), got " << s.str());
+  const int64_t N = s.n(), C = s.c(), PD = s.d(), PH = s.dim(3),
+                PW = s.dim(4);
+  DMIS_CHECK(depth <= PD && height <= PH && width <= PW,
+             "crop exceeds source geometry");
+  if (PD == depth && PH == height && PW == width) return padded;
+
+  NDArray out(Shape{N, C, depth, height, width});
+  const int64_t z0 = (PD - depth) / 2, y0 = (PH - height) / 2,
+                x0 = (PW - width) / 2;
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t c = 0; c < C; ++c) {
+      const float* src = padded.data() + (n * C + c) * PD * PH * PW;
+      float* dst = out.data() + (n * C + c) * depth * height * width;
+      for (int64_t z = 0; z < depth; ++z) {
+        for (int64_t y = 0; y < height; ++y) {
+          const float* srow = src + ((z + z0) * PH + (y + y0)) * PW + x0;
+          float* drow = dst + (z * height + y) * width;
+          std::copy(srow, srow + width, drow);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+NDArray infer_padded(UNet3d& net, const NDArray& input) {
+  const Shape& s = input.shape();
+  DMIS_CHECK(s.rank() == 5, "expects (N,C,D,H,W), got " << s.str());
+  const NDArray padded = pad_to_divisible(input, net.spatial_divisor());
+  const NDArray& out = net.forward(padded, /*training=*/false);
+  return crop_spatial(out, s.d(), s.dim(3), s.dim(4));
+}
+
+}  // namespace dmis::nn

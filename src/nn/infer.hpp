@@ -1,0 +1,28 @@
+// Full-volume inference helpers.
+//
+// The paper's pipeline crops volumes so every spatial extent divides
+// 2^(depth-1); at inference time arbitrary geometry must be served, so
+// infer_padded() zero-pads the volume up to the next valid extents,
+// runs the network in eval mode, and crops the probability map back to
+// the original geometry — the standard full-volume (non-subpatching)
+// serving path the paper advocates.
+#pragma once
+
+#include "nn/unet3d.hpp"
+
+namespace dmis::nn {
+
+/// Zero-pads `input` (N, C, D, H, W) spatially so each extent is a
+/// multiple of `divisor` (padding split evenly, extra voxel at the far
+/// side).
+NDArray pad_to_divisible(const NDArray& input, int64_t divisor);
+
+/// Crops `padded` back to the target spatial extents (inverse of
+/// pad_to_divisible for matching geometry).
+NDArray crop_spatial(const NDArray& padded, int64_t depth, int64_t height,
+                     int64_t width);
+
+/// Runs `net` on a batch of volumes of arbitrary spatial geometry.
+NDArray infer_padded(UNet3d& net, const NDArray& input);
+
+}  // namespace dmis::nn

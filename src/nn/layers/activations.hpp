@@ -1,0 +1,31 @@
+// Pointwise activations: ReLU (analysis/synthesis paths) and Sigmoid
+// (the 1x1x1 head of the paper's model outputs per-voxel probabilities).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace dmis::nn {
+
+class ReLU final : public Module {
+ public:
+  std::string type() const override { return "ReLU"; }
+  NDArray forward(std::span<const NDArray* const> inputs,
+                  bool training) override;
+  std::vector<NDArray> backward(const NDArray& grad_output) override;
+
+ private:
+  NDArray mask_;  // 1 where input > 0
+};
+
+class Sigmoid final : public Module {
+ public:
+  std::string type() const override { return "Sigmoid"; }
+  NDArray forward(std::span<const NDArray* const> inputs,
+                  bool training) override;
+  std::vector<NDArray> backward(const NDArray& grad_output) override;
+
+ private:
+  NDArray output_;  // sigmoid(x), reused in the derivative
+};
+
+}  // namespace dmis::nn

@@ -1,0 +1,56 @@
+// 3-D convolution (direct algorithm, channels-first).
+//
+// The paper's U-Net uses 3x3x3 convolutions with "same" padding and 1x1x1
+// head convolutions; this layer is generic over cubic kernel size, stride
+// and padding. Weight layout is [Cout, Cin, K, K, K], matching the direct
+// loop nest. Forward parallelizes over (batch x output-channel) via
+// parallel_for; backward runs two race-free passes (input grads parallel
+// over batch, weight grads parallel over output channel).
+#pragma once
+
+#include "nn/module.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/thread_pool.hpp"
+
+namespace dmis::nn {
+
+class Conv3d final : public Module {
+ public:
+  /// Creates a conv layer; weights are truncated-normal initialized with
+  /// stddev sqrt(2 / fan_in) (He scaling, clipped at 2 sigma), bias zero.
+  Conv3d(int64_t in_channels, int64_t out_channels, int kernel, int stride,
+         int padding, Rng& rng);
+
+  std::string type() const override { return "Conv3d"; }
+  NDArray forward(std::span<const NDArray* const> inputs,
+                  bool training) override;
+  std::vector<NDArray> backward(const NDArray& grad_output) override;
+  std::vector<Param> params() override;
+
+  int64_t in_channels() const { return cin_; }
+  int64_t out_channels() const { return cout_; }
+
+  /// Output spatial extent for one dimension given this layer's geometry.
+  int64_t out_extent(int64_t in_extent) const {
+    return (in_extent + 2 * padding_ - kernel_) / stride_ + 1;
+  }
+
+  NDArray& weight() { return weight_; }
+  NDArray& bias() { return bias_; }
+
+ private:
+  int64_t cin_;
+  int64_t cout_;
+  int kernel_;
+  int stride_;
+  int padding_;
+
+  NDArray weight_;       // [Cout, Cin, K, K, K]
+  NDArray bias_;         // [Cout]
+  NDArray grad_weight_;  // same shape as weight_
+  NDArray grad_bias_;    // same shape as bias_
+
+  NDArray input_;        // retained activation for backward
+};
+
+}  // namespace dmis::nn

@@ -1,0 +1,200 @@
+#include "nn/layers/conv_transpose3d.hpp"
+
+#include "common/check.hpp"
+#include "nn/init.hpp"
+
+namespace dmis::nn {
+
+ConvTranspose3d::ConvTranspose3d(int64_t in_channels, int64_t out_channels,
+                                 int kernel, int stride, Rng& rng)
+    : cin_(in_channels),
+      cout_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      weight_(Shape{in_channels, out_channels, kernel, kernel, kernel}),
+      bias_(Shape{out_channels}),
+      grad_weight_(weight_.shape()),
+      grad_bias_(bias_.shape()) {
+  DMIS_CHECK(in_channels > 0 && out_channels > 0, "channels must be positive");
+  DMIS_CHECK(kernel >= 1 && stride >= 1,
+             "bad geometry: k=" << kernel << " s=" << stride);
+  const int64_t fan_in =
+      in_channels * static_cast<int64_t>(kernel) * kernel * kernel;
+  he_init(weight_, fan_in, rng);
+}
+
+NDArray ConvTranspose3d::forward(std::span<const NDArray* const> inputs,
+                                 bool /*training*/) {
+  DMIS_CHECK(inputs.size() == 1, "ConvTranspose3d expects 1 input");
+  const NDArray& in = *inputs[0];
+  const Shape& s = in.shape();
+  DMIS_CHECK(s.rank() == 5, "expects rank-5 input, got " << s.str());
+  DMIS_CHECK(s.c() == cin_,
+             "expects " << cin_ << " input channels, got " << s.c());
+  input_ = in;
+
+  const int64_t N = s.n(), D = s.d(), H = s.dim(3), W = s.dim(4);
+  const int64_t OD = out_extent(D), OH = out_extent(H), OW = out_extent(W);
+  NDArray out(Shape{N, cout_, OD, OH, OW});
+
+  const int64_t k = kernel_, st = stride_;
+  const float* x = in.data();
+  const float* w = weight_.data();
+  const float* b = bias_.data();
+  float* y = out.data();
+
+  const int64_t in_cs = D * H * W;
+  const int64_t in_ns = cin_ * in_cs;
+  const int64_t out_cs = OD * OH * OW;
+  const int64_t out_ns = cout_ * out_cs;
+  const int64_t w_cis = cout_ * k * k * k;  // weight Cin stride
+  const int64_t w_cos = k * k * k;          // weight Cout stride
+
+  // Parallel over (batch x output channel): each task owns a disjoint
+  // output slab, so the scatter accumulation is race-free.
+  parallel_for(0, N * cout_, [&](int64_t lo, int64_t hi) {
+    for (int64_t idx = lo; idx < hi; ++idx) {
+      const int64_t n = idx / cout_;
+      const int64_t co = idx % cout_;
+      float* yc = y + n * out_ns + co * out_cs;
+      for (int64_t i = 0; i < out_cs; ++i) yc[i] = b[co];
+      const float* xn = x + n * in_ns;
+      for (int64_t ci = 0; ci < cin_; ++ci) {
+        const float* xc = xn + ci * in_cs;
+        const float* wk = w + ci * w_cis + co * w_cos;
+        for (int64_t iz = 0; iz < D; ++iz) {
+          for (int64_t iy = 0; iy < H; ++iy) {
+            for (int64_t ix = 0; ix < W; ++ix) {
+              const float v = xc[(iz * H + iy) * W + ix];
+              if (v == 0.0F) continue;
+              const int64_t z0 = iz * st, y0 = iy * st, x0 = ix * st;
+              for (int64_t kz = 0; kz < k; ++kz) {
+                for (int64_t ky = 0; ky < k; ++ky) {
+                  float* yrow = yc + ((z0 + kz) * OH + (y0 + ky)) * OW + x0;
+                  const float* wrow = wk + (kz * k + ky) * k;
+                  for (int64_t kx = 0; kx < k; ++kx) {
+                    yrow[kx] += v * wrow[kx];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<NDArray> ConvTranspose3d::backward(const NDArray& grad_output) {
+  const Shape& is = input_.shape();
+  const int64_t N = is.n(), D = is.d(), H = is.dim(3), W = is.dim(4);
+  const int64_t OD = out_extent(D), OH = out_extent(H), OW = out_extent(W);
+  DMIS_CHECK(grad_output.shape() == Shape({N, cout_, OD, OH, OW}),
+             "ConvTranspose3d backward: grad shape "
+                 << grad_output.shape().str() << " mismatch");
+
+  const int64_t k = kernel_, st = stride_;
+  const float* x = input_.data();
+  const float* w = weight_.data();
+  const float* go = grad_output.data();
+
+  const int64_t in_cs = D * H * W;
+  const int64_t in_ns = cin_ * in_cs;
+  const int64_t out_cs = OD * OH * OW;
+  const int64_t out_ns = cout_ * out_cs;
+  const int64_t w_cis = cout_ * k * k * k;
+  const int64_t w_cos = k * k * k;
+
+  // Bias gradient: sum of grad_output per output channel.
+  float* gb = grad_bias_.data();
+  parallel_for(0, cout_, [&](int64_t lo, int64_t hi) {
+    for (int64_t co = lo; co < hi; ++co) {
+      double acc = 0.0;
+      for (int64_t n = 0; n < N; ++n) {
+        const float* goc = go + n * out_ns + co * out_cs;
+        for (int64_t i = 0; i < out_cs; ++i) acc += goc[i];
+      }
+      gb[co] += static_cast<float>(acc);
+    }
+  });
+
+  // Weight gradient: parallel over input channel (each ci owns a slab).
+  float* gw = grad_weight_.data();
+  parallel_for(0, cin_, [&](int64_t lo, int64_t hi) {
+    for (int64_t ci = lo; ci < hi; ++ci) {
+      float* gwc = gw + ci * w_cis;
+      for (int64_t n = 0; n < N; ++n) {
+        const float* xc = x + n * in_ns + ci * in_cs;
+        for (int64_t co = 0; co < cout_; ++co) {
+          const float* goc = go + n * out_ns + co * out_cs;
+          float* gwk = gwc + co * w_cos;
+          for (int64_t iz = 0; iz < D; ++iz) {
+            for (int64_t iy = 0; iy < H; ++iy) {
+              for (int64_t ix = 0; ix < W; ++ix) {
+                const float v = xc[(iz * H + iy) * W + ix];
+                if (v == 0.0F) continue;
+                const int64_t z0 = iz * st, y0 = iy * st, x0 = ix * st;
+                for (int64_t kz = 0; kz < k; ++kz) {
+                  for (int64_t ky = 0; ky < k; ++ky) {
+                    const float* gorow =
+                        goc + ((z0 + kz) * OH + (y0 + ky)) * OW + x0;
+                    float* gwrow = gwk + (kz * k + ky) * k;
+                    for (int64_t kx = 0; kx < k; ++kx) {
+                      gwrow[kx] += v * gorow[kx];
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+
+  // Input gradient: gather from the output stamp, parallel over batch.
+  NDArray grad_input(is);
+  float* gi = grad_input.data();
+  parallel_for(0, N, [&](int64_t lo, int64_t hi) {
+    for (int64_t n = lo; n < hi; ++n) {
+      for (int64_t ci = 0; ci < cin_; ++ci) {
+        float* gic = gi + n * in_ns + ci * in_cs;
+        for (int64_t co = 0; co < cout_; ++co) {
+          const float* goc = go + n * out_ns + co * out_cs;
+          const float* wk = w + ci * w_cis + co * w_cos;
+          for (int64_t iz = 0; iz < D; ++iz) {
+            for (int64_t iy = 0; iy < H; ++iy) {
+              for (int64_t ix = 0; ix < W; ++ix) {
+                const int64_t z0 = iz * st, y0 = iy * st, x0 = ix * st;
+                float acc = 0.0F;
+                for (int64_t kz = 0; kz < k; ++kz) {
+                  for (int64_t ky = 0; ky < k; ++ky) {
+                    const float* gorow =
+                        goc + ((z0 + kz) * OH + (y0 + ky)) * OW + x0;
+                    const float* wrow = wk + (kz * k + ky) * k;
+                    for (int64_t kx = 0; kx < k; ++kx) {
+                      acc += gorow[kx] * wrow[kx];
+                    }
+                  }
+                }
+                gic[(iz * H + iy) * W + ix] += acc;
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+
+  std::vector<NDArray> grads;
+  grads.push_back(std::move(grad_input));
+  return grads;
+}
+
+std::vector<Param> ConvTranspose3d::params() {
+  return {{"weight", &weight_, &grad_weight_},
+          {"bias", &bias_, &grad_bias_}};
+}
+
+}  // namespace dmis::nn

@@ -1,0 +1,43 @@
+// 3-D transposed convolution (a.k.a. up-convolution).
+//
+// The paper's synthesis path upsamples with 2x2x2 transposed convolutions
+// of stride 2: every input voxel scatters a KxKxK stamp into the output.
+// Weight layout is [Cin, Cout, K, K, K] (the adjoint of Conv3d's layout).
+// Output spatial extent is (in - 1) * stride + kernel.
+#pragma once
+
+#include "nn/module.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/thread_pool.hpp"
+
+namespace dmis::nn {
+
+class ConvTranspose3d final : public Module {
+ public:
+  ConvTranspose3d(int64_t in_channels, int64_t out_channels, int kernel,
+                  int stride, Rng& rng);
+
+  std::string type() const override { return "ConvTranspose3d"; }
+  NDArray forward(std::span<const NDArray* const> inputs,
+                  bool training) override;
+  std::vector<NDArray> backward(const NDArray& grad_output) override;
+  std::vector<Param> params() override;
+
+  int64_t out_extent(int64_t in_extent) const {
+    return (in_extent - 1) * stride_ + kernel_;
+  }
+
+ private:
+  int64_t cin_;
+  int64_t cout_;
+  int kernel_;
+  int stride_;
+
+  NDArray weight_;       // [Cin, Cout, K, K, K]
+  NDArray bias_;         // [Cout]
+  NDArray grad_weight_;
+  NDArray grad_bias_;
+  NDArray input_;
+};
+
+}  // namespace dmis::nn

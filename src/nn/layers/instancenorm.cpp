@@ -1,0 +1,135 @@
+#include "nn/layers/instancenorm.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/thread_pool.hpp"
+
+namespace dmis::nn {
+
+InstanceNorm::InstanceNorm(int64_t channels, float eps)
+    : channels_(channels),
+      eps_(eps),
+      gamma_(Shape{channels}, 1.0F),
+      beta_(Shape{channels}),
+      grad_gamma_(Shape{channels}),
+      grad_beta_(Shape{channels}) {
+  DMIS_CHECK(channels > 0, "channels must be positive, got " << channels);
+  DMIS_CHECK(eps > 0.0F, "eps must be positive, got " << eps);
+}
+
+NDArray InstanceNorm::forward(std::span<const NDArray* const> inputs,
+                              bool /*training*/) {
+  DMIS_CHECK(inputs.size() == 1, "InstanceNorm expects 1 input");
+  const NDArray& in = *inputs[0];
+  const Shape& s = in.shape();
+  DMIS_CHECK(s.rank() >= 3, "InstanceNorm expects rank>=3, got " << s.str());
+  DMIS_CHECK(s.c() == channels_, "InstanceNorm expects " << channels_
+                                 << " channels, got " << s.c());
+  input_shape_ = s;
+
+  const int64_t N = s.n(), C = channels_;
+  const int64_t spatial = s.numel() / (N * C);
+  DMIS_CHECK(spatial > 1,
+             "InstanceNorm needs > 1 spatial element per channel");
+  NDArray out(s);
+  x_hat_ = NDArray(s);
+  inv_std_.assign(static_cast<size_t>(N * C), 0.0F);
+
+  const float* x = in.data();
+  float* y = out.data();
+  float* xh = x_hat_.data();
+  const float* g = gamma_.data();
+  const float* b = beta_.data();
+
+  parallel_for(0, N * C, [&](int64_t lo, int64_t hi) {
+    for (int64_t nc = lo; nc < hi; ++nc) {
+      const int64_t c = nc % C;
+      const float* xc = x + nc * spatial;
+      double sum = 0.0, sq = 0.0;
+      for (int64_t i = 0; i < spatial; ++i) {
+        sum += xc[i];
+        sq += static_cast<double>(xc[i]) * xc[i];
+      }
+      const double mean = sum / static_cast<double>(spatial);
+      double var = sq / static_cast<double>(spatial) - mean * mean;
+      if (var < 0.0) var = 0.0;
+      const float istd = 1.0F / std::sqrt(static_cast<float>(var) + eps_);
+      inv_std_[static_cast<size_t>(nc)] = istd;
+      float* xhc = xh + nc * spatial;
+      float* yc = y + nc * spatial;
+      for (int64_t i = 0; i < spatial; ++i) {
+        const float h = (xc[i] - static_cast<float>(mean)) * istd;
+        xhc[i] = h;
+        yc[i] = g[c] * h + b[c];
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<NDArray> InstanceNorm::backward(const NDArray& grad_output) {
+  DMIS_CHECK(grad_output.shape() == input_shape_,
+             "InstanceNorm backward: grad shape mismatch");
+  const Shape& s = input_shape_;
+  const int64_t N = s.n(), C = channels_;
+  const int64_t spatial = s.numel() / (N * C);
+
+  NDArray grad_input(s);
+  const float* go = grad_output.data();
+  const float* xh = x_hat_.data();
+  const float* g = gamma_.data();
+  float* gi = grad_input.data();
+
+  // Parameter grads accumulate per channel across samples; accumulate
+  // per-channel partials serially after the parallel instance pass to
+  // stay race-free.
+  std::vector<double> gg(static_cast<size_t>(C), 0.0);
+  std::vector<double> gb(static_cast<size_t>(C), 0.0);
+  std::vector<double> sum_go(static_cast<size_t>(N * C), 0.0);
+  std::vector<double> sum_go_xh(static_cast<size_t>(N * C), 0.0);
+
+  parallel_for(0, N * C, [&](int64_t lo, int64_t hi) {
+    for (int64_t nc = lo; nc < hi; ++nc) {
+      const float* goc = go + nc * spatial;
+      const float* xhc = xh + nc * spatial;
+      double sgo = 0.0, sgoxh = 0.0;
+      for (int64_t i = 0; i < spatial; ++i) {
+        sgo += goc[i];
+        sgoxh += static_cast<double>(goc[i]) * xhc[i];
+      }
+      sum_go[static_cast<size_t>(nc)] = sgo;
+      sum_go_xh[static_cast<size_t>(nc)] = sgoxh;
+
+      const int64_t c = nc % C;
+      const float istd = inv_std_[static_cast<size_t>(nc)];
+      const float m = static_cast<float>(spatial);
+      const float mean_go = static_cast<float>(sgo) / m;
+      const float mean_go_xh = static_cast<float>(sgoxh) / m;
+      float* gic = gi + nc * spatial;
+      for (int64_t i = 0; i < spatial; ++i) {
+        gic[i] = g[c] * istd * (goc[i] - mean_go - xhc[i] * mean_go_xh);
+      }
+    }
+  });
+
+  for (int64_t nc = 0; nc < N * C; ++nc) {
+    const int64_t c = nc % C;
+    gg[static_cast<size_t>(c)] += sum_go_xh[static_cast<size_t>(nc)];
+    gb[static_cast<size_t>(c)] += sum_go[static_cast<size_t>(nc)];
+  }
+  for (int64_t c = 0; c < C; ++c) {
+    grad_gamma_[c] += static_cast<float>(gg[static_cast<size_t>(c)]);
+    grad_beta_[c] += static_cast<float>(gb[static_cast<size_t>(c)]);
+  }
+
+  std::vector<NDArray> grads;
+  grads.push_back(std::move(grad_input));
+  return grads;
+}
+
+std::vector<Param> InstanceNorm::params() {
+  return {{"gamma", &gamma_, &grad_gamma_}, {"beta", &beta_, &grad_beta_}};
+}
+
+}  // namespace dmis::nn

@@ -1,0 +1,40 @@
+// Instance normalization — the batch-independent alternative that
+// medical-imaging U-Nets (e.g. nnU-Net) prefer at batch sizes 1-2,
+// exactly the regime the paper is forced into by GPU memory.
+//
+// Statistics are computed per (sample, channel) over the spatial
+// dimensions, so train and eval behave identically and data-parallel
+// replicas need no statistic synchronization at all.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace dmis::nn {
+
+class InstanceNorm final : public Module {
+ public:
+  explicit InstanceNorm(int64_t channels, float eps = 1e-5F);
+
+  std::string type() const override { return "InstanceNorm"; }
+  NDArray forward(std::span<const NDArray* const> inputs,
+                  bool training) override;
+  std::vector<NDArray> backward(const NDArray& grad_output) override;
+  std::vector<Param> params() override;
+
+ private:
+  int64_t channels_;
+  float eps_;
+
+  NDArray gamma_;  // [C]
+  NDArray beta_;   // [C]
+  NDArray grad_gamma_;
+  NDArray grad_beta_;
+
+  NDArray x_hat_;               // saved normalized input
+  std::vector<float> inv_std_;  // per (n, c)
+  Shape input_shape_;
+};
+
+}  // namespace dmis::nn

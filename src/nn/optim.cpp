@@ -1,0 +1,94 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dmis::nn {
+
+Optimizer::Optimizer(std::vector<Param> params, double lr)
+    : params_(std::move(params)), lr_(lr) {
+  DMIS_CHECK(lr > 0.0, "learning rate must be positive, got " << lr);
+  for (const Param& p : params_) {
+    DMIS_CHECK(p.value != nullptr && p.grad != nullptr,
+               "null param '" << p.name << "'");
+    DMIS_CHECK(p.value->shape() == p.grad->shape(),
+               "param/grad shape mismatch for '" << p.name << "'");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (Param& p : params_) p.grad->zero();
+}
+
+void Optimizer::step() {
+  ++step_count_;
+  apply();
+}
+
+Sgd::Sgd(std::vector<Param> params, double lr, double momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  DMIS_CHECK(momentum >= 0.0 && momentum < 1.0,
+             "momentum must be in [0,1), got " << momentum);
+  velocity_.reserve(params_.size());
+  for (const Param& p : params_) velocity_.emplace_back(p.value->shape());
+}
+
+void Sgd::apply() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    NDArray& v = velocity_[i];
+    const NDArray& g = *params_[i].grad;
+    NDArray& w = *params_[i].value;
+    for (int64_t j = 0; j < w.numel(); ++j) {
+      v[j] = static_cast<float>(momentum_ * v[j] + g[j]);
+      w[j] -= static_cast<float>(lr_ * v[j]);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param> params, double lr, double beta1, double beta2,
+           double eps)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  DMIS_CHECK(beta1 >= 0.0 && beta1 < 1.0, "beta1 out of range: " << beta1);
+  DMIS_CHECK(beta2 >= 0.0 && beta2 < 1.0, "beta2 out of range: " << beta2);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param& p : params_) {
+    m_.emplace_back(p.value->shape());
+    v_.emplace_back(p.value->shape());
+  }
+}
+
+void Adam::apply() {
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_count_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    NDArray& m = m_[i];
+    NDArray& v = v_[i];
+    const NDArray& g = *params_[i].grad;
+    NDArray& w = *params_[i].value;
+    for (int64_t j = 0; j < w.numel(); ++j) {
+      m[j] = static_cast<float>(beta1_ * m[j] + (1.0 - beta1_) * g[j]);
+      v[j] = static_cast<float>(beta2_ * v[j] +
+                                (1.0 - beta2_) * static_cast<double>(g[j]) *
+                                    g[j]);
+      const double m_hat = m[j] / bc1;
+      const double v_hat = v[j] / bc2;
+      w[j] -= static_cast<float>(lr_ * m_hat / (std::sqrt(v_hat) + eps_));
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name,
+                                          std::vector<Param> params,
+                                          double lr) {
+  if (name == "sgd") return std::make_unique<Sgd>(std::move(params), lr, 0.9);
+  if (name == "adam") return std::make_unique<Adam>(std::move(params), lr);
+  throw InvalidArgument("unknown optimizer '" + name +
+                        "' (expected sgd|adam)");
+}
+
+}  // namespace dmis::nn

@@ -1,0 +1,74 @@
+// Optimizers.
+//
+// The paper trains with Adam at an initial learning rate of 1e-4 x #GPUs
+// (linear scaling with the data-parallel replica count); plain SGD with
+// momentum is provided as well. Optimizers hold non-owning Param
+// references — the tensors live in the layers — plus their own state
+// (momentum / moment estimates) keyed by parameter order.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace dmis::nn {
+
+class Optimizer {
+ public:
+  Optimizer(std::vector<Param> params, double lr);
+  virtual ~Optimizer() = default;
+
+  /// Clears every parameter gradient (call before accumulating a step).
+  void zero_grad();
+
+  /// Applies one update from the accumulated gradients.
+  void step();
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+  int64_t step_count() const { return step_count_; }
+  const std::vector<Param>& params() const { return params_; }
+  virtual std::string name() const = 0;
+
+ protected:
+  virtual void apply() = 0;
+
+  std::vector<Param> params_;
+  double lr_;
+  int64_t step_count_ = 0;
+};
+
+/// SGD with classical momentum (mu = 0 gives vanilla SGD).
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Param> params, double lr, double momentum = 0.0);
+  std::string name() const override { return "sgd"; }
+
+ private:
+  void apply() override;
+  double momentum_;
+  std::vector<NDArray> velocity_;
+};
+
+/// Adam (Kingma & Ba 2014) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Param> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  std::string name() const override { return "adam"; }
+
+ private:
+  void apply() override;
+  double beta1_, beta2_, eps_;
+  std::vector<NDArray> m_;
+  std::vector<NDArray> v_;
+};
+
+/// Factory by name: "sgd" or "adam".
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name,
+                                          std::vector<Param> params,
+                                          double lr);
+
+}  // namespace dmis::nn

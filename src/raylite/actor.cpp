@@ -1,0 +1,94 @@
+#include "raylite/actor.hpp"
+
+#include "common/check.hpp"
+
+namespace dmis::ray {
+
+void ActorHandle::State::loop() {
+  for (;;) {
+    std::pair<Method, std::shared_ptr<Future>> item;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [this] { return stopping || !queue.empty(); });
+      if (queue.empty()) {
+        if (stopping) return;
+        continue;
+      }
+      item = std::move(queue.front());
+      queue.pop_front();
+    }
+    std::any value;
+    std::exception_ptr error;
+    try {
+      value = item.first(object);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    ActorHandle::complete(*item.second, std::move(value), error);
+  }
+}
+
+void ActorHandle::complete(Future& future, std::any value,
+                           std::exception_ptr error) {
+  auto& fstate = *future.state_;
+  {
+    const std::lock_guard<std::mutex> lock(fstate.mutex);
+    fstate.value = std::move(value);
+    fstate.error = error;
+    fstate.done = true;
+  }
+  fstate.cv.notify_all();
+}
+
+void ActorHandle::State::stop_and_join() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (stopping && !thread.joinable()) return;
+    stopping = true;
+  }
+  cv.notify_all();
+  if (thread.joinable()) thread.join();
+  if (!released) {
+    released = true;
+    cluster->release_resources(resources);
+  }
+}
+
+ActorHandle::State::~State() { stop_and_join(); }
+
+Future ActorHandle::call(Method method) {
+  DMIS_CHECK(state_ != nullptr, "call() on an invalid actor handle");
+  DMIS_CHECK(method != nullptr, "null actor method");
+  Future future;
+  auto boxed = std::make_shared<Future>(future);
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    DMIS_CHECK(!state_->stopping, "call() on a killed actor");
+    state_->queue.emplace_back(std::move(method), std::move(boxed));
+  }
+  state_->cv.notify_all();
+  return future;
+}
+
+void ActorHandle::kill() {
+  if (state_ != nullptr) state_->stop_and_join();
+}
+
+ActorHandle spawn_actor(RayLite& cluster, const Resources& res,
+                        const std::function<std::any()>& factory) {
+  DMIS_CHECK(factory != nullptr, "null actor factory");
+  cluster.acquire_resources(res);
+
+  ActorHandle handle;
+  handle.state_ = std::make_shared<ActorHandle::State>();
+  auto& state = *handle.state_;
+  state.cluster = &cluster;
+  state.resources = res;
+  state.thread = std::thread([s = handle.state_, factory] {
+    s->object = factory();  // constructed on the actor thread, like Ray
+    s->loop();
+  });
+  return handle;
+}
+
+}  // namespace dmis::ray

@@ -1,0 +1,107 @@
+// Actors: stateful workers — the Ray primitive Ray.SGD builds its
+// replica trainers on.
+//
+// An actor owns a piece of state, pins its declared resources for its
+// whole lifetime, and executes method calls one at a time in submission
+// order on a dedicated thread (Ray's single-threaded actor model).
+// Calls return Futures; exceptions propagate through Future::get().
+//
+//   ActorHandle counter = spawn_actor(cluster, {0, 1},
+//                                     [] { return std::any(int{0}); });
+//   counter.call([](std::any& s) {
+//     return std::any(++std::any_cast<int&>(s));
+//   });
+//
+// The typed helper keeps call sites readable:
+//
+//   auto h = spawn_typed_actor<ReplicaTrainer>(cluster, {1, 1}, ...ctor);
+//   h.call([](ReplicaTrainer& t) { return t.train_step(); });
+#pragma once
+
+#include <any>
+#include <deque>
+#include <memory>
+#include <thread>
+
+#include "raylite/raylite.hpp"
+
+namespace dmis::ray {
+
+class ActorHandle {
+ public:
+  using Method = std::function<std::any(std::any&)>;
+
+  ActorHandle() = default;
+
+  /// Enqueues a method; it runs after every previously submitted call.
+  Future call(Method method);
+
+  /// Stops the actor (drains queued calls first) and releases its
+  /// resources. Idempotent; also triggered when the last handle drops.
+  void kill();
+
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend ActorHandle spawn_actor(RayLite& cluster, const Resources& res,
+                                 const std::function<std::any()>& factory);
+
+  /// Resolves a Future from the actor thread (friend access to Future).
+  static void complete(Future& future, std::any value,
+                       std::exception_ptr error);
+
+  struct State {
+    RayLite* cluster = nullptr;
+    Resources resources;
+    std::any object;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::pair<Method, std::shared_ptr<Future>>> queue;
+    std::thread thread;
+    bool stopping = false;
+    bool released = false;
+
+    ~State();
+    void loop();
+    void stop_and_join();
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+/// Creates an actor: blocks until `res` is available, constructs the
+/// state via `factory` ON THE ACTOR THREAD, and returns a handle.
+/// The cluster must outlive the actor.
+ActorHandle spawn_actor(RayLite& cluster, const Resources& res,
+                        const std::function<std::any()>& factory);
+
+/// Typed sugar: constructs T in place and adapts typed method lambdas.
+template <class T, class... Args>
+class TypedActorHandle {
+ public:
+  TypedActorHandle(RayLite& cluster, const Resources& res, Args... args)
+      : handle_(spawn_actor(cluster, res, [args...]() {
+          return std::any(std::make_shared<T>(args...));
+        })) {}
+
+  /// method: callable taking T& and returning any value (or void).
+  template <class Fn>
+  Future call(Fn&& method) {
+    return handle_.call([m = std::forward<Fn>(method)](std::any& state) {
+      auto ptr = std::any_cast<std::shared_ptr<T>>(state);
+      if constexpr (std::is_void_v<decltype(m(*ptr))>) {
+        m(*ptr);
+        return std::any{};
+      } else {
+        return std::any(m(*ptr));
+      }
+    });
+  }
+
+  void kill() { handle_.kill(); }
+
+ private:
+  ActorHandle handle_;
+};
+
+}  // namespace dmis::ray

@@ -1,0 +1,39 @@
+#include "raylite/object_store.hpp"
+
+#include "common/check.hpp"
+
+namespace dmis::ray {
+
+ObjectRef ObjectStore::put(std::any value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t id = next_id_++;
+  entries_.emplace(id,
+                   std::make_shared<const std::any>(std::move(value)));
+  return ObjectRef(id);
+}
+
+std::shared_ptr<const std::any> ObjectStore::get(const ObjectRef& ref) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(ref.id());
+  DMIS_CHECK(it != entries_.end(),
+             "unknown object ref " << ref.id()
+                                   << " (deleted or never put)");
+  return it->second;
+}
+
+void ObjectStore::del(const ObjectRef& ref) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(ref.id());
+}
+
+size_t ObjectStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ObjectStore::throw_bad_type(const ObjectRef& ref) {
+  throw InvalidArgument("object ref " + std::to_string(ref.id()) +
+                        " holds a different type");
+}
+
+}  // namespace dmis::ray

@@ -1,0 +1,67 @@
+// ObjectStore: an in-process stand-in for Ray's distributed object store.
+//
+// Values are immutable once put(); ObjectRefs are small copyable handles.
+// get() returns shared ownership so readers on any thread stay valid even
+// if the entry is deleted concurrently. Ray moves objects between node
+// plasma stores; here one process hosts everything, but the API shape —
+// put / get / delete by ref — is the same one the training pipeline and
+// Tune use to hand datasets and results around.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace dmis::ray {
+
+class ObjectRef {
+ public:
+  ObjectRef() = default;
+  uint64_t id() const { return id_; }
+  bool valid() const { return id_ != 0; }
+  bool operator==(const ObjectRef& other) const { return id_ == other.id_; }
+  bool operator<(const ObjectRef& other) const { return id_ < other.id_; }
+
+ private:
+  friend class ObjectStore;
+  explicit ObjectRef(uint64_t id) : id_(id) {}
+  uint64_t id_ = 0;
+};
+
+class ObjectStore {
+ public:
+  /// Stores an immutable value; returns its handle.
+  ObjectRef put(std::any value);
+
+  /// Shared read access. Throws InvalidArgument for unknown refs.
+  std::shared_ptr<const std::any> get(const ObjectRef& ref) const;
+
+  /// Typed convenience: get + any_cast. Throws on type mismatch.
+  template <class T>
+  std::shared_ptr<const T> get_as(const ObjectRef& ref) const {
+    auto holder = get(ref);
+    const T* value = std::any_cast<T>(holder.get());
+    if (value == nullptr) {
+      throw_bad_type(ref);
+    }
+    // Alias the any's lifetime onto the typed pointer.
+    return std::shared_ptr<const T>(std::move(holder), value);
+  }
+
+  /// Removes the entry (readers holding shared_ptrs are unaffected).
+  /// Idempotent.
+  void del(const ObjectRef& ref);
+
+  size_t size() const;
+
+ private:
+  [[noreturn]] static void throw_bad_type(const ObjectRef& ref);
+
+  mutable std::mutex mutex_;
+  std::map<uint64_t, std::shared_ptr<const std::any>> entries_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace dmis::ray

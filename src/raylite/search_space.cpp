@@ -1,0 +1,163 @@
+#include "raylite/search_space.hpp"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dmis::ray {
+namespace {
+
+struct ValuePrinter {
+  std::ostream& os;
+  void operator()(int64_t v) const { os << v; }
+  void operator()(double v) const { os << v; }
+  void operator()(const std::string& v) const { os << v; }
+  void operator()(bool v) const { os << (v ? "true" : "false"); }
+};
+
+}  // namespace
+
+std::string param_set_str(const ParamSet& params) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [key, value] : params) {
+    if (!first) os << ", ";
+    first = false;
+    os << key << "=";
+    std::visit(ValuePrinter{os}, value);
+  }
+  return os.str();
+}
+
+namespace {
+
+const ParamValue& require(const ParamSet& p, const std::string& key) {
+  const auto it = p.find(key);
+  DMIS_CHECK(it != p.end(), "missing hyper-parameter '" << key << "' in {"
+                            << param_set_str(p) << "}");
+  return it->second;
+}
+
+}  // namespace
+
+int64_t param_int(const ParamSet& p, const std::string& key) {
+  const ParamValue& v = require(p, key);
+  DMIS_CHECK(std::holds_alternative<int64_t>(v),
+             "hyper-parameter '" << key << "' is not an integer");
+  return std::get<int64_t>(v);
+}
+
+double param_double(const ParamSet& p, const std::string& key) {
+  const ParamValue& v = require(p, key);
+  if (std::holds_alternative<int64_t>(v)) {
+    return static_cast<double>(std::get<int64_t>(v));
+  }
+  DMIS_CHECK(std::holds_alternative<double>(v),
+             "hyper-parameter '" << key << "' is not numeric");
+  return std::get<double>(v);
+}
+
+const std::string& param_str(const ParamSet& p, const std::string& key) {
+  const ParamValue& v = require(p, key);
+  DMIS_CHECK(std::holds_alternative<std::string>(v),
+             "hyper-parameter '" << key << "' is not a string");
+  return std::get<std::string>(v);
+}
+
+bool param_bool(const ParamSet& p, const std::string& key) {
+  const ParamValue& v = require(p, key);
+  DMIS_CHECK(std::holds_alternative<bool>(v),
+             "hyper-parameter '" << key << "' is not a bool");
+  return std::get<bool>(v);
+}
+
+void SearchSpace::check_fresh_name(const std::string& name) const {
+  for (const auto& c : choices_) {
+    DMIS_CHECK(c.name != name, "duplicate search dimension '" << name << "'");
+  }
+  for (const auto& c : continuous_) {
+    DMIS_CHECK(c.name != name, "duplicate search dimension '" << name << "'");
+  }
+}
+
+SearchSpace& SearchSpace::choice(const std::string& name,
+                                 std::vector<ParamValue> values) {
+  DMIS_CHECK(!values.empty(), "choice '" << name << "' has no values");
+  check_fresh_name(name);
+  choices_.push_back(Choice{name, std::move(values)});
+  return *this;
+}
+
+SearchSpace& SearchSpace::uniform(const std::string& name, double lo,
+                                  double hi) {
+  DMIS_CHECK(lo < hi, "uniform '" << name << "': lo >= hi");
+  check_fresh_name(name);
+  continuous_.push_back(Continuous{name, lo, hi, false});
+  return *this;
+}
+
+SearchSpace& SearchSpace::loguniform(const std::string& name, double lo,
+                                     double hi) {
+  DMIS_CHECK(0.0 < lo && lo < hi, "loguniform '" << name
+                                  << "': need 0 < lo < hi");
+  check_fresh_name(name);
+  continuous_.push_back(Continuous{name, lo, hi, true});
+  return *this;
+}
+
+int64_t SearchSpace::grid_size() const {
+  int64_t n = 1;
+  for (const auto& c : choices_) {
+    n *= static_cast<int64_t>(c.values.size());
+  }
+  return n;
+}
+
+std::vector<ParamSet> SearchSpace::grid() const {
+  DMIS_CHECK(continuous_.empty(),
+             "grid() undefined with continuous dimensions; use sample()");
+  std::vector<ParamSet> out;
+  out.reserve(static_cast<size_t>(grid_size()));
+  ParamSet current;
+  // Depth-first cross-product in axis declaration order.
+  std::function<void(size_t)> expand = [&](size_t axis) {
+    if (axis == choices_.size()) {
+      out.push_back(current);
+      return;
+    }
+    for (const ParamValue& v : choices_[axis].values) {
+      current[choices_[axis].name] = v;
+      expand(axis + 1);
+    }
+  };
+  expand(0);
+  return out;
+}
+
+std::vector<ParamSet> SearchSpace::sample(int n, uint64_t seed) const {
+  DMIS_CHECK(n >= 1, "need >= 1 sample, got " << n);
+  Rng rng(seed);
+  std::vector<ParamSet> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ParamSet p;
+    for (const auto& c : choices_) {
+      const auto idx = static_cast<size_t>(rng.uniform_int(
+          0, static_cast<int64_t>(c.values.size()) - 1));
+      p[c.name] = c.values[idx];
+    }
+    for (const auto& c : continuous_) {
+      if (c.log) {
+        p[c.name] = std::exp(rng.uniform(std::log(c.lo), std::log(c.hi)));
+      } else {
+        p[c.name] = rng.uniform(c.lo, c.hi);
+      }
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace dmis::ray

@@ -1,0 +1,71 @@
+// Hyper-parameter search spaces (Ray.Tune style).
+//
+// The paper defines its experiment set as "the cross-product of the
+// different values for each option in the configuration" — a grid over
+// choice parameters. Continuous distributions (uniform / log-uniform)
+// support random search as well.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace dmis::ray {
+
+using ParamValue = std::variant<int64_t, double, std::string, bool>;
+using ParamSet = std::map<std::string, ParamValue>;
+
+/// Readable rendering, e.g. "lr=0.0001, loss=dice".
+std::string param_set_str(const ParamSet& params);
+
+/// Typed getters with precise error messages.
+int64_t param_int(const ParamSet& p, const std::string& key);
+double param_double(const ParamSet& p, const std::string& key);
+const std::string& param_str(const ParamSet& p, const std::string& key);
+bool param_bool(const ParamSet& p, const std::string& key);
+
+class SearchSpace {
+ public:
+  /// Discrete options (grid axis).
+  SearchSpace& choice(const std::string& name, std::vector<ParamValue> values);
+
+  /// Continuous uniform in [lo, hi] (random search only).
+  SearchSpace& uniform(const std::string& name, double lo, double hi);
+
+  /// Continuous log-uniform in [lo, hi], lo > 0 (random search only).
+  SearchSpace& loguniform(const std::string& name, double lo, double hi);
+
+  /// Cross-product of all choice axes. Throws if any continuous
+  /// dimension exists (a grid over a continuum is ill-defined).
+  std::vector<ParamSet> grid() const;
+
+  /// `n` random draws: choices sampled uniformly, continuous dimensions
+  /// from their distributions. Deterministic in `seed`.
+  std::vector<ParamSet> sample(int n, uint64_t seed) const;
+
+  /// Number of grid points (product of choice cardinalities).
+  int64_t grid_size() const;
+
+ private:
+  struct Choice {
+    std::string name;
+    std::vector<ParamValue> values;
+  };
+  struct Continuous {
+    std::string name;
+    double lo;
+    double hi;
+    bool log;
+  };
+
+  void check_fresh_name(const std::string& name) const;
+
+  std::vector<Choice> choices_;
+  std::vector<Continuous> continuous_;
+};
+
+}  // namespace dmis::ray

@@ -1,0 +1,192 @@
+#include "raylite/tune.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dmis::ray {
+
+const char* trial_status_name(TrialStatus s) {
+  switch (s) {
+    case TrialStatus::kPending: return "PENDING";
+    case TrialStatus::kRunning: return "RUNNING";
+    case TrialStatus::kTerminated: return "TERMINATED";
+    case TrialStatus::kStopped: return "STOPPED";
+    case TrialStatus::kError: return "ERROR";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shared ASHA bracket state: per-rung metric history.
+class AshaState {
+ public:
+  explicit AshaState(const AshaOptions& opts) : opts_(opts) {
+    DMIS_CHECK(opts.grace_period >= 1, "grace_period must be >= 1");
+    DMIS_CHECK(opts.reduction_factor >= 2, "reduction_factor must be >= 2");
+    int64_t milestone = opts.grace_period;
+    for (int64_t k = 0; k < opts.max_rungs; ++k) {
+      milestones_.push_back(milestone);
+      milestone *= opts.reduction_factor;
+    }
+  }
+
+  /// Returns true if the trial should STOP after reporting `value` at
+  /// `iteration` (iteration is 0-based; milestone hit when
+  /// iteration + 1 == milestone).
+  bool record_and_decide(int64_t iteration, double value) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const int64_t completed = iteration + 1;
+    const auto it =
+        std::find(milestones_.begin(), milestones_.end(), completed);
+    if (it == milestones_.end()) return false;
+    const size_t rung = static_cast<size_t>(it - milestones_.begin());
+    if (rung_values_.size() <= rung) rung_values_.resize(rung + 1);
+    auto& values = rung_values_[rung];
+    values.push_back(value);
+    // Continue iff in the top 1/eta of everything recorded at this rung.
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    if (opts_.maximize) std::reverse(sorted.begin(), sorted.end());
+    const size_t keep = std::max<size_t>(
+        1, sorted.size() / static_cast<size_t>(opts_.reduction_factor));
+    const double cutoff = sorted[keep - 1];
+    return opts_.maximize ? value < cutoff : value > cutoff;
+  }
+
+  const std::string& metric() const { return opts_.metric; }
+
+ private:
+  AshaOptions opts_;
+  std::mutex mutex_;
+  std::vector<int64_t> milestones_;
+  std::vector<std::vector<double>> rung_values_;
+};
+
+class TrialReporter final : public Reporter {
+ public:
+  TrialReporter(Trial& trial, std::mutex& trial_mutex, AshaState* asha)
+      : trial_(trial), trial_mutex_(trial_mutex), asha_(asha) {}
+
+  void report(int64_t iteration,
+              const std::map<std::string, double>& metrics) override {
+    {
+      const std::lock_guard<std::mutex> lock(trial_mutex_);
+      trial_.iterations = iteration + 1;
+      trial_.last_metrics = metrics;
+    }
+    if (asha_ != nullptr && !stop_) {
+      const auto it = metrics.find(asha_->metric());
+      DMIS_CHECK(it != metrics.end(),
+                 "trial did not report ASHA metric '" << asha_->metric()
+                                                      << "'");
+      if (asha_->record_and_decide(iteration, it->second)) stop_ = true;
+    }
+  }
+
+  bool should_stop() const override { return stop_; }
+
+ private:
+  Trial& trial_;
+  std::mutex& trial_mutex_;
+  AshaState* asha_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+const Trial& TuneResult::best(const std::string& metric,
+                              bool maximize) const {
+  const Trial* best_trial = nullptr;
+  double best_value = 0.0;
+  for (const Trial& t : trials) {
+    if (t.status != TrialStatus::kTerminated &&
+        t.status != TrialStatus::kStopped) {
+      continue;
+    }
+    const auto it = t.last_metrics.find(metric);
+    if (it == t.last_metrics.end()) continue;
+    const bool better =
+        best_trial == nullptr ||
+        (maximize ? it->second > best_value : it->second < best_value);
+    if (better) {
+      best_trial = &t;
+      best_value = it->second;
+    }
+  }
+  DMIS_CHECK(best_trial != nullptr,
+             "no finished trial reported metric '" << metric << "'");
+  return *best_trial;
+}
+
+int64_t TuneResult::count(TrialStatus status) const {
+  return std::count_if(trials.begin(), trials.end(), [&](const Trial& t) {
+    return t.status == status;
+  });
+}
+
+TuneResult tune_run(const Trainable& trainable,
+                    const std::vector<ParamSet>& configs,
+                    const TuneOptions& options) {
+  DMIS_CHECK(trainable != nullptr, "null trainable");
+  DMIS_CHECK(!configs.empty(), "no configurations to tune");
+  DMIS_CHECK(options.num_gpus >= 1, "need >= 1 GPU");
+
+  const int cpus =
+      options.num_cpus > 0 ? options.num_cpus : options.num_gpus;
+  // One worker thread per admissible concurrent trial.
+  const int max_parallel = std::max(
+      1, std::min(options.per_trial.gpus > 0
+                      ? options.num_gpus / std::max(1, options.per_trial.gpus)
+                      : static_cast<int>(configs.size()),
+                  options.per_trial.cpus > 0
+                      ? cpus / std::max(1, options.per_trial.cpus)
+                      : static_cast<int>(configs.size())));
+
+  TuneResult result;
+  result.trials.resize(configs.size());
+  std::mutex trials_mutex;
+
+  std::unique_ptr<AshaState> asha;
+  if (options.asha.has_value()) {
+    asha = std::make_unique<AshaState>(*options.asha);
+  }
+
+  {
+    RayLite cluster(Resources{options.num_gpus, cpus}, max_parallel);
+    std::vector<Future> futures;
+    futures.reserve(configs.size());
+    for (size_t i = 0; i < configs.size(); ++i) {
+      {
+        const std::lock_guard<std::mutex> lock(trials_mutex);
+        result.trials[i].id = static_cast<int>(i);
+        result.trials[i].params = configs[i];
+      }
+      futures.push_back(cluster.submit(options.per_trial, [&, i]() -> std::any {
+        Trial& trial = result.trials[i];
+        {
+          const std::lock_guard<std::mutex> lock(trials_mutex);
+          trial.status = TrialStatus::kRunning;
+        }
+        TrialReporter reporter(trial, trials_mutex, asha.get());
+        try {
+          trainable(configs[i], reporter);
+          const std::lock_guard<std::mutex> lock(trials_mutex);
+          trial.status = reporter.should_stop() ? TrialStatus::kStopped
+                                                : TrialStatus::kTerminated;
+        } catch (const std::exception& e) {
+          const std::lock_guard<std::mutex> lock(trials_mutex);
+          trial.status = TrialStatus::kError;
+          trial.error = e.what();
+        }
+        return {};
+      }));
+    }
+    for (Future& f : futures) (void)f.get();
+  }
+  return result;
+}
+
+}  // namespace dmis::ray

@@ -1,0 +1,89 @@
+// Tune: distributed hyper-parameter tuning (the Ray.Tune stand-in).
+//
+// Matches the paper's adaptation requirements (section III-B2): the user
+// wraps training in a "trainable" function taking the hyper-parameter
+// dictionary, and reports progress through a callback object. tune_run
+// then executes the batch of experiments over the cluster, one GPU per
+// trial by default.
+//
+// Trial schedulers: FIFO (Tune's default queue — what the paper
+// benchmarks) and ASHA (asynchronous successive halving) early stopping
+// as the extension the paper's future work points toward.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "raylite/raylite.hpp"
+#include "raylite/search_space.hpp"
+
+namespace dmis::ray {
+
+enum class TrialStatus { kPending, kRunning, kTerminated, kStopped, kError };
+
+const char* trial_status_name(TrialStatus s);
+
+/// Handed to the trainable; the paper's "reporting callback function".
+class Reporter {
+ public:
+  virtual ~Reporter() = default;
+
+  /// Reports metrics at the end of `iteration` (0-based epoch).
+  virtual void report(int64_t iteration,
+                      const std::map<std::string, double>& metrics) = 0;
+
+  /// True once the scheduler decided to early-stop this trial; the
+  /// trainable should return promptly.
+  virtual bool should_stop() const = 0;
+};
+
+using Trainable = std::function<void(const ParamSet&, Reporter&)>;
+
+struct Trial {
+  int id = -1;
+  ParamSet params;
+  TrialStatus status = TrialStatus::kPending;
+  int64_t iterations = 0;
+  std::map<std::string, double> last_metrics;
+  std::string error;
+};
+
+/// ASHA configuration (Li et al., adapted): rungs at grace_period *
+/// reduction_factor^k iterations; at each rung a trial continues only if
+/// its metric is in the top 1/reduction_factor of results seen there.
+struct AshaOptions {
+  std::string metric = "val_dice";
+  bool maximize = true;
+  int64_t grace_period = 1;
+  int64_t reduction_factor = 2;
+  int64_t max_rungs = 10;
+};
+
+struct TuneOptions {
+  int num_gpus = 1;             ///< Cluster GPU pool.
+  int num_cpus = 0;             ///< 0 -> one CPU per GPU.
+  Resources per_trial{1, 1};    ///< The paper: one GPU per experiment.
+  std::optional<AshaOptions> asha;  ///< Unset -> FIFO (paper setting).
+};
+
+struct TuneResult {
+  std::vector<Trial> trials;
+
+  /// Trial with the best `metric` among terminated trials.
+  const Trial& best(const std::string& metric, bool maximize = true) const;
+
+  int64_t count(TrialStatus status) const;
+};
+
+/// Runs every configuration through `trainable` on a RayLite cluster.
+/// Trials are dispatched in order; each occupies `per_trial` resources.
+TuneResult tune_run(const Trainable& trainable,
+                    const std::vector<ParamSet>& configs,
+                    const TuneOptions& options);
+
+}  // namespace dmis::ray

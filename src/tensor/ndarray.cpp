@@ -1,0 +1,95 @@
+#include "tensor/ndarray.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dmis {
+
+NDArray::NDArray(const Shape& shape, std::span<const float> values)
+    : shape_(shape), data_(values.begin(), values.end()) {
+  DMIS_CHECK(static_cast<int64_t>(values.size()) == shape.numel(),
+             "value count " << values.size() << " does not match shape "
+                            << shape.str());
+}
+
+float& NDArray::at(int64_t i) {
+  DMIS_CHECK(i >= 0 && i < numel(),
+             "index " << i << " out of range for " << numel() << " elements");
+  return data_[static_cast<size_t>(i)];
+}
+
+float NDArray::at(int64_t i) const {
+  DMIS_CHECK(i >= 0 && i < numel(),
+             "index " << i << " out of range for " << numel() << " elements");
+  return data_[static_cast<size_t>(i)];
+}
+
+void NDArray::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void NDArray::reshape(const Shape& shape) {
+  DMIS_CHECK(shape.numel() == numel(),
+             "reshape from " << shape_.str() << " to " << shape.str()
+                             << " changes element count");
+  shape_ = shape;
+}
+
+void NDArray::add_(const NDArray& other) {
+  DMIS_CHECK(shape_ == other.shape_, "add_: shape mismatch " << shape_.str()
+                                     << " vs " << other.shape_.str());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void NDArray::sub_(const NDArray& other) {
+  DMIS_CHECK(shape_ == other.shape_, "sub_: shape mismatch " << shape_.str()
+                                     << " vs " << other.shape_.str());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void NDArray::scale_(float factor) {
+  for (float& v : data_) v *= factor;
+}
+
+void NDArray::axpy_(float factor, const NDArray& other) {
+  DMIS_CHECK(shape_ == other.shape_, "axpy_: shape mismatch " << shape_.str()
+                                     << " vs " << other.shape_.str());
+  for (size_t i = 0; i < data_.size(); ++i)
+    data_[i] += factor * other.data_[i];
+}
+
+double NDArray::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v);
+  return acc;
+}
+
+double NDArray::mean() const {
+  return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size());
+}
+
+float NDArray::max() const {
+  DMIS_CHECK(!data_.empty(), "max() of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float NDArray::min() const {
+  DMIS_CHECK(!data_.empty(), "min() of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double NDArray::l2_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+bool NDArray::allclose(const NDArray& other, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace dmis

@@ -1,0 +1,92 @@
+// NDArray: the dense float32 tensor used throughout DistMIS-cpp.
+//
+// Design notes:
+//  * Contiguous row-major storage in a std::vector<float> — RAII, value
+//    semantics (deep copy on copy-construction, cheap moves).
+//  * Element access is by flat index or (n,c,d,h,w)-style offsets computed
+//    by the caller; layers precompute strides in their hot loops rather
+//    than going through a generic indexer.
+//  * All math helpers here are elementwise conveniences; the heavy kernels
+//    (convolutions etc.) live in dmis_nn where the loop structure matters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace dmis {
+
+/// Dense float32 tensor with value semantics.
+class NDArray {
+ public:
+  /// An empty tensor (rank 0, one zero element).
+  NDArray() : shape_(), data_(1, 0.0F) {}
+
+  /// Zero-initialized tensor of the given shape.
+  explicit NDArray(const Shape& shape)
+      : shape_(shape), data_(static_cast<size_t>(shape.numel()), 0.0F) {}
+
+  /// Tensor of the given shape filled with `value`.
+  NDArray(const Shape& shape, float value)
+      : shape_(shape), data_(static_cast<size_t>(shape.numel()), value) {}
+
+  /// Tensor of the given shape initialized from `values` (size must match).
+  NDArray(const Shape& shape, std::span<const float> values);
+
+  const Shape& shape() const { return shape_; }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// Bounds-checked element access by flat index (debug-friendly).
+  float& at(int64_t i);
+  float at(int64_t i) const;
+
+  /// Sets every element to `value`.
+  void fill(float value);
+
+  /// Sets every element to zero.
+  void zero() { fill(0.0F); }
+
+  /// Reinterprets the buffer with a new shape of identical element count.
+  void reshape(const Shape& shape);
+
+  // --- Elementwise / reduction conveniences. ---
+
+  /// this += other (shapes must match).
+  void add_(const NDArray& other);
+  /// this -= other (shapes must match).
+  void sub_(const NDArray& other);
+  /// this *= scalar.
+  void scale_(float factor);
+  /// this += scalar * other (axpy; shapes must match).
+  void axpy_(float factor, const NDArray& other);
+
+  /// Sum of all elements (double accumulator).
+  double sum() const;
+  /// Mean of all elements.
+  double mean() const;
+  /// Maximum element (tensor must be non-empty).
+  float max() const;
+  /// Minimum element (tensor must be non-empty).
+  float min() const;
+  /// Sqrt of the sum of squares.
+  double l2_norm() const;
+
+  /// True when shapes match and all elements differ by at most `atol`.
+  bool allclose(const NDArray& other, float atol = 1e-5F) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace dmis

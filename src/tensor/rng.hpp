@@ -1,0 +1,68 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in DistMIS-cpp (initializers, phantom
+// generator, shuffles, straggler model) takes an explicit seed so that
+// experiments are reproducible bit-for-bit. The engine is xoshiro256**,
+// seeded via splitmix64 — small, fast and statistically solid.
+//
+// The truncated normal matches the paper's kernel initializer: values are
+// redrawn until they fall within two standard deviations of the mean.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace dmis {
+
+/// xoshiro256** pseudo-random generator with distribution helpers.
+class Rng {
+ public:
+  /// Seeds the stream; the same seed always yields the same sequence.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box–Muller (cached pair).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Truncated normal: redraw until |x - mean| <= 2 * stddev.
+  double truncated_normal(double mean, double stddev);
+
+  /// Lognormal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Splits off an independent stream (for per-worker determinism).
+  Rng split();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Fisher–Yates shuffle of indices [0, n) driven by `rng`.
+/// Defined here so dataset shuffling and split assignment share one impl.
+template <class RandomIt>
+void shuffle(RandomIt first, RandomIt last, Rng& rng) {
+  const auto n = last - first;
+  for (auto i = n - 1; i > 0; --i) {
+    const auto j = rng.uniform_int(0, static_cast<int64_t>(i));
+    using std::swap;
+    swap(first[i], first[j]);
+  }
+}
+
+}  // namespace dmis

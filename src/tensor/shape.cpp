@@ -1,0 +1,84 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+namespace dmis {
+
+Shape::Shape(std::initializer_list<int64_t> dims) {
+  DMIS_CHECK(dims.size() <= static_cast<size_t>(kMaxRank),
+             "shape rank " << dims.size() << " exceeds max rank " << kMaxRank);
+  rank_ = static_cast<int>(dims.size());
+  int i = 0;
+  for (int64_t d : dims) {
+    DMIS_CHECK(d > 0, "shape dimension " << i << " must be positive, got " << d);
+    dims_[static_cast<size_t>(i++)] = d;
+  }
+}
+
+int Shape::normalize_axis(int axis) const {
+  const int a = axis < 0 ? axis + rank_ : axis;
+  DMIS_CHECK(a >= 0 && a < rank_,
+             "axis " << axis << " out of range for rank " << rank_);
+  return a;
+}
+
+int64_t Shape::dim(int axis) const {
+  return dims_[static_cast<size_t>(normalize_axis(axis))];
+}
+
+void Shape::set_dim(int axis, int64_t value) {
+  DMIS_CHECK(value > 0, "shape dimension must be positive, got " << value);
+  dims_[static_cast<size_t>(normalize_axis(axis))] = value;
+}
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int i = 0; i < rank_; ++i) n *= dims_[static_cast<size_t>(i)];
+  return n;
+}
+
+std::array<int64_t, Shape::kMaxRank> Shape::strides() const {
+  std::array<int64_t, kMaxRank> s{};
+  int64_t acc = 1;
+  for (int i = rank_ - 1; i >= 0; --i) {
+    s[static_cast<size_t>(i)] = acc;
+    acc *= dims_[static_cast<size_t>(i)];
+  }
+  return s;
+}
+
+Shape Shape::appended(int64_t dim) const {
+  DMIS_CHECK(rank_ < kMaxRank, "cannot append beyond max rank " << kMaxRank);
+  DMIS_CHECK(dim > 0, "appended dimension must be positive, got " << dim);
+  Shape out = *this;
+  out.dims_[static_cast<size_t>(out.rank_++)] = dim;
+  return out;
+}
+
+Shape Shape::with_dim(int axis, int64_t value) const {
+  Shape out = *this;
+  out.set_dim(axis, value);
+  return out;
+}
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << "[";
+  for (int i = 0; i < rank_; ++i) {
+    if (i != 0) os << ", ";
+    os << dims_[static_cast<size_t>(i)];
+  }
+  os << "]";
+  return os.str();
+}
+
+bool Shape::operator==(const Shape& other) const {
+  if (rank_ != other.rank_) return false;
+  for (int i = 0; i < rank_; ++i) {
+    if (dims_[static_cast<size_t>(i)] != other.dims_[static_cast<size_t>(i)])
+      return false;
+  }
+  return true;
+}
+
+}  // namespace dmis

@@ -1,0 +1,76 @@
+// Dense tensor shapes.
+//
+// DistMIS-cpp tensors are at most 5-D, in channels-first layout as used by
+// the paper's model: (N, C, D, H, W) for volumetric activations. A Shape is
+// a small value type holding the extents; strides are derived on demand for
+// the row-major contiguous layout every NDArray uses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace dmis {
+
+/// Extents of a dense row-major tensor (up to 5 dimensions).
+class Shape {
+ public:
+  static constexpr int kMaxRank = 5;
+
+  /// An empty (rank-0, scalar-like) shape with one element.
+  Shape() = default;
+
+  /// Builds a shape from explicit extents, e.g. Shape({2, 4, 24, 24, 16}).
+  Shape(std::initializer_list<int64_t> dims);
+
+  /// Rank (number of dimensions), 0..5.
+  int rank() const { return rank_; }
+
+  /// Extent of dimension `axis`; negative axes count from the back.
+  int64_t dim(int axis) const;
+
+  /// Mutates the extent of dimension `axis` (must stay positive).
+  void set_dim(int axis, int64_t value);
+
+  /// Total number of elements (1 for rank-0).
+  int64_t numel() const;
+
+  /// Row-major strides, in elements, for each dimension.
+  std::array<int64_t, kMaxRank> strides() const;
+
+  /// Appends one trailing dimension.
+  Shape appended(int64_t dim) const;
+
+  /// Returns this shape with dimension `axis` replaced by `value`.
+  Shape with_dim(int axis, int64_t value) const;
+
+  /// Human-readable form, e.g. "[2, 4, 24, 24, 16]".
+  std::string str() const;
+
+  bool operator==(const Shape& other) const;
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  // --- Named accessors for the canonical (N, C, D, H, W) layout. ---
+
+  /// Batch extent; valid for rank >= 1.
+  int64_t n() const { return dim(0); }
+  /// Channel extent; valid for rank >= 2.
+  int64_t c() const { return dim(1); }
+  /// Depth extent; valid for rank == 5.
+  int64_t d() const { return dim(2); }
+  /// Height extent; valid for rank >= 4 (rank-4 tensors are (N,C,H,W)).
+  int64_t h() const { return dim(rank_ - 2); }
+  /// Width extent.
+  int64_t w() const { return dim(rank_ - 1); }
+
+ private:
+  int rank_ = 0;
+  std::array<int64_t, kMaxRank> dims_{};
+
+  int normalize_axis(int axis) const;
+};
+
+}  // namespace dmis

@@ -1,0 +1,157 @@
+#include "train/mirrored.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "comm/communicator.hpp"
+#include "common/check.hpp"
+
+namespace dmis::train {
+
+struct MirroredStrategy::Impl {
+  std::vector<comm::Communicator> comms;
+  std::vector<std::unique_ptr<nn::Loss>> losses;
+  std::vector<std::unique_ptr<nn::Optimizer>> optimizers;
+  std::unique_ptr<nn::LrSchedule> schedule;
+};
+
+MirroredStrategy::MirroredStrategy(const nn::UNet3dOptions& model_options,
+                                   const MirroredOptions& options)
+    : options_(options), impl_(std::make_unique<Impl>()) {
+  DMIS_CHECK(options.num_replicas >= 1,
+             "need >= 1 replica, got " << options.num_replicas);
+  const int r = options.num_replicas;
+  replicas_.reserve(static_cast<size_t>(r));
+  for (int i = 0; i < r; ++i) {
+    // Same seed in model_options -> bit-identical initial weights.
+    replicas_.push_back(std::make_unique<nn::UNet3d>(model_options));
+  }
+  impl_->comms = comm::make_group(r);
+  const double lr = effective_lr();
+  for (int i = 0; i < r; ++i) {
+    impl_->losses.push_back(nn::make_loss(options.train.loss));
+    impl_->optimizers.push_back(nn::make_optimizer(
+        options.train.optimizer, replicas_[static_cast<size_t>(i)]->params(),
+        lr));
+  }
+  if (options.train.cyclic.has_value()) {
+    const auto& c = *options.train.cyclic;
+    impl_->schedule =
+        std::make_unique<nn::CyclicLr>(c.base_lr, c.max_lr, c.step_size);
+  } else {
+    impl_->schedule = std::make_unique<nn::ConstantLr>(lr);
+  }
+}
+
+MirroredStrategy::~MirroredStrategy() = default;
+
+double MirroredStrategy::effective_lr() const {
+  return options_.scale_lr
+             ? options_.train.lr * static_cast<double>(options_.num_replicas)
+             : options_.train.lr;
+}
+
+TrainReport MirroredStrategy::fit(data::BatchStream& train,
+                                  data::BatchStream* val,
+                                  const EpochCallback& callback) {
+  const int r = options_.num_replicas;
+  TrainReport report;
+
+  for (int64_t epoch = 0; epoch < options_.train.epochs; ++epoch) {
+    double loss_sum = 0.0;
+    int64_t steps = 0;
+    double current_lr = effective_lr();
+
+    while (auto batch = train.next()) {
+      const int64_t total = batch->size();
+      current_lr = impl_->schedule->lr(impl_->optimizers[0]->step_count());
+
+      // Contiguous split of the global batch: replica i takes
+      // total/r (+1 for the first total%r replicas) samples.
+      const int64_t base = total / r;
+      const int64_t extra = total % r;
+      std::vector<int64_t> offsets(static_cast<size_t>(r) + 1, 0);
+      for (int i = 0; i < r; ++i) {
+        const int64_t count = base + (i < extra ? 1 : 0);
+        offsets[static_cast<size_t>(i) + 1] =
+            offsets[static_cast<size_t>(i)] + count;
+      }
+
+      const Shape& img_shape = batch->images.shape();
+      const Shape& lbl_shape = batch->labels.shape();
+      const int64_t img_per = img_shape.numel() / total;
+      const int64_t lbl_per = lbl_shape.numel() / total;
+
+      std::vector<double> replica_loss(static_cast<size_t>(r), 0.0);
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<size_t>(r));
+      for (int i = 0; i < r; ++i) {
+        threads.emplace_back([&, i] {
+          nn::UNet3d& model = *replicas_[static_cast<size_t>(i)];
+          nn::Optimizer& opt = *impl_->optimizers[static_cast<size_t>(i)];
+          comm::Communicator& comm = impl_->comms[static_cast<size_t>(i)];
+          const int64_t lo = offsets[static_cast<size_t>(i)];
+          const int64_t hi = offsets[static_cast<size_t>(i) + 1];
+          const int64_t count = hi - lo;
+
+          opt.zero_grad();
+          if (count > 0) {
+            Shape local_img = img_shape.with_dim(0, count);
+            Shape local_lbl = lbl_shape.with_dim(0, count);
+            NDArray images(local_img,
+                           std::span<const float>(
+                               batch->images.data() + lo * img_per,
+                               static_cast<size_t>(count * img_per)));
+            NDArray labels(local_lbl,
+                           std::span<const float>(
+                               batch->labels.data() + lo * lbl_per,
+                               static_cast<size_t>(count * lbl_per)));
+            const NDArray& pred = model.forward(images, /*training=*/true);
+            const nn::LossResult res =
+                impl_->losses[static_cast<size_t>(i)]->compute(pred, labels);
+            replica_loss[static_cast<size_t>(i)] =
+                res.value * static_cast<double>(count);
+            model.backward(res.grad);
+          }
+
+          // Weight local mean-gradients by sample count, sum across the
+          // ring, then renormalize by the global batch — exact even for
+          // ragged final batches and idle replicas.
+          const float weight = static_cast<float>(count);
+          const float inv_total = 1.0F / static_cast<float>(total);
+          for (nn::Param& p : model.params()) {
+            p.grad->scale_(weight);
+            comm.all_reduce_sum(p.grad->span());
+            p.grad->scale_(inv_total);
+          }
+          opt.set_lr(current_lr);
+          opt.step();
+        });
+      }
+      for (auto& t : threads) t.join();
+
+      double batch_loss = 0.0;
+      for (double l : replica_loss) batch_loss += l;
+      loss_sum += batch_loss / static_cast<double>(total);
+      ++steps;
+    }
+    train.reset();
+    DMIS_CHECK(steps > 0, "training stream produced no batches");
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.steps = steps;
+    stats.train_loss = loss_sum / static_cast<double>(steps);
+    stats.lr = current_lr;
+    report.total_steps += steps;
+    if (val != nullptr) {
+      stats.val_dice = evaluate_dice(*replicas_.front(), *val);
+      report.best_val_dice = std::max(report.best_val_dice, *stats.val_dice);
+    }
+    report.history.push_back(stats);
+    if (callback && !callback(stats)) break;
+  }
+  return report;
+}
+
+}  // namespace dmis::train

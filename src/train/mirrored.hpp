@@ -1,0 +1,68 @@
+// MirroredStrategy: real data-parallel training over in-process replicas.
+//
+// The paper's data-parallel path replicates the model on every GPU
+// (tf.MirroredStrategy within a node, Ray.SGD across nodes) and splits
+// each global batch across replicas, synchronizing gradients with an
+// allreduce every step. Here replicas are threads: each owns a full
+// model copy (identical initialization via a shared seed) and its own
+// optimizer; after backward, gradients are combined with the chunked
+// ring allreduce from dmis_comm, weighted by per-replica sample counts
+// so ragged final batches remain exact. Because every replica then
+// applies the same averaged gradient to the same parameters with the
+// same optimizer state, the replicas stay bit-identical — exactly the
+// mirrored-variable invariant of the TF strategy.
+//
+// Batch-norm note: like the TF strategy (without SyncBatchNorm), batch
+// statistics are computed per replica on its local shard; running stats
+// therefore diverge slightly across replicas, and evaluation uses
+// replica 0. With batch_norm disabled the strategy is numerically
+// equivalent to single-device training on the global batch (tested).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "train/trainer.hpp"
+
+namespace dmis::train {
+
+struct MirroredOptions {
+  int num_replicas = 2;
+  TrainOptions train;
+  /// Scale the learning rate linearly with the replica count (the
+  /// paper's 1e-4 x #GPUs rule).
+  bool scale_lr = true;
+};
+
+class MirroredStrategy {
+ public:
+  /// Builds `num_replicas` identical models from `model_options`.
+  MirroredStrategy(const nn::UNet3dOptions& model_options,
+                   const MirroredOptions& options);
+  ~MirroredStrategy();
+
+  MirroredStrategy(const MirroredStrategy&) = delete;
+  MirroredStrategy& operator=(const MirroredStrategy&) = delete;
+
+  /// Trains on `train` (its batch size is the GLOBAL batch, split across
+  /// replicas each step); validates on `val` with replica 0.
+  TrainReport fit(data::BatchStream& train, data::BatchStream* val,
+                  const EpochCallback& callback = nullptr);
+
+  /// Replica 0's model (the canonical trained weights).
+  nn::UNet3d& model() { return *replicas_.front(); }
+
+  int num_replicas() const { return options_.num_replicas; }
+
+  /// Effective learning rate after the linear scaling rule.
+  double effective_lr() const;
+
+ private:
+  struct Impl;
+
+  MirroredOptions options_;
+  std::vector<std::unique_ptr<nn::UNet3d>> replicas_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dmis::train

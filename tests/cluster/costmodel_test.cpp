@@ -1,0 +1,272 @@
+#include "cluster/costmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "nn/unet3d.hpp"
+
+namespace dmis::cluster {
+namespace {
+
+CostModel make_model() {
+  return CostModel(ClusterSpec::marenostrum_cte());
+}
+
+TEST(TopologyTest, MareNostrumPreset) {
+  const ClusterSpec spec = ClusterSpec::marenostrum_cte();
+  EXPECT_EQ(spec.num_nodes, 52);
+  EXPECT_EQ(spec.node.gpus_per_node, 4);
+  EXPECT_EQ(spec.total_gpus(), 208);
+  EXPECT_DOUBLE_EQ(spec.node.gpu.memory_gb, 16.0);
+}
+
+TEST(TopologyTest, NodesForPacksDensely) {
+  const ClusterSpec spec = ClusterSpec::marenostrum_cte();
+  EXPECT_EQ(spec.nodes_for(1), 1);
+  EXPECT_EQ(spec.nodes_for(4), 1);
+  EXPECT_EQ(spec.nodes_for(5), 2);
+  EXPECT_EQ(spec.nodes_for(8), 2);
+  EXPECT_EQ(spec.nodes_for(12), 3);
+  EXPECT_EQ(spec.nodes_for(32), 8);
+  EXPECT_THROW(spec.nodes_for(0), InvalidArgument);
+  EXPECT_THROW(spec.nodes_for(10000), InvalidArgument);
+}
+
+TEST(CostModelTest, ParamCountMatchesRealNetwork) {
+  // The analytic parameter model must agree exactly with the parameter
+  // count of the actual dmis::nn::UNet3d it models.
+  ModelShape m;  // paper config
+  nn::UNet3d net(nn::UNet3dOptions::paper());
+  EXPECT_EQ(unet3d_param_count(m), net.num_params());
+
+  ModelShape m16 = m;
+  m16.base_filters = 16;
+  nn::UNet3dOptions o16 = nn::UNet3dOptions::paper();
+  o16.base_filters = 16;
+  nn::UNet3d net16(o16);
+  EXPECT_EQ(unet3d_param_count(m16), net16.num_params());
+}
+
+TEST(CostModelTest, ForwardFlopsInPlausibleRange) {
+  ModelShape m;
+  const double flops = unet3d_forward_flops(m);
+  // Hand estimate for bf=8 at 4x240x240x152 is ~3.6e11 (DESIGN.md).
+  EXPECT_GT(flops, 2.5e11);
+  EXPECT_LT(flops, 5.0e11);
+  EXPECT_DOUBLE_EQ(unet3d_training_flops(m), 3.0 * flops);
+}
+
+TEST(CostModelTest, FlopsScaleWithFilters) {
+  ModelShape m8;
+  ModelShape m16 = m8;
+  m16.base_filters = 16;
+  const double ratio =
+      unet3d_forward_flops(m16) / unet3d_forward_flops(m8);
+  // Doubling channels multiplies conv cost by ~4 (slightly less at the
+  // input conv).
+  EXPECT_GT(ratio, 3.3);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(CostModelTest, MemoryModelDerivesPaperBatchLimits) {
+  // The paper: "batch sizes are forcefully reduced to 2 or even 1".
+  const CostModel cm = make_model();
+  ModelShape m8;
+  EXPECT_EQ(cm.max_batch_per_replica(m8), 2);  // bf=8 -> batch 2 max
+  ModelShape m16 = m8;
+  m16.base_filters = 16;
+  EXPECT_EQ(cm.max_batch_per_replica(m16), 1);  // bf=16 -> batch 1 max
+}
+
+TEST(CostModelTest, MemoryMonotoneInBatch) {
+  const CostModel cm = make_model();
+  ModelShape m;
+  EXPECT_LT(cm.memory_bytes(m, 1), cm.memory_bytes(m, 2));
+  EXPECT_LT(cm.memory_bytes(m, 2), cm.memory_bytes(m, 4));
+}
+
+TEST(CostModelTest, SyncOverheadStructure) {
+  const CostModel cm = make_model();
+  EXPECT_DOUBLE_EQ(cm.sync_overhead_frac(1), 0.0);
+  // Two GPUs share an NVLink pair: small overhead.
+  EXPECT_GT(cm.sync_overhead_frac(2), 0.0);
+  EXPECT_LT(cm.sync_overhead_frac(2), 0.10);
+  // Four GPUs cross the pair boundary: the paper's visible n=4 dip.
+  EXPECT_GT(cm.sync_overhead_frac(4), 0.25);
+  // Node boundary adds more, growing with spanned nodes.
+  EXPECT_GT(cm.sync_overhead_frac(8), cm.sync_overhead_frac(4));
+  EXPECT_GT(cm.sync_overhead_frac(32), cm.sync_overhead_frac(16));
+}
+
+TEST(CostModelTest, AllreduceSecondsMechanism) {
+  const CostModel cm = make_model();
+  EXPECT_DOUBLE_EQ(cm.allreduce_seconds(1, 1e6), 0.0);
+  // 2(n-1)/n traffic factor: in the transfer-dominated regime, doubling
+  // the payload nearly doubles the time (latency makes it slightly
+  // sublinear).
+  const double t1 = cm.allreduce_seconds(4, 1e9);
+  const double t2 = cm.allreduce_seconds(4, 2e9);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_LT(t2, 2.0 * t1 + 1e-9);
+  EXPECT_GT(t2, 1.8 * t1);
+  // Cross-node rings are slower than intra-node for the same payload.
+  EXPECT_GT(cm.allreduce_seconds(8, 1e7), cm.allreduce_seconds(4, 1e7));
+}
+
+TEST(CostModelTest, TrialSecondsSingleGpuScale) {
+  // A bf=8 batch-2 trial of 250 epochs over 338 subjects should land in
+  // the hour range consistent with the Table-I calibration: the whole
+  // 32-trial search totals ~44h, so one light trial is well under 2h.
+  const CostModel cm = make_model();
+  SimTrialConfig cfg;
+  const double t = cm.trial_seconds(cfg, 1, 250, 338, 72);
+  EXPECT_GT(t, 0.25 * 3600.0);
+  EXPECT_LT(t, 2.0 * 3600.0);
+}
+
+TEST(CostModelTest, TrialSecondsDecreaseWithGpus) {
+  const CostModel cm = make_model();
+  SimTrialConfig cfg;
+  double prev = cm.trial_seconds(cfg, 1, 250, 338, 72);
+  for (int n : {2, 4, 8, 16, 32}) {
+    const double t = cm.trial_seconds(cfg, n, 250, 338, 72);
+    EXPECT_LT(t, prev) << "n=" << n;
+    prev = t;
+  }
+}
+
+TEST(CostModelTest, TrialRejectsOversizedBatch) {
+  const CostModel cm = make_model();
+  SimTrialConfig cfg;
+  cfg.base_filters = 16;
+  cfg.batch_per_replica = 2;  // bf=16 only fits batch 1
+  EXPECT_THROW(cm.trial_seconds(cfg, 1, 250, 338, 72), InvalidArgument);
+}
+
+TEST(CostModelTest, AugmentationCostsExtra) {
+  const CostModel cm = make_model();
+  SimTrialConfig plain;
+  SimTrialConfig aug = plain;
+  aug.augment = true;
+  EXPECT_GT(cm.trial_seconds(aug, 1, 250, 338, 72),
+            cm.trial_seconds(plain, 1, 250, 338, 72));
+}
+
+TEST(CostModelTest, PipelineBoundaryBytesPositiveAndScales) {
+  const CostModel cm = make_model();
+  ModelShape m8;
+  ModelShape m16 = m8;
+  m16.base_filters = 16;
+  const double b8 = cm.pipeline_boundary_bytes(m8);
+  EXPECT_GT(b8, 0.0);
+  EXPECT_NEAR(cm.pipeline_boundary_bytes(m16) / b8, 2.0, 1e-9);
+}
+
+TEST(CostModelTest, PipelineLiftsMemoryCeiling) {
+  // The paper's future-work motivation: models that cannot grow their
+  // batch on one device can once staged.
+  const CostModel cm = make_model();
+  ModelShape m16;
+  m16.base_filters = 16;
+  EXPECT_EQ(cm.max_batch_per_replica(m16), 1);
+  EXPECT_GE(cm.pipeline_max_batch(m16, 2, 2), 2);
+  EXPECT_GT(cm.pipeline_max_batch(m16, 2, 4),
+            cm.pipeline_max_batch(m16, 2, 2));
+}
+
+TEST(CostModelTest, PipelineBubbleShrinksWithMicrobatches) {
+  const CostModel cm = make_model();
+  ModelShape m;
+  const auto m1 = cm.pipeline_step(m, 4, 2, 1);
+  const auto m2 = cm.pipeline_step(m, 4, 2, 2);
+  const auto m4 = cm.pipeline_step(m, 4, 2, 4);
+  EXPECT_GT(m1.bubble_frac, m2.bubble_frac);
+  EXPECT_GT(m2.bubble_frac, m4.bubble_frac);
+  EXPECT_LT(m4.step_seconds, m1.step_seconds);
+  // Single stage has no bubble.
+  EXPECT_DOUBLE_EQ(cm.pipeline_step(m, 4, 1, 1).bubble_frac, 0.0);
+}
+
+TEST(CostModelTest, PipelineRejectsBadGeometry) {
+  const CostModel cm = make_model();
+  ModelShape m;
+  EXPECT_THROW(cm.pipeline_step(m, 4, 0, 1), InvalidArgument);
+  EXPECT_THROW(cm.pipeline_step(m, 1, 2, 2), InvalidArgument);
+}
+
+TEST(CostModelTest, CalibrationSolvesExactly) {
+  // calibrate -> rebuild with the result -> the total must match the
+  // measurement to float precision.
+  const ClusterSpec spec = ClusterSpec::marenostrum_cte();
+  CostModelParams base;
+  std::vector<SimTrialConfig> trials;
+  SimTrialConfig light;
+  SimTrialConfig heavy;
+  heavy.base_filters = 16;
+  heavy.batch_per_replica = 1;
+  trials.push_back(light);
+  trials.push_back(heavy);
+
+  const double measured = 4.0 * 3600.0;
+  const double tflops = CostModel::calibrate_effective_tflops(
+      spec, base, trials, 250, 338, 72, measured);
+  EXPECT_GT(tflops, 0.0);
+
+  CostModelParams tuned = base;
+  tuned.effective_tflops = tflops;
+  const CostModel cm(spec, tuned);
+  double total = 0.0;
+  for (const auto& t : trials) {
+    total += cm.trial_seconds(t, 1, 250, 338, 72);
+  }
+  EXPECT_NEAR(total, measured, 1.0);
+}
+
+TEST(CostModelTest, DefaultThroughputMatchesPaperCalibration) {
+  // The shipped default must be (close to) what calibrating against
+  // the paper's EP n=1 time (44:20:19 minus boot and binarization)
+  // produces — the calibration is reproducible, not hand-waved.
+  const ClusterSpec spec = ClusterSpec::marenostrum_cte();
+  CostModelParams base;
+  const CostModel cm(spec, base);
+  std::vector<SimTrialConfig> trials;
+  for (int64_t bf : {int64_t{8}, int64_t{16}}) {
+    for (int i = 0; i < 16; ++i) {
+      SimTrialConfig cfg;
+      cfg.base_filters = bf;
+      cfg.batch_per_replica = bf == 8 ? 2 : 1;
+      trials.push_back(cfg);
+    }
+  }
+  const double paper = 44.0 * 3600 + 20 * 60 + 19;
+  const double overheads = base.cluster_boot_seconds +
+                           cm.binarize_seconds(ModelShape{}, 410);
+  const double tflops = CostModel::calibrate_effective_tflops(
+      spec, base, trials, 250, 338, 72, paper - overheads);
+  EXPECT_NEAR(tflops, base.effective_tflops, 1.5);
+}
+
+TEST(CostModelTest, CalibrationRejectsBadInputs) {
+  const ClusterSpec spec = ClusterSpec::marenostrum_cte();
+  CostModelParams base;
+  EXPECT_THROW(CostModel::calibrate_effective_tflops(spec, base, {}, 250,
+                                                     338, 72, 1000.0),
+               InvalidArgument);
+  std::vector<SimTrialConfig> trials{SimTrialConfig{}};
+  EXPECT_THROW(CostModel::calibrate_effective_tflops(
+                   spec, base, trials, 250, 338, 72,
+                   base.trial_setup_seconds / 2.0),
+               InvalidArgument);
+}
+
+TEST(CostModelTest, BinarizeSecondsReasonable) {
+  const CostModel cm = make_model();
+  ModelShape m;
+  const double t = cm.binarize_seconds(m, 484);
+  EXPECT_GT(t, 10.0);      // not free
+  EXPECT_LT(t, 3600.0);    // well under an hour
+  EXPECT_GT(cm.binarize_seconds(m, 484), cm.binarize_seconds(m, 100));
+}
+
+}  // namespace
+}  // namespace dmis::cluster

@@ -1,0 +1,72 @@
+#include "cluster/desim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dmis::cluster {
+namespace {
+
+TEST(EventSimTest, RunsEventsInTimeOrder) {
+  EventSim sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(sim.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_executed(), 3);
+}
+
+TEST(EventSimTest, FifoAmongEqualTimestamps) {
+  EventSim sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventSimTest, HandlersScheduleRelativeToNow) {
+  EventSim sim;
+  double second_event_time = -1.0;
+  sim.schedule(2.0, [&] {
+    sim.schedule(3.0, [&] { second_event_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(second_event_time, 5.0);
+}
+
+TEST(EventSimTest, ChainedEventsSimulateAQueue) {
+  // One server, three jobs of 2s arriving at time 0: completion at 2,4,6.
+  EventSim sim;
+  std::vector<double> completions;
+  std::function<void(int)> serve = [&](int remaining) {
+    if (remaining == 0) return;
+    sim.schedule(2.0, [&, remaining] {
+      completions.push_back(sim.now());
+      serve(remaining - 1);
+    });
+  };
+  serve(3);
+  sim.run();
+  EXPECT_EQ(completions, (std::vector<double>{2.0, 4.0, 6.0}));
+}
+
+TEST(EventSimTest, RejectsNegativeDelayAndNullHandler) {
+  EventSim sim;
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), InvalidArgument);
+  EXPECT_THROW(sim.schedule(1.0, nullptr), InvalidArgument);
+}
+
+TEST(EventSimTest, EmptyRunReturnsZero) {
+  EventSim sim;
+  EXPECT_DOUBLE_EQ(sim.run(), 0.0);
+}
+
+}  // namespace
+}  // namespace dmis::cluster

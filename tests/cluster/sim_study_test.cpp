@@ -1,0 +1,117 @@
+#include "cluster/sim_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace dmis::cluster {
+namespace {
+
+TEST(ExperimentParallelSimTest, SingleGpuSerializes) {
+  const std::vector<double> durations{10, 20, 30};
+  const SimOutcome out =
+      simulate_experiment_parallel(durations, 1, 5.0, SchedulePolicy::kFifo);
+  EXPECT_DOUBLE_EQ(out.makespan_seconds, 65.0);
+  ASSERT_EQ(out.timeline.size(), 3U);
+  EXPECT_DOUBLE_EQ(out.timeline[0].start, 5.0);
+  EXPECT_DOUBLE_EQ(out.timeline[0].end, 15.0);
+}
+
+TEST(ExperimentParallelSimTest, PerfectParallelism) {
+  const std::vector<double> durations{10, 10, 10, 10};
+  const SimOutcome out =
+      simulate_experiment_parallel(durations, 4, 0.0, SchedulePolicy::kFifo);
+  EXPECT_DOUBLE_EQ(out.makespan_seconds, 10.0);
+  // Each trial on its own GPU.
+  std::vector<int> gpus;
+  for (const auto& t : out.timeline) gpus.push_back(t.gpu);
+  std::sort(gpus.begin(), gpus.end());
+  EXPECT_EQ(gpus, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ExperimentParallelSimTest, FifoGreedyDispatch) {
+  // 2 GPUs, jobs 10, 2, 2, 2: FIFO puts 10 on gpu A; B runs 2,2,2.
+  const std::vector<double> durations{10, 2, 2, 2};
+  const SimOutcome out =
+      simulate_experiment_parallel(durations, 2, 0.0, SchedulePolicy::kFifo);
+  EXPECT_DOUBLE_EQ(out.makespan_seconds, 10.0);
+}
+
+TEST(ExperimentParallelSimTest, FifoCanBeSuboptimal) {
+  // Jobs 2, 2, 10 on 2 GPUs: FIFO -> makespan 12; LPT -> 10.
+  const std::vector<double> durations{2, 2, 10};
+  const double fifo =
+      simulate_experiment_parallel(durations, 2, 0.0, SchedulePolicy::kFifo)
+          .makespan_seconds;
+  const double lpt =
+      simulate_experiment_parallel(durations, 2, 0.0, SchedulePolicy::kLpt)
+          .makespan_seconds;
+  EXPECT_DOUBLE_EQ(fifo, 12.0);
+  EXPECT_DOUBLE_EQ(lpt, 10.0);
+}
+
+// Property: for any inputs, makespan >= max duration + boot,
+// makespan >= total/n + boot, and the schedule is a valid packing.
+TEST(ExperimentParallelSimTest, MakespanBoundsProperty) {
+  const std::vector<double> durations{7, 3, 9, 1, 4, 6, 2, 8, 5};
+  for (int n : {1, 2, 3, 4, 8, 16}) {
+    for (auto policy : {SchedulePolicy::kFifo, SchedulePolicy::kLpt}) {
+      const SimOutcome out =
+          simulate_experiment_parallel(durations, n, 1.0, policy);
+      const double total =
+          std::accumulate(durations.begin(), durations.end(), 0.0);
+      EXPECT_GE(out.makespan_seconds + 1e-9,
+                1.0 + *std::max_element(durations.begin(), durations.end()));
+      EXPECT_GE(out.makespan_seconds + 1e-9, 1.0 + total / n);
+      EXPECT_LE(out.makespan_seconds,
+                1.0 + total);  // never worse than fully serial
+      // Every trial appears exactly once.
+      std::vector<int> ids;
+      for (const auto& t : out.timeline) ids.push_back(t.trial);
+      std::sort(ids.begin(), ids.end());
+      for (int i = 0; i < 9; ++i) EXPECT_EQ(ids[static_cast<size_t>(i)], i);
+      // No GPU overlap: trials on the same GPU are disjoint in time.
+      for (size_t a = 0; a < out.timeline.size(); ++a) {
+        for (size_t b = a + 1; b < out.timeline.size(); ++b) {
+          if (out.timeline[a].gpu != out.timeline[b].gpu) continue;
+          const bool disjoint = out.timeline[a].end <= out.timeline[b].start +
+                                                           1e-9 ||
+                                out.timeline[b].end <=
+                                    out.timeline[a].start + 1e-9;
+          EXPECT_TRUE(disjoint);
+        }
+      }
+    }
+  }
+}
+
+TEST(DataParallelSimTest, SumsDurationsAfterBoot) {
+  const std::vector<double> durations{5, 6, 7};
+  const SimOutcome out = simulate_data_parallel(durations, 2.0);
+  EXPECT_DOUBLE_EQ(out.makespan_seconds, 20.0);
+  ASSERT_EQ(out.timeline.size(), 3U);
+  EXPECT_DOUBLE_EQ(out.timeline[2].start, 13.0);
+}
+
+TEST(SimStudyTest, RejectsBadInputs) {
+  EXPECT_THROW(
+      simulate_experiment_parallel({1.0}, 0, 0.0, SchedulePolicy::kFifo),
+      InvalidArgument);
+  EXPECT_THROW(
+      simulate_experiment_parallel({-1.0}, 1, 0.0, SchedulePolicy::kFifo),
+      InvalidArgument);
+  EXPECT_THROW(simulate_data_parallel({1.0}, -1.0), InvalidArgument);
+}
+
+TEST(SimStudyTest, EmptyTrialListIsJustBoot) {
+  EXPECT_DOUBLE_EQ(simulate_experiment_parallel({}, 4, 3.0,
+                                                SchedulePolicy::kFifo)
+                       .makespan_seconds,
+                   3.0);
+}
+
+}  // namespace
+}  // namespace dmis::cluster

@@ -1,0 +1,29 @@
+#include "core/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace dmis::core {
+namespace {
+
+TEST(FormatTest, HmsMatchesPaperStyle) {
+  // 44:18:02 — the paper's data-parallel n=1 time.
+  EXPECT_EQ(format_hms(44 * 3600 + 18 * 60 + 2), "44:18:02");
+  EXPECT_EQ(format_hms(0), "0:00:00");
+  EXPECT_EQ(format_hms(59), "0:00:59");
+  EXPECT_EQ(format_hms(60), "0:01:00");
+  EXPECT_EQ(format_hms(3599.6), "1:00:00");  // rounds
+}
+
+TEST(FormatTest, HmsRejectsNegative) {
+  EXPECT_THROW(format_hms(-1.0), InvalidArgument);
+}
+
+TEST(FormatTest, Speedup) {
+  EXPECT_EQ(format_speedup(13.184), "13.18");
+  EXPECT_EQ(format_speedup(1.0), "1.00");
+}
+
+}  // namespace
+}  // namespace dmis::core

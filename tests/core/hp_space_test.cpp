@@ -1,0 +1,67 @@
+#include "core/hp_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace dmis::core {
+namespace {
+
+TEST(HpSpaceTest, PaperGridHas32Points) {
+  EXPECT_EQ(HpSpace::paper().grid_size(), 32);
+}
+
+TEST(HpSpaceTest, ExpandDerivesBatchFromMemoryModel) {
+  const cluster::CostModel cost(cluster::ClusterSpec::marenostrum_cte());
+  const auto configs = HpSpace::expand(HpSpace::paper(), cost);
+  ASSERT_EQ(configs.size(), 32U);
+  int heavy = 0, light = 0;
+  for (const auto& cfg : configs) {
+    EXPECT_EQ(cfg.epochs, 250);
+    if (cfg.base_filters == 8) {
+      EXPECT_EQ(cfg.batch_per_replica, 2);  // paper: batch 2 fits
+      ++light;
+    } else {
+      EXPECT_EQ(cfg.base_filters, 16);
+      EXPECT_EQ(cfg.batch_per_replica, 1);  // paper: "or even 1"
+      ++heavy;
+    }
+  }
+  EXPECT_EQ(light, 16);
+  EXPECT_EQ(heavy, 16);
+}
+
+TEST(HpSpaceTest, ConfigsAreDistinct) {
+  const cluster::CostModel cost(cluster::ClusterSpec::marenostrum_cte());
+  const auto configs = HpSpace::expand(HpSpace::paper(), cost);
+  std::set<std::string> names;
+  for (const auto& cfg : configs) {
+    names.insert(cfg.name() + "_" + std::to_string(cfg.lr));
+  }
+  EXPECT_EQ(names.size(), 32U);
+}
+
+TEST(HpSpaceTest, InfeasibleConfigRejected) {
+  // bf=32 fits no batch on a 16 GB V100 (even batch 1 exceeds memory);
+  // the expansion must refuse rather than emit an impossible trial.
+  const cluster::CostModel cost(cluster::ClusterSpec::marenostrum_cte());
+  ray::SearchSpace space;
+  space.choice("lr", {1e-4})
+      .choice("loss", {std::string("dice")})
+      .choice("base_filters", {int64_t{32}})
+      .choice("augment", {false});
+  EXPECT_THROW(HpSpace::expand(space, cost), InvalidArgument);
+}
+
+TEST(HpSpaceTest, SeedsAreUniquePerConfig) {
+  const cluster::CostModel cost(cluster::ClusterSpec::marenostrum_cte());
+  const auto configs = HpSpace::expand(HpSpace::paper(), cost, 250, 100);
+  std::set<uint64_t> seeds;
+  for (const auto& cfg : configs) seeds.insert(cfg.seed);
+  EXPECT_EQ(seeds.size(), 32U);
+}
+
+}  // namespace
+}  // namespace dmis::core

@@ -1,0 +1,138 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace dmis::core {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dmis_pipe_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  PipelineOptions small_options() {
+    PipelineOptions opts;
+    opts.work_dir = dir_.string();
+    opts.num_subjects = 10;
+    opts.phantom.depth = 9;   // crops to 8 with divisor 2
+    opts.phantom.height = 8;
+    opts.phantom.width = 8;
+    opts.model_depth = 2;
+    opts.shuffle_buffer = 4;
+    return opts;
+  }
+
+  ExperimentConfig tiny_config() {
+    ExperimentConfig cfg;
+    cfg.base_filters = 2;
+    cfg.epochs = 2;
+    cfg.lr = 1e-3;
+    cfg.batch_per_replica = 2;
+    return cfg;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PipelineTest, PrepareWritesSplitsAndShards) {
+  DistMisPipeline pipeline(small_options());
+  const PreparedData& prep = pipeline.prepare();
+  EXPECT_EQ(prep.split.train.size(), 7U);  // 70% of 10
+  EXPECT_EQ(prep.split.val.size(), 1U);
+  EXPECT_EQ(prep.split.test.size(), 2U);
+  EXPECT_EQ(prep.train_records.size(), 2U);  // shards_per_split default
+  for (const auto& p : prep.train_records) {
+    EXPECT_TRUE(std::filesystem::exists(p));
+  }
+  // Post-crop geometry: 4 channels, 8^3 (phantom depth 9 cropped to 8).
+  EXPECT_EQ(prep.image_shape, (Shape{4, 8, 8, 8}));
+  EXPECT_GT(prep.binarize_seconds, 0.0);
+}
+
+TEST_F(PipelineTest, PrepareIsIdempotent) {
+  DistMisPipeline pipeline(small_options());
+  const PreparedData& a = pipeline.prepare();
+  const double t = a.binarize_seconds;
+  const PreparedData& b = pipeline.prepare();
+  EXPECT_EQ(b.binarize_seconds, t);  // reused, not regenerated
+}
+
+TEST_F(PipelineTest, TrainStreamCoversAllTrainSubjects) {
+  DistMisPipeline pipeline(small_options());
+  pipeline.prepare();
+  auto stream = pipeline.train_stream(/*augment=*/false);
+  std::set<int64_t> ids;
+  while (auto e = stream->next()) ids.insert(e->id);
+  EXPECT_EQ(ids.size(), 7U);
+}
+
+TEST_F(PipelineTest, AugmentedStreamPreservesMaskGeometryPairing) {
+  DistMisPipeline pipeline(small_options());
+  pipeline.prepare();
+  auto stream = pipeline.train_stream(/*augment=*/true);
+  int64_t count = 0;
+  while (auto e = stream->next()) {
+    ++count;
+    EXPECT_EQ(e->image.shape(), (Shape{4, 8, 8, 8}));
+    EXPECT_EQ(e->label.shape(), (Shape{1, 8, 8, 8}));
+    // Labels stay binary after flips.
+    for (int64_t i = 0; i < e->label.numel(); ++i) {
+      EXPECT_TRUE(e->label[i] == 0.0F || e->label[i] == 1.0F);
+    }
+  }
+  EXPECT_EQ(count, 7);
+}
+
+TEST_F(PipelineTest, RunSingleTrains) {
+  DistMisPipeline pipeline(small_options());
+  const train::TrainReport report = pipeline.run_single(tiny_config());
+  ASSERT_EQ(report.history.size(), 2U);
+  EXPECT_TRUE(std::isfinite(report.history.back().train_loss));
+  EXPECT_TRUE(report.history.back().val_dice.has_value());
+}
+
+TEST_F(PipelineTest, RunDataParallelTrains) {
+  DistMisPipeline pipeline(small_options());
+  const train::TrainReport report =
+      pipeline.run_data_parallel(tiny_config(), 2);
+  ASSERT_EQ(report.history.size(), 2U);
+  // Global batch 4 over 7 subjects: ceil(7/4) = 2 steps/epoch.
+  EXPECT_EQ(report.history.front().steps, 2);
+}
+
+TEST_F(PipelineTest, RunExperimentParallelTunes) {
+  DistMisPipeline pipeline(small_options());
+  std::vector<ExperimentConfig> configs;
+  for (double lr : {1e-2, 1e-3}) {
+    ExperimentConfig cfg = tiny_config();
+    cfg.lr = lr;
+    configs.push_back(cfg);
+  }
+  const ray::TuneResult result =
+      pipeline.run_experiment_parallel(configs, /*gpus=*/2);
+  EXPECT_EQ(result.count(ray::TrialStatus::kTerminated), 2);
+  EXPECT_NO_THROW(result.best("val_dice"));
+}
+
+TEST_F(PipelineTest, RejectsBadOptions) {
+  PipelineOptions opts = small_options();
+  opts.num_subjects = 5;
+  EXPECT_THROW(DistMisPipeline{opts}, InvalidArgument);
+  PipelineOptions no_dir = small_options();
+  no_dir.work_dir.clear();
+  EXPECT_THROW(DistMisPipeline{no_dir}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dmis::core

@@ -1,0 +1,114 @@
+#include "core/scaling_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/hp_space.hpp"
+
+namespace dmis::core {
+namespace {
+
+ScalingStudy make_study() {
+  const cluster::CostModel cost(cluster::ClusterSpec::marenostrum_cte());
+  return ScalingStudy(cost, HpSpace::expand(HpSpace::paper(), cost));
+}
+
+StudyOptions fast_options() {
+  StudyOptions opts;
+  opts.repetitions = 1;
+  return opts;
+}
+
+TEST(ScalingStudyTest, SingleGpuBaselineNearPaper) {
+  // Calibration check: the 32-experiment search on one V100 must land
+  // near the paper's 44h20m (within 10%).
+  const ScalingStudy study = make_study();
+  const double t = study.run_experiment_parallel_once(1, fast_options(), 0);
+  const double paper = 44.0 * 3600 + 20 * 60 + 19;
+  EXPECT_NEAR(t, paper, 0.10 * paper);
+}
+
+TEST(ScalingStudyTest, ExperimentParallelBeatsDataParallel) {
+  const ScalingStudy study = make_study();
+  StudyOptions opts = fast_options();
+  // The paper's protocol: three repetitions averaged. A single
+  // repetition can catch an unlucky straggler draw in the EP
+  // single-wave case, just like one real run could.
+  opts.repetitions = 3;
+  opts.gpu_counts = {1, 4, 32};
+  const StudyResult result = study.run(opts);
+  ASSERT_EQ(result.data_parallel.size(), 3U);
+  ASSERT_EQ(result.experiment_parallel.size(), 3U);
+  for (size_t i = 1; i < result.data_parallel.size(); ++i) {
+    EXPECT_GT(result.experiment_parallel[i].speedup,
+              result.data_parallel[i].speedup)
+        << "n=" << result.data_parallel[i].gpus;
+  }
+}
+
+TEST(ScalingStudyTest, SpeedupsMonotoneAndSublinear) {
+  const ScalingStudy study = make_study();
+  StudyOptions opts = fast_options();
+  const StudyResult result = study.run(opts);
+  const auto check = [](const std::vector<StudyCell>& cells) {
+    double prev = 0.0;
+    for (const StudyCell& c : cells) {
+      EXPECT_GT(c.speedup, prev) << "n=" << c.gpus;
+      EXPECT_LE(c.speedup, static_cast<double>(c.gpus) + 1e-9)
+          << "n=" << c.gpus;
+      prev = c.speedup;
+    }
+  };
+  check(result.data_parallel);
+  check(result.experiment_parallel);
+}
+
+TEST(ScalingStudyTest, DeterministicPerSeed) {
+  const ScalingStudy study = make_study();
+  StudyOptions opts = fast_options();
+  const double a = study.run_experiment_parallel_once(8, opts, 0);
+  const double b = study.run_experiment_parallel_once(8, opts, 0);
+  EXPECT_DOUBLE_EQ(a, b);
+  const double c = study.run_experiment_parallel_once(8, opts, 1);
+  EXPECT_NE(a, c);  // repetitions differ (jitter/stragglers)
+}
+
+TEST(ScalingStudyTest, MinMaxBracketMean) {
+  const ScalingStudy study = make_study();
+  StudyOptions opts;
+  opts.repetitions = 3;
+  opts.gpu_counts = {1, 8};
+  const StudyResult result = study.run(opts);
+  for (const auto& cells :
+       {result.data_parallel, result.experiment_parallel}) {
+    for (const StudyCell& c : cells) {
+      EXPECT_LE(c.min_seconds, c.mean_seconds);
+      EXPECT_LE(c.mean_seconds, c.max_seconds);
+    }
+  }
+}
+
+TEST(ScalingStudyTest, LptNotWorseThanFifo) {
+  const ScalingStudy study = make_study();
+  StudyOptions fifo = fast_options();
+  StudyOptions lpt = fast_options();
+  lpt.policy = cluster::SchedulePolicy::kLpt;
+  for (int n : {8, 16, 32}) {
+    const double t_fifo = study.run_experiment_parallel_once(n, fifo, 0);
+    const double t_lpt = study.run_experiment_parallel_once(n, lpt, 0);
+    EXPECT_LE(t_lpt, t_fifo + 1e-6) << "n=" << n;
+  }
+}
+
+TEST(ScalingStudyTest, RejectsBadOptions) {
+  const ScalingStudy study = make_study();
+  StudyOptions opts;
+  opts.gpu_counts = {2, 4};  // must start at 1
+  EXPECT_THROW(study.run(opts), InvalidArgument);
+  StudyOptions no_reps;
+  no_reps.repetitions = 0;
+  EXPECT_THROW(study.run(no_reps), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dmis::core

@@ -1,0 +1,111 @@
+#include "core/serve.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/check.hpp"
+#include "data/phantom.hpp"
+#include "data/transforms.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+#include "nn/optim.hpp"
+
+namespace dmis::core {
+namespace {
+
+nn::UNet3dOptions tiny_model() {
+  nn::UNet3dOptions opts;
+  opts.in_channels = 4;
+  opts.base_filters = 2;
+  opts.depth = 2;
+  opts.seed = 3;
+  return opts;
+}
+
+TEST(SegmentationServiceTest, OutputsMatchInputGeometry) {
+  SegmentationService service(tiny_model(), "");
+  // Raw, uncropped, indivisible geometry — exactly what a user hands in.
+  data::PhantomOptions popts;
+  popts.depth = 9;
+  popts.height = 11;
+  popts.width = 13;
+  const data::PhantomSubject s = data::PhantomGenerator(popts).generate(0);
+  const SegmentationResult result = service.segment(s.image);
+  EXPECT_EQ(result.mask.depth(), 9);
+  EXPECT_EQ(result.mask.height(), 11);
+  EXPECT_EQ(result.mask.width(), 13);
+  EXPECT_EQ(result.probabilities.depth(), 9);
+  for (int64_t i = 0; i < result.mask.tensor().numel(); ++i) {
+    EXPECT_TRUE(result.mask.tensor()[i] == 0.0F ||
+                result.mask.tensor()[i] == 1.0F);
+    EXPECT_GE(result.probabilities.tensor()[i], 0.0F);
+    EXPECT_LE(result.probabilities.tensor()[i], 1.0F);
+  }
+  EXPECT_EQ(result.tumor_voxels,
+            static_cast<int64_t>(std::llround(result.mask.tensor().sum())));
+}
+
+TEST(SegmentationServiceTest, TrainedCheckpointSegmentsTumor) {
+  // Train a tiny model on one phantom, checkpoint it, serve it through
+  // the service, and check the mask overlaps the ground truth.
+  data::PhantomOptions popts;
+  popts.depth = 9;  // crops to 8 (divisor 2)
+  popts.height = 8;
+  popts.width = 8;
+  const data::PhantomSubject subj = data::PhantomGenerator(popts).generate(1);
+  const data::Example ex =
+      data::preprocess_subject(subj.image, subj.labels, 1, 2);
+
+  nn::UNet3d net(tiny_model());
+  nn::SoftDiceLoss loss;
+  nn::Adam opt(net.params(), 1e-2);
+  Shape batched = Shape{1};
+  for (int i = 0; i < ex.image.shape().rank(); ++i) {
+    batched = batched.appended(ex.image.shape().dim(i));
+  }
+  NDArray x(batched, ex.image.span());
+  Shape lbl_batched = Shape{1};
+  for (int i = 0; i < ex.label.shape().rank(); ++i) {
+    lbl_batched = lbl_batched.appended(ex.label.shape().dim(i));
+  }
+  NDArray y(lbl_batched, ex.label.span());
+  for (int step = 0; step < 60; ++step) {
+    opt.zero_grad();
+    const NDArray& pred = net.forward(x, true);
+    net.backward(loss.compute(pred, y).grad);
+    opt.step();
+  }
+
+  const auto ckpt = std::filesystem::temp_directory_path() /
+                    ("dmis_serve_" + std::to_string(::getpid()) + ".ckpt");
+  nn::save_checkpoint(ckpt.string(), net.checkpoint_params());
+
+  SegmentationService service(tiny_model(), ckpt.string());
+  // Serve the RAW (uncropped 9-deep) volume.
+  const SegmentationResult result = service.segment(subj.image);
+  EXPECT_GT(result.tumor_voxels, 0);
+  // Compare on the central 8 slices against ground truth.
+  const data::Volume truth = data::join_labels_binary(
+      data::center_crop(subj.labels, 8, 8, 8));
+  const data::Volume mask_cropped =
+      data::center_crop(result.mask, 8, 8, 8);
+  EXPECT_GT(nn::dice_score(mask_cropped.tensor(), truth.tensor()), 0.5);
+  std::filesystem::remove(ckpt);
+}
+
+TEST(SegmentationServiceTest, RejectsBadInputs) {
+  SegmentationService service(tiny_model(), "");
+  data::Volume wrong_channels(2, 8, 8, 8);
+  EXPECT_THROW(service.segment(wrong_channels), InvalidArgument);
+  data::Volume ok(4, 8, 8, 8);
+  EXPECT_THROW(service.segment(ok, 0.0F), InvalidArgument);
+  EXPECT_THROW(service.segment(ok, 1.0F), InvalidArgument);
+  EXPECT_THROW(SegmentationService(tiny_model(), "/no/such/ckpt"), IoError);
+}
+
+}  // namespace
+}  // namespace dmis::core

@@ -1,0 +1,128 @@
+#include "data/augment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/rng.hpp"
+
+namespace dmis::data {
+namespace {
+
+Example make_example(int64_t id) {
+  Example ex;
+  ex.id = id;
+  ex.image = NDArray(Shape{2, 2, 3, 4});
+  ex.label = NDArray(Shape{1, 2, 3, 4});
+  for (int64_t i = 0; i < ex.image.numel(); ++i) {
+    ex.image[i] = static_cast<float>(i);
+  }
+  for (int64_t i = 0; i < ex.label.numel(); ++i) {
+    ex.label[i] = i % 3 == 0 ? 1.0F : 0.0F;
+  }
+  return ex;
+}
+
+TEST(FlipTensorTest, WidthFlipReversesRows) {
+  NDArray t(Shape{1, 1, 1, 4}, std::vector<float>{1, 2, 3, 4});
+  flip_tensor(t, false, false, true);
+  EXPECT_FLOAT_EQ(t[0], 4.0F);
+  EXPECT_FLOAT_EQ(t[3], 1.0F);
+}
+
+TEST(FlipTensorTest, DoubleFlipIsIdentity) {
+  Example ex = make_example(0);
+  NDArray orig = ex.image;
+  flip_tensor(ex.image, true, true, true);
+  flip_tensor(ex.image, true, true, true);
+  EXPECT_TRUE(ex.image.allclose(orig, 0.0F));
+}
+
+TEST(FlipTensorTest, NoFlagsIsNoop) {
+  Example ex = make_example(0);
+  NDArray orig = ex.image;
+  flip_tensor(ex.image, false, false, false);
+  EXPECT_TRUE(ex.image.allclose(orig, 0.0F));
+}
+
+TEST(FlipTensorTest, RejectsWrongRank) {
+  NDArray t(Shape{2, 2});
+  EXPECT_THROW(flip_tensor(t, false, false, true), InvalidArgument);
+}
+
+TEST(AugmentTest, DeterministicPerSeedAndId) {
+  AugmentOptions opts;
+  opts.noise_sigma = 0.05;
+  const Example a = augment(make_example(5), opts, 42);
+  const Example b = augment(make_example(5), opts, 42);
+  EXPECT_TRUE(a.image.allclose(b.image, 0.0F));
+  EXPECT_TRUE(a.label.allclose(b.label, 0.0F));
+}
+
+TEST(AugmentTest, DifferentIdsAugmentDifferently) {
+  AugmentOptions opts;
+  opts.noise_sigma = 0.05;
+  const Example a = augment(make_example(1), opts, 42);
+  const Example b = augment(make_example(2), opts, 42);
+  EXPECT_FALSE(a.image.allclose(b.image, 1e-6F));
+}
+
+TEST(AugmentTest, GeometryAppliedIdenticallyToImageAndMask) {
+  // With flips certain (prob 1) and no intensity change, a copy of the
+  // mask placed in the image channel must transform exactly like the
+  // mask itself.
+  AugmentOptions opts;
+  opts.flip_w_prob = 1.0;
+  opts.flip_h_prob = 1.0;
+  opts.flip_d_prob = 1.0;
+  opts.intensity_shift = 0.0;
+  opts.intensity_scale = 0.0;
+
+  Example ex;
+  ex.id = 3;
+  ex.label = NDArray(Shape{1, 2, 2, 2});
+  for (int64_t i = 0; i < 8; ++i) ex.label[i] = i % 2 ? 1.0F : 0.0F;
+  ex.image = ex.label;  // same payload
+
+  const Example out = augment(std::move(ex), opts, 7);
+  EXPECT_TRUE(out.image.allclose(out.label, 0.0F));
+  // And the flip actually happened.
+  EXPECT_FLOAT_EQ(out.label[0], 1.0F);
+}
+
+TEST(AugmentTest, MaskStaysBinary) {
+  AugmentOptions opts;
+  opts.noise_sigma = 0.2;  // image noise must not leak into the mask
+  const Example out = augment(make_example(9), opts, 11);
+  for (int64_t i = 0; i < out.label.numel(); ++i) {
+    EXPECT_TRUE(out.label[i] == 0.0F || out.label[i] == 1.0F);
+  }
+}
+
+TEST(AugmentTest, IntensityOnlyPreservesGeometry) {
+  AugmentOptions opts;
+  opts.flip_w_prob = 0.0;
+  opts.flip_h_prob = 0.0;
+  opts.intensity_shift = 0.5;
+  opts.intensity_scale = 0.0;
+  const Example in = make_example(4);
+  const Example out = augment(make_example(4), opts, 3);
+  // Same ordering (monotone shift), different values.
+  EXPECT_FALSE(out.image.allclose(in.image, 1e-3F));
+  EXPECT_TRUE(out.label.allclose(in.label, 0.0F));
+  // Per-channel constant shift: adjacent deltas preserved.
+  EXPECT_NEAR(out.image[1] - out.image[0], in.image[1] - in.image[0], 1e-4F);
+}
+
+TEST(AugmentTest, RejectsBadOptions) {
+  AugmentOptions opts;
+  opts.flip_w_prob = 1.5;
+  EXPECT_THROW(augment(make_example(0), opts, 1), InvalidArgument);
+  AugmentOptions neg;
+  neg.noise_sigma = -1.0;
+  EXPECT_THROW(augment(make_example(0), neg, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dmis::data

@@ -1,0 +1,249 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <set>
+
+#include "common/check.hpp"
+#include "data/record.hpp"
+
+namespace dmis::data {
+namespace {
+
+Example tiny_example(int64_t id, float fill = 0.0F) {
+  Example ex;
+  ex.id = id;
+  ex.image = NDArray(Shape{1, 2, 2, 2}, fill == 0.0F
+                                            ? static_cast<float>(id)
+                                            : fill);
+  ex.label = NDArray(Shape{1, 2, 2, 2}, id % 2 == 0 ? 1.0F : 0.0F);
+  return ex;
+}
+
+std::vector<Example> tiny_examples(int64_t n) {
+  std::vector<Example> v;
+  for (int64_t i = 0; i < n; ++i) v.push_back(tiny_example(i));
+  return v;
+}
+
+std::vector<int64_t> drain_ids(ExampleStream& s) {
+  std::vector<int64_t> ids;
+  while (auto e = s.next()) ids.push_back(e->id);
+  return ids;
+}
+
+TEST(VectorStreamTest, EmitsInOrderAndResets) {
+  auto s = from_examples(tiny_examples(4));
+  EXPECT_EQ(s->size_hint(), 4);
+  EXPECT_EQ(drain_ids(*s), (std::vector<int64_t>{0, 1, 2, 3}));
+  EXPECT_FALSE(s->next().has_value());
+  s->reset();
+  EXPECT_EQ(drain_ids(*s), (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
+TEST(MapStreamTest, AppliesFunctionInOrder) {
+  auto s = map(from_examples(tiny_examples(5)), [](Example e) {
+    e.id += 100;
+    return e;
+  });
+  EXPECT_EQ(drain_ids(*s), (std::vector<int64_t>{100, 101, 102, 103, 104}));
+}
+
+TEST(MapStreamTest, ParallelWorkersPreserveOrder) {
+  auto s = map(
+      from_examples(tiny_examples(23)),
+      [](Example e) {
+        e.image.scale_(2.0F);
+        return e;
+      },
+      4);
+  std::vector<int64_t> ids = drain_ids(*s);
+  ASSERT_EQ(ids.size(), 23U);
+  for (int64_t i = 0; i < 23; ++i) EXPECT_EQ(ids[static_cast<size_t>(i)], i);
+}
+
+TEST(MapStreamTest, ResetRewinds) {
+  auto s = map(from_examples(tiny_examples(3)), [](Example e) { return e; },
+               2);
+  EXPECT_EQ(drain_ids(*s).size(), 3U);
+  s->reset();
+  EXPECT_EQ(drain_ids(*s).size(), 3U);
+}
+
+TEST(ShuffleStreamTest, EmitsPermutation) {
+  auto s = shuffle(from_examples(tiny_examples(20)), 8, 42);
+  const auto ids = drain_ids(*s);
+  ASSERT_EQ(ids.size(), 20U);
+  const std::set<int64_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 20U);
+  EXPECT_NE(ids, (std::vector<int64_t>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                       12, 13, 14, 15, 16, 17, 18, 19}));
+}
+
+TEST(ShuffleStreamTest, EpochsDiffer) {
+  auto s = shuffle(from_examples(tiny_examples(16)), 16, 7);
+  const auto first = drain_ids(*s);
+  s->reset();
+  const auto second = drain_ids(*s);
+  ASSERT_EQ(second.size(), 16U);
+  EXPECT_NE(first, second);
+}
+
+TEST(ShuffleStreamTest, BufferOneIsIdentity) {
+  auto s = shuffle(from_examples(tiny_examples(6)), 1, 1);
+  EXPECT_EQ(drain_ids(*s), (std::vector<int64_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(PrefetchStreamTest, DeliversAllElements) {
+  auto s = prefetch(from_examples(tiny_examples(50)), 4);
+  const auto ids = drain_ids(*s);
+  ASSERT_EQ(ids.size(), 50U);
+  for (int64_t i = 0; i < 50; ++i) EXPECT_EQ(ids[static_cast<size_t>(i)], i);
+}
+
+TEST(PrefetchStreamTest, ResetRestartsEpoch) {
+  auto s = prefetch(from_examples(tiny_examples(10)), 2);
+  EXPECT_EQ(drain_ids(*s).size(), 10U);
+  s->reset();
+  EXPECT_EQ(drain_ids(*s).size(), 10U);
+}
+
+TEST(PrefetchStreamTest, PropagatesUpstreamErrors) {
+  class ThrowingStream final : public ExampleStream {
+   public:
+    std::optional<Example> next() override {
+      throw IoError("simulated read failure");
+    }
+    void reset() override {}
+  };
+  auto s = prefetch(std::make_unique<ThrowingStream>(), 2);
+  EXPECT_THROW(s->next(), IoError);
+}
+
+TEST(TakeStreamTest, Truncates) {
+  auto s = take(from_examples(tiny_examples(10)), 3);
+  EXPECT_EQ(drain_ids(*s).size(), 3U);
+  EXPECT_EQ(s->size_hint(), 3);
+  s->reset();
+  EXPECT_EQ(drain_ids(*s).size(), 3U);
+}
+
+TEST(BatchStreamTest, StacksExamples) {
+  BatchStream batches(from_examples(tiny_examples(5)), 2);
+  auto b1 = batches.next();
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_EQ(b1->size(), 2);
+  EXPECT_EQ(b1->images.shape(), (Shape{2, 1, 2, 2, 2}));
+  EXPECT_EQ(b1->labels.shape(), (Shape{2, 1, 2, 2, 2}));
+  EXPECT_EQ(b1->ids, (std::vector<int64_t>{0, 1}));
+  // Image data slots preserved.
+  EXPECT_FLOAT_EQ(b1->images[8], 1.0F);  // second example filled with id=1
+
+  auto b2 = batches.next();
+  auto b3 = batches.next();
+  ASSERT_TRUE(b3.has_value());
+  EXPECT_EQ(b3->size(), 1);  // ragged remainder kept (ceil semantics)
+  EXPECT_FALSE(batches.next().has_value());
+}
+
+TEST(BatchStreamTest, DropRemainder) {
+  BatchStream batches(from_examples(tiny_examples(5)), 2, true);
+  EXPECT_TRUE(batches.next().has_value());
+  EXPECT_TRUE(batches.next().has_value());
+  EXPECT_FALSE(batches.next().has_value());
+}
+
+TEST(BatchStreamTest, CountsMatchPaperCeilRule) {
+  // The paper's steps/epoch = ceil(N / batch): 5 examples, batch 2 -> 3.
+  BatchStream batches(from_examples(tiny_examples(5)), 2);
+  int steps = 0;
+  while (batches.next()) ++steps;
+  EXPECT_EQ(steps, 3);
+  batches.reset();
+  steps = 0;
+  while (batches.next()) ++steps;
+  EXPECT_EQ(steps, 3);
+}
+
+class RecordPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dmis_ds_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    // Three shard files with 3, 2, 4 records.
+    int64_t id = 0;
+    for (int f = 0; f < 3; ++f) {
+      const std::string path =
+          (dir_ / ("shard" + std::to_string(f) + ".drec")).string();
+      RecordWriter w(path);
+      const int counts[3] = {3, 2, 4};
+      for (int i = 0; i < counts[f]; ++i) {
+        w.write(Record::from_example(tiny_example(id++)));
+      }
+      paths_.push_back(path);
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::vector<std::string> paths_;
+};
+
+TEST_F(RecordPipelineTest, SequentialReadSeesAllRecords) {
+  auto s = from_record_files(paths_);
+  const auto ids = drain_ids(*s);
+  EXPECT_EQ(ids, (std::vector<int64_t>{0, 1, 2, 3, 4, 5, 6, 7, 8}));
+  s->reset();
+  EXPECT_EQ(drain_ids(*s).size(), 9U);
+}
+
+TEST_F(RecordPipelineTest, InterleaveRoundRobinsAcrossFiles) {
+  auto s = interleave_record_files(paths_, 3);
+  const auto ids = drain_ids(*s);
+  ASSERT_EQ(ids.size(), 9U);
+  // First three elements come from distinct files: ids 0, 3, 5.
+  EXPECT_EQ(ids[0], 0);
+  EXPECT_EQ(ids[1], 3);
+  EXPECT_EQ(ids[2], 5);
+  // Everything is seen exactly once.
+  const std::set<int64_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 9U);
+}
+
+TEST_F(RecordPipelineTest, InterleaveCycleSmallerThanFiles) {
+  auto s = interleave_record_files(paths_, 2);
+  const auto ids = drain_ids(*s);
+  const std::set<int64_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 9U);
+}
+
+TEST_F(RecordPipelineTest, FullPipelineComposition) {
+  // interleave -> map -> shuffle -> prefetch -> batch, two epochs.
+  auto stream = prefetch(
+      shuffle(map(interleave_record_files(paths_, 2),
+                  [](Example e) {
+                    e.image.scale_(0.5F);
+                    return e;
+                  },
+                  2),
+              4, 99),
+      2);
+  BatchStream batches(std::move(stream), 4);
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    int64_t seen = 0;
+    std::set<int64_t> ids;
+    while (auto b = batches.next()) {
+      seen += b->size();
+      ids.insert(b->ids.begin(), b->ids.end());
+    }
+    EXPECT_EQ(seen, 9);
+    EXPECT_EQ(ids.size(), 9U);
+    batches.reset();
+  }
+}
+
+}  // namespace
+}  // namespace dmis::data

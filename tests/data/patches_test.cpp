@@ -1,0 +1,138 @@
+#include "data/patches.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace dmis::data {
+namespace {
+
+Example make_example(int64_t id = 7) {
+  Example ex;
+  ex.id = id;
+  ex.image = NDArray(Shape{2, 8, 10, 12});
+  ex.label = NDArray(Shape{1, 8, 10, 12});
+  for (int64_t i = 0; i < ex.image.numel(); ++i) {
+    ex.image[i] = static_cast<float>(i % 97) * 0.01F;
+  }
+  // Tumor in one corner block.
+  for (int64_t z = 0; z < 3; ++z) {
+    for (int64_t y = 0; y < 3; ++y) {
+      for (int64_t x = 0; x < 3; ++x) {
+        ex.label[(z * 10 + y) * 12 + x] = 1.0F;
+      }
+    }
+  }
+  return ex;
+}
+
+PatchOptions small_patches() {
+  PatchOptions o;
+  o.size_d = 4;
+  o.size_h = 4;
+  o.size_w = 4;
+  o.patches_per_subject = 6;
+  return o;
+}
+
+TEST(SamplePatchesTest, GeometryAndCount) {
+  const auto patches = sample_patches(make_example(), small_patches(), 1);
+  ASSERT_EQ(patches.size(), 6U);
+  for (const Example& p : patches) {
+    EXPECT_EQ(p.image.shape(), (Shape{2, 4, 4, 4}));
+    EXPECT_EQ(p.label.shape(), (Shape{1, 4, 4, 4}));
+  }
+}
+
+TEST(SamplePatchesTest, DeterministicAndIdEncoded) {
+  const auto a = sample_patches(make_example(), small_patches(), 5);
+  const auto b = sample_patches(make_example(), small_patches(), 5);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].image.allclose(b[i].image, 0.0F));
+    EXPECT_EQ(a[i].id, 7 * 1000 + static_cast<int64_t>(i));
+  }
+  const auto c = sample_patches(make_example(), small_patches(), 6);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    any_diff |= !a[i].image.allclose(c[i].image, 0.0F);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SamplePatchesTest, ForegroundBiasFindsTumor) {
+  PatchOptions o = small_patches();
+  o.foreground_bias = 1.0;
+  o.patches_per_subject = 12;
+  const auto patches = sample_patches(make_example(), o, 3);
+  int with_tumor = 0;
+  for (const Example& p : patches) {
+    with_tumor += p.label.sum() > 0.0;
+  }
+  // The tumor block occupies a tiny corner; biased sampling must hit it
+  // in the overwhelming majority of draws.
+  EXPECT_GE(with_tumor, 10);
+}
+
+TEST(SamplePatchesTest, TumorFreeSubjectDoesNotHang) {
+  Example empty = make_example();
+  empty.label.zero();
+  PatchOptions o = small_patches();
+  o.foreground_bias = 1.0;
+  EXPECT_NO_THROW(sample_patches(empty, o, 1));
+}
+
+TEST(SamplePatchesTest, RejectsOversizedPatch) {
+  PatchOptions o = small_patches();
+  o.size_d = 100;
+  EXPECT_THROW(sample_patches(make_example(), o, 1), InvalidArgument);
+}
+
+TEST(TileExampleTest, CoversEveryVoxel) {
+  const Example ex = make_example();
+  const auto tiles = tile_example(ex, small_patches());
+  // Mark coverage.
+  NDArray covered(Shape{1, 8, 10, 12});
+  for (const TiledPatch& t : tiles) {
+    for (int64_t z = 0; z < 4; ++z) {
+      for (int64_t y = 0; y < 4; ++y) {
+        for (int64_t x = 0; x < 4; ++x) {
+          covered[((t.z0 + z) * 10 + t.y0 + y) * 12 + t.x0 + x] = 1.0F;
+        }
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(covered.sum(), 8.0 * 10.0 * 12.0);
+}
+
+TEST(TileExampleTest, OverlapIncreasesTileCount) {
+  const Example ex = make_example();
+  const auto plain = tile_example(ex, small_patches(), 0);
+  const auto overlapped = tile_example(ex, small_patches(), 2);
+  EXPECT_GT(overlapped.size(), plain.size());
+}
+
+TEST(StitchPatchesTest, IdentityRoundTrip) {
+  // Stitching the ground-truth label tiles must reproduce the label map
+  // exactly (overlap-averaging of identical values).
+  const Example ex = make_example();
+  const auto tiles = tile_example(ex, small_patches(), 2);
+  std::vector<NDArray> preds;
+  preds.reserve(tiles.size());
+  for (const TiledPatch& t : tiles) preds.push_back(t.patch.label);
+  const NDArray stitched =
+      stitch_patches(tiles, preds, Shape{1, 8, 10, 12});
+  EXPECT_TRUE(stitched.allclose(ex.label, 1e-6F));
+}
+
+TEST(StitchPatchesTest, RejectsMismatchedCounts) {
+  const Example ex = make_example();
+  const auto tiles = tile_example(ex, small_patches());
+  std::vector<NDArray> preds;  // empty
+  EXPECT_THROW(stitch_patches(tiles, preds, Shape{1, 8, 10, 12}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dmis::data

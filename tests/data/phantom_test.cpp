@@ -1,0 +1,167 @@
+#include "data/phantom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace dmis::data {
+namespace {
+
+TEST(PhantomTest, GeometryMatchesOptions) {
+  PhantomOptions opts;
+  opts.depth = 11;
+  opts.height = 16;
+  opts.width = 12;
+  PhantomGenerator gen(opts);
+  const PhantomSubject s = gen.generate(0);
+  EXPECT_EQ(s.image.channels(), 4);
+  EXPECT_EQ(s.image.depth(), 11);
+  EXPECT_EQ(s.image.height(), 16);
+  EXPECT_EQ(s.image.width(), 12);
+  EXPECT_EQ(s.labels.channels(), 1);
+  EXPECT_EQ(s.labels.depth(), 11);
+}
+
+TEST(PhantomTest, DeterministicPerSubject) {
+  PhantomGenerator gen;
+  const PhantomSubject a = gen.generate(7);
+  const PhantomSubject b = gen.generate(7);
+  EXPECT_TRUE(a.image.tensor().allclose(b.image.tensor(), 0.0F));
+  EXPECT_TRUE(a.labels.tensor().allclose(b.labels.tensor(), 0.0F));
+}
+
+TEST(PhantomTest, SubjectsDiffer) {
+  PhantomGenerator gen;
+  const PhantomSubject a = gen.generate(0);
+  const PhantomSubject b = gen.generate(1);
+  EXPECT_FALSE(a.image.tensor().allclose(b.image.tensor(), 1e-3F));
+}
+
+TEST(PhantomTest, LabelsAreValidMsdClasses) {
+  PhantomGenerator gen;
+  const PhantomSubject s = gen.generate(3);
+  std::set<int> seen;
+  for (int64_t i = 0; i < s.labels.tensor().numel(); ++i) {
+    const int cls = static_cast<int>(s.labels.tensor()[i]);
+    ASSERT_GE(cls, 0);
+    ASSERT_LE(cls, 3);
+    seen.insert(cls);
+  }
+  EXPECT_TRUE(seen.count(0) == 1);     // background always present
+  EXPECT_GE(seen.size(), 2U);          // some tumor tissue exists
+}
+
+TEST(PhantomTest, TumorIsMinorityClass) {
+  // The paper motivates the Dice loss with heavy class imbalance; the
+  // phantoms must preserve that property.
+  PhantomGenerator gen;
+  const PhantomSubject s = gen.generate(5);
+  int64_t tumor = 0;
+  const int64_t total = s.labels.tensor().numel();
+  for (int64_t i = 0; i < total; ++i) {
+    if (s.labels.tensor()[i] > 0.0F) ++tumor;
+  }
+  EXPECT_GT(tumor, 0);
+  EXPECT_LT(static_cast<double>(tumor) / static_cast<double>(total), 0.35);
+}
+
+TEST(PhantomTest, ModalityContrastsDiffer) {
+  PhantomGenerator gen;
+  const PhantomSubject s = gen.generate(2);
+  // FLAIR and T1w must produce different channel means (different tissue
+  // contrasts), otherwise the 4 channels carry no distinct information.
+  const int64_t per = s.image.voxels_per_channel();
+  double means[4] = {0, 0, 0, 0};
+  for (int64_t c = 0; c < 4; ++c) {
+    for (int64_t i = 0; i < per; ++i) {
+      means[c] += s.image.tensor()[c * per + i];
+    }
+    means[c] /= static_cast<double>(per);
+  }
+  EXPECT_GT(std::abs(means[0] - means[1]), 0.01);
+}
+
+TEST(PhantomTest, EnhancingCoreBrightInT1gd) {
+  PhantomGenerator gen(PhantomOptions{.depth = 24, .height = 32, .width = 32,
+                                      .seed = 5, .noise_sigma = 0.0F,
+                                      .max_tumors = 1});
+  const PhantomSubject s = gen.generate(1);
+  double t1gd_enh = 0.0, t1w_enh = 0.0;
+  int64_t count = 0;
+  for (int64_t z = 0; z < 24; ++z) {
+    for (int64_t y = 0; y < 32; ++y) {
+      for (int64_t x = 0; x < 32; ++x) {
+        if (static_cast<int>(s.labels.at(0, z, y, x)) == 3) {
+          t1gd_enh += s.image.at(static_cast<int>(Modality::kT1gd), z, y, x);
+          t1w_enh += s.image.at(static_cast<int>(Modality::kT1w), z, y, x);
+          ++count;
+        }
+      }
+    }
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_GT(t1gd_enh / count, t1w_enh / count + 0.3);  // gadolinium effect
+}
+
+TEST(PhantomTest, LateralizedTaskLabelsOnlyLeftTumor) {
+  PhantomOptions opts;
+  opts.depth = 16;
+  opts.height = 16;
+  opts.width = 32;
+  opts.noise_sigma = 0.0F;
+  opts.lateralized_task = true;
+  const PhantomGenerator gen(opts);
+  for (int64_t id = 0; id < 4; ++id) {
+    const PhantomSubject s = gen.generate(id);
+    // Labels confined to the left half of the width axis.
+    int64_t left_label = 0, right_label = 0;
+    // The image must carry tumor-bright voxels on BOTH sides (T1gd
+    // channel, enhancing contrast 0.95 vs brain 0.70).
+    int64_t right_bright = 0;
+    for (int64_t z = 0; z < 16; ++z) {
+      for (int64_t y = 0; y < 16; ++y) {
+        for (int64_t x = 0; x < 32; ++x) {
+          const bool label = s.labels.at(0, z, y, x) > 0.0F;
+          if (label && x < 16) ++left_label;
+          if (label && x >= 16) ++right_label;
+          if (x >= 16 &&
+              s.image.at(static_cast<int>(Modality::kT1gd), z, y, x) > 0.9F) {
+            ++right_bright;
+          }
+        }
+      }
+    }
+    EXPECT_GT(left_label, 0) << "subject " << id;
+    // The labeled tumor is centered left; at most its edema halo may
+    // graze the midline.
+    EXPECT_LT(right_label, left_label / 4) << "subject " << id;
+    EXPECT_GT(right_bright, 0) << "subject " << id
+                               << " (distractor tumor missing)";
+  }
+}
+
+TEST(PhantomTest, RejectsBadOptions) {
+  PhantomOptions bad;
+  bad.depth = 2;
+  EXPECT_THROW(PhantomGenerator{bad}, InvalidArgument);
+  PhantomOptions neg;
+  neg.noise_sigma = -1.0F;
+  EXPECT_THROW(PhantomGenerator{neg}, InvalidArgument);
+}
+
+TEST(PhantomTest, PaperScaleGeometry) {
+  const PhantomOptions o = PhantomOptions::paper_scale();
+  EXPECT_EQ(o.depth, 155);
+  EXPECT_EQ(o.height, 240);
+  EXPECT_EQ(o.width, 240);
+}
+
+TEST(PhantomTest, NegativeIdThrows) {
+  PhantomGenerator gen;
+  EXPECT_THROW(gen.generate(-1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dmis::data

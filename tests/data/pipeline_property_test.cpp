@@ -1,0 +1,120 @@
+// Property sweep over pipeline compositions: any stack of stages must
+// deliver exactly the source multiset of examples, once per epoch,
+// across multiple epochs — shuffled or not, parallel or not, prefetched
+// or not.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "data/dataset.hpp"
+
+namespace dmis::data {
+namespace {
+
+Example tiny_example(int64_t id) {
+  Example ex;
+  ex.id = id;
+  ex.image = NDArray(Shape{1, 2, 2, 2}, static_cast<float>(id));
+  ex.label = NDArray(Shape{1, 2, 2, 2}, id % 2 == 0 ? 1.0F : 0.0F);
+  return ex;
+}
+
+std::vector<Example> tiny_examples(int64_t n) {
+  std::vector<Example> v;
+  for (int64_t i = 0; i < n; ++i) v.push_back(tiny_example(i));
+  return v;
+}
+
+// (use_map, map_workers, use_shuffle, use_prefetch)
+using PipelineConfig = std::tuple<bool, int, bool, bool>;
+
+class PipelineCompositionTest
+    : public ::testing::TestWithParam<PipelineConfig> {};
+
+TEST_P(PipelineCompositionTest, DeliversExactMultisetPerEpoch) {
+  const auto [use_map, map_workers, use_shuffle, use_prefetch] = GetParam();
+  constexpr int64_t kN = 13;
+
+  StreamPtr s = from_examples(tiny_examples(kN));
+  if (use_map) {
+    s = map(
+        std::move(s),
+        [](Example e) {
+          e.image.scale_(2.0F);
+          return e;
+        },
+        map_workers);
+  }
+  if (use_shuffle) s = shuffle(std::move(s), 5, 77);
+  if (use_prefetch) s = prefetch(std::move(s), 3);
+
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    std::multiset<int64_t> seen;
+    while (auto e = s->next()) {
+      seen.insert(e->id);
+      if (use_map) {
+        // The transform was applied exactly once.
+        EXPECT_FLOAT_EQ(e->image[0], 2.0F * static_cast<float>(e->id));
+      }
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(kN)) << "epoch " << epoch;
+    for (int64_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(seen.count(i), 1U) << "id " << i << " epoch " << epoch;
+    }
+    s->reset();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Compositions, PipelineCompositionTest,
+    ::testing::Values(PipelineConfig{false, 1, false, false},
+                      PipelineConfig{true, 1, false, false},
+                      PipelineConfig{true, 4, false, false},
+                      PipelineConfig{false, 1, true, false},
+                      PipelineConfig{false, 1, false, true},
+                      PipelineConfig{true, 2, true, false},
+                      PipelineConfig{true, 2, false, true},
+                      PipelineConfig{false, 1, true, true},
+                      PipelineConfig{true, 4, true, true}),
+    [](const ::testing::TestParamInfo<PipelineConfig>& info) {
+      // (no structured bindings here: the brackets' commas would split
+      // the macro arguments)
+      std::string name = std::get<0>(info.param)
+                             ? "map" + std::to_string(std::get<1>(info.param))
+                             : "nomap";
+      name += std::get<2>(info.param) ? "_shuffle" : "_ordered";
+      name += std::get<3>(info.param) ? "_prefetch" : "_direct";
+      return name;
+    });
+
+// Batch-size sweep: ceil semantics and content preservation for every
+// (dataset size, batch size) pair.
+class BatchSweepTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(BatchSweepTest, CeilStepsAndAllIdsPresent) {
+  const auto [n, batch] = GetParam();
+  BatchStream batches(from_examples(tiny_examples(n)), batch);
+  int64_t steps = 0;
+  std::multiset<int64_t> ids;
+  while (auto b = batches.next()) {
+    ++steps;
+    EXPECT_LE(b->size(), batch);
+    ids.insert(b->ids.begin(), b->ids.end());
+  }
+  EXPECT_EQ(steps, (n + batch - 1) / batch);
+  EXPECT_EQ(ids.size(), static_cast<size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BatchSweepTest,
+    ::testing::Combine(::testing::Values<int64_t>(1, 2, 5, 8, 13),
+                       ::testing::Values<int64_t>(1, 2, 3, 4, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<int64_t, int64_t>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_b" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace dmis::data

@@ -1,0 +1,155 @@
+#include "data/record.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "data/crc32c.hpp"
+#include "tensor/rng.hpp"
+
+namespace dmis::data {
+namespace {
+
+Record make_record(int64_t id, uint64_t seed) {
+  Record r;
+  r.id = id;
+  NDArray img(Shape{2, 4, 4, 4});
+  NDArray lbl(Shape{1, 4, 4, 4});
+  Rng rng(seed);
+  for (int64_t i = 0; i < img.numel(); ++i) {
+    img[i] = static_cast<float>(rng.normal());
+  }
+  for (int64_t i = 0; i < lbl.numel(); ++i) {
+    lbl[i] = rng.uniform() < 0.3 ? 1.0F : 0.0F;
+  }
+  r.features.emplace("image", std::move(img));
+  r.features.emplace("label", std::move(lbl));
+  return r;
+}
+
+class RecordIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dmis_rec_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vector: 32 zero bytes.
+  unsigned char zeros[32] = {};
+  EXPECT_EQ(crc32c(zeros, sizeof(zeros)), 0x8A9136AAU);
+  // "123456789" -> 0xE3069283.
+  EXPECT_EQ(crc32c("123456789", 9), 0xE3069283U);
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  for (uint32_t v : {0U, 1U, 0xDEADBEEFU, 0xFFFFFFFFU}) {
+    EXPECT_EQ(unmask_crc(mask_crc(v)), v);
+  }
+}
+
+TEST(RecordTest, SerializeParseRoundTrip) {
+  const Record r = make_record(42, 1);
+  const auto payload = serialize_record(r);
+  const Record back = parse_record(payload);
+  EXPECT_EQ(back.id, 42);
+  ASSERT_EQ(back.features.size(), 2U);
+  EXPECT_TRUE(back.features.at("image").allclose(r.features.at("image"), 0.0F));
+  EXPECT_TRUE(back.features.at("label").allclose(r.features.at("label"), 0.0F));
+}
+
+TEST(RecordTest, ParseRejectsTruncatedPayload) {
+  const Record r = make_record(1, 2);
+  auto payload = serialize_record(r);
+  payload.resize(payload.size() / 2);
+  EXPECT_THROW(parse_record(payload), IoError);
+}
+
+TEST(RecordTest, ExampleRoundTrip) {
+  Example ex;
+  ex.id = 9;
+  ex.image = NDArray(Shape{4, 2, 2, 2}, 1.5F);
+  ex.label = NDArray(Shape{1, 2, 2, 2}, 1.0F);
+  const Record r = Record::from_example(ex);
+  const Example back = r.to_example();
+  EXPECT_EQ(back.id, 9);
+  EXPECT_TRUE(back.image.allclose(ex.image, 0.0F));
+  EXPECT_TRUE(back.label.allclose(ex.label, 0.0F));
+}
+
+TEST_F(RecordIoTest, WriteReadRoundTrip) {
+  const std::string path = (dir_ / "subjects.drec").string();
+  {
+    RecordWriter writer(path);
+    for (int64_t i = 0; i < 5; ++i) {
+      writer.write(make_record(i, static_cast<uint64_t>(i) + 10));
+    }
+    EXPECT_EQ(writer.records_written(), 5);
+  }
+  const auto records = read_all_records(path);
+  ASSERT_EQ(records.size(), 5U);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(records[static_cast<size_t>(i)].id, i);
+  }
+  // Payload equality for one of them.
+  const Record expect = make_record(3, 13);
+  EXPECT_TRUE(records[3].features.at("image").allclose(
+      expect.features.at("image"), 0.0F));
+}
+
+TEST_F(RecordIoTest, EmptyFileYieldsNoRecords) {
+  const std::string path = (dir_ / "empty.drec").string();
+  { RecordWriter writer(path); }
+  EXPECT_TRUE(read_all_records(path).empty());
+}
+
+TEST_F(RecordIoTest, CorruptPayloadDetectedByCrc) {
+  const std::string path = (dir_ / "corrupt.drec").string();
+  {
+    RecordWriter writer(path);
+    writer.write(make_record(0, 3));
+  }
+  // Flip one byte in the middle of the payload.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(64);
+    char b;
+    f.seekg(64);
+    f.get(b);
+    f.seekp(64);
+    f.put(static_cast<char>(b ^ 0x5A));
+  }
+  RecordReader reader(path);
+  Record r;
+  EXPECT_THROW(reader.read(r), IoError);
+}
+
+TEST_F(RecordIoTest, TruncatedFileDetected) {
+  const std::string path = (dir_ / "trunc.drec").string();
+  {
+    RecordWriter writer(path);
+    writer.write(make_record(0, 4));
+  }
+  std::filesystem::resize_file(
+      path, std::filesystem::file_size(path) - 8);
+  RecordReader reader(path);
+  Record r;
+  EXPECT_THROW(reader.read(r), IoError);
+}
+
+TEST_F(RecordIoTest, MissingFeaturesRejectedOnToExample) {
+  Record r;
+  r.id = 1;
+  EXPECT_THROW(r.to_example(), IoError);
+}
+
+}  // namespace
+}  // namespace dmis::data

@@ -1,0 +1,69 @@
+#include "data/split.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace dmis::data {
+namespace {
+
+TEST(SplitTest, PaperFractionsFor484Subjects) {
+  // The MSD Task-1 dataset has 484 subjects; 70/15/15 gives 338/72/74.
+  const DatasetSplit s = split_dataset_paper(484, 1);
+  EXPECT_EQ(s.train.size(), 338U);
+  EXPECT_EQ(s.val.size(), 72U);
+  EXPECT_EQ(s.test.size(), 74U);
+}
+
+TEST(SplitTest, PartitionIsCompleteAndDisjoint) {
+  const DatasetSplit s = split_dataset(100, 0.7, 0.15, 7);
+  std::set<int64_t> all;
+  all.insert(s.train.begin(), s.train.end());
+  all.insert(s.val.begin(), s.val.end());
+  all.insert(s.test.begin(), s.test.end());
+  EXPECT_EQ(all.size(), 100U);
+  EXPECT_EQ(s.train.size() + s.val.size() + s.test.size(), 100U);
+  EXPECT_EQ(*all.begin(), 0);
+  EXPECT_EQ(*all.rbegin(), 99);
+}
+
+TEST(SplitTest, DeterministicPerSeed) {
+  const DatasetSplit a = split_dataset(50, 0.7, 0.15, 3);
+  const DatasetSplit b = split_dataset(50, 0.7, 0.15, 3);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.val, b.val);
+  EXPECT_EQ(a.test, b.test);
+  const DatasetSplit c = split_dataset(50, 0.7, 0.15, 4);
+  EXPECT_NE(a.train, c.train);
+}
+
+TEST(SplitTest, ShufflesIds) {
+  const DatasetSplit s = split_dataset(200, 0.5, 0.25, 11);
+  // Train must not simply be [0, 100).
+  bool monotone = true;
+  for (size_t i = 1; i < s.train.size(); ++i) {
+    if (s.train[i] != s.train[i - 1] + 1) {
+      monotone = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(monotone);
+}
+
+TEST(SplitTest, RejectsBadInputs) {
+  EXPECT_THROW(split_dataset(0, 0.7, 0.15, 1), InvalidArgument);
+  EXPECT_THROW(split_dataset(10, 0.0, 0.15, 1), InvalidArgument);
+  EXPECT_THROW(split_dataset(10, 0.9, 0.2, 1), InvalidArgument);
+}
+
+TEST(SplitTest, NoValOrTestAllowed) {
+  const DatasetSplit s = split_dataset(10, 1.0, 0.0, 1);
+  EXPECT_EQ(s.train.size(), 10U);
+  EXPECT_TRUE(s.val.empty());
+  EXPECT_TRUE(s.test.empty());
+}
+
+}  // namespace
+}  // namespace dmis::data

@@ -1,0 +1,127 @@
+#include "data/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "data/phantom.hpp"
+
+namespace dmis::data {
+namespace {
+
+TEST(CenterCropTest, PaperDepthCrop155To152) {
+  Volume v(1, 155, 8, 8);
+  for (int64_t z = 0; z < 155; ++z) v.at(0, z, 0, 0) = static_cast<float>(z);
+  const Volume c = center_crop(v, 152, 8, 8);
+  EXPECT_EQ(c.depth(), 152);
+  // (155 - 152) / 2 = 1 leading slice dropped.
+  EXPECT_FLOAT_EQ(c.at(0, 0, 0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(c.at(0, 151, 0, 0), 152.0F);
+}
+
+TEST(CenterCropTest, AllAxes) {
+  Volume v(2, 10, 12, 14);
+  const Volume c = center_crop(v, 8, 8, 8);
+  EXPECT_EQ(c.channels(), 2);
+  EXPECT_EQ(c.depth(), 8);
+  EXPECT_EQ(c.height(), 8);
+  EXPECT_EQ(c.width(), 8);
+}
+
+TEST(CenterCropTest, RejectsUpscale) {
+  Volume v(1, 4, 4, 4);
+  EXPECT_THROW(center_crop(v, 5, 4, 4), InvalidArgument);
+}
+
+TEST(StandardizeTest, ZeroMeanUnitStdPerChannel) {
+  Volume v(2, 4, 4, 4);
+  for (int64_t i = 0; i < v.tensor().numel(); ++i) {
+    v.tensor()[i] = static_cast<float>(i % 17) + (i < 64 ? 100.0F : -5.0F);
+  }
+  standardize_per_channel(v);
+  const int64_t per = v.voxels_per_channel();
+  for (int64_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (int64_t i = 0; i < per; ++i) {
+      const float x = v.tensor()[c * per + i];
+      sum += x;
+      sq += static_cast<double>(x) * x;
+    }
+    EXPECT_NEAR(sum / per, 0.0, 1e-4);
+    EXPECT_NEAR(sq / per, 1.0, 1e-3);
+  }
+}
+
+TEST(StandardizeTest, ConstantChannelBecomesZero) {
+  Volume v(1, 2, 2, 2);
+  v.tensor().fill(7.0F);
+  standardize_per_channel(v);
+  for (int64_t i = 0; i < v.tensor().numel(); ++i) {
+    EXPECT_FLOAT_EQ(v.tensor()[i], 0.0F);
+  }
+}
+
+TEST(JoinLabelsTest, BinaryWholeTumor) {
+  Volume labels(1, 1, 2, 2);
+  labels.at(0, 0, 0, 0) = 0.0F;
+  labels.at(0, 0, 0, 1) = 1.0F;  // edema
+  labels.at(0, 0, 1, 0) = 2.0F;  // non-enhancing
+  labels.at(0, 0, 1, 1) = 3.0F;  // enhancing
+  const Volume bin = join_labels_binary(labels);
+  EXPECT_FLOAT_EQ(bin.at(0, 0, 0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(bin.at(0, 0, 0, 1), 1.0F);
+  EXPECT_FLOAT_EQ(bin.at(0, 0, 1, 0), 1.0F);
+  EXPECT_FLOAT_EQ(bin.at(0, 0, 1, 1), 1.0F);
+}
+
+TEST(JoinLabelsTest, RejectsOutOfRangeClasses) {
+  Volume labels(1, 1, 1, 1);
+  labels.at(0, 0, 0, 0) = 4.0F;
+  EXPECT_THROW(join_labels_binary(labels), InvalidArgument);
+}
+
+TEST(JoinLabelsTest, RejectsMultiChannel) {
+  Volume labels(2, 1, 1, 1);
+  EXPECT_THROW(join_labels_binary(labels), InvalidArgument);
+}
+
+TEST(CropToDivisibleTest, PaperRule) {
+  Volume v(4, 155, 240, 240);
+  const CropGeometry g = crop_to_divisible(v, 8);
+  EXPECT_EQ(g.depth, 152);
+  EXPECT_EQ(g.height, 240);
+  EXPECT_EQ(g.width, 240);
+}
+
+TEST(CropToDivisibleTest, TooSmallThrows) {
+  Volume v(1, 5, 8, 8);
+  EXPECT_THROW(crop_to_divisible(v, 8), InvalidArgument);
+}
+
+TEST(PreprocessSubjectTest, EndToEndOnPhantom) {
+  PhantomGenerator gen;  // depth 19 -> cropped to 16
+  const PhantomSubject s = gen.generate(0);
+  const Example ex = preprocess_subject(s.image, s.labels, s.id, 8);
+  EXPECT_EQ(ex.id, 0);
+  EXPECT_EQ(ex.image.shape(), (Shape{4, 16, 24, 24}));
+  EXPECT_EQ(ex.label.shape(), (Shape{1, 16, 24, 24}));
+  // Labels binary.
+  for (int64_t i = 0; i < ex.label.numel(); ++i) {
+    EXPECT_TRUE(ex.label[i] == 0.0F || ex.label[i] == 1.0F);
+  }
+  // Image standardized: overall per-channel mean ~ 0.
+  const int64_t per = 16 * 24 * 24;
+  double mean0 = 0.0;
+  for (int64_t i = 0; i < per; ++i) mean0 += ex.image[i];
+  EXPECT_NEAR(mean0 / per, 0.0, 1e-3);
+}
+
+TEST(PreprocessSubjectTest, GeometryMismatchThrows) {
+  Volume img(4, 8, 8, 8);
+  Volume lbl(1, 8, 8, 9);
+  EXPECT_THROW(preprocess_subject(img, lbl, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dmis::data

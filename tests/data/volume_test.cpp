@@ -1,0 +1,138 @@
+#include "data/volume.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace dmis::data {
+namespace {
+
+class VolumeIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dmis_vol_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST(VolumeTest, GeometryAndIndexing) {
+  Volume v(4, 5, 6, 7);
+  EXPECT_EQ(v.channels(), 4);
+  EXPECT_EQ(v.depth(), 5);
+  EXPECT_EQ(v.height(), 6);
+  EXPECT_EQ(v.width(), 7);
+  EXPECT_EQ(v.voxels_per_channel(), 5 * 6 * 7);
+  EXPECT_EQ(v.tensor().shape(), (Shape{4, 5, 6, 7}));
+  v.at(3, 4, 5, 6) = 9.0F;
+  EXPECT_FLOAT_EQ(v.tensor()[v.tensor().numel() - 1], 9.0F);
+}
+
+TEST(VolumeTest, RejectsBadGeometry) {
+  EXPECT_THROW(Volume(0, 1, 1, 1), InvalidArgument);
+  EXPECT_THROW(Volume(1, 0, 1, 1), InvalidArgument);
+}
+
+TEST(VolumeTest, ModalityNames) {
+  EXPECT_STREQ(modality_name(Modality::kFlair), "FLAIR");
+  EXPECT_STREQ(modality_name(Modality::kT1w), "T1w");
+  EXPECT_STREQ(modality_name(Modality::kT1gd), "T1gd");
+  EXPECT_STREQ(modality_name(Modality::kT2w), "T2w");
+}
+
+TEST_F(VolumeIoTest, SaveLoadRoundTrip) {
+  Volume v(2, 3, 4, 5, {1.0F, 2.0F, 3.0F});
+  for (int64_t i = 0; i < v.tensor().numel(); ++i) {
+    v.tensor()[i] = static_cast<float>(i) * 0.5F;
+  }
+  const std::string path = (dir_ / "a.dvol").string();
+  v.save(path);
+  const Volume r = Volume::load(path);
+  EXPECT_EQ(r.channels(), 2);
+  EXPECT_EQ(r.depth(), 3);
+  EXPECT_EQ(r.height(), 4);
+  EXPECT_EQ(r.width(), 5);
+  EXPECT_EQ(r.spacing()[1], 2.0F);
+  EXPECT_TRUE(r.tensor().allclose(v.tensor(), 0.0F));
+}
+
+TEST_F(VolumeIoTest, RawI16RoundTripWithinQuantizationError) {
+  Volume v(2, 4, 4, 4);
+  for (int64_t i = 0; i < v.tensor().numel(); ++i) {
+    v.tensor()[i] = static_cast<float>(i % 37) * 0.25F - 3.0F;
+  }
+  const std::string path = (dir_ / "raw.dvoi").string();
+  v.save_raw_i16(path);
+  const Volume r = Volume::load_raw_i16(path);
+  EXPECT_EQ(r.depth(), 4);
+  const float max_abs = 6.0F;  // |values| < ~6
+  for (int64_t i = 0; i < v.tensor().numel(); ++i) {
+    EXPECT_NEAR(r.tensor()[i], v.tensor()[i], max_abs / 32767.0F * 1.5F);
+  }
+}
+
+TEST_F(VolumeIoTest, RawI16IsSmallerThanFloatForm) {
+  Volume v(4, 8, 8, 8);
+  v.tensor().fill(1.0F);
+  const std::string f32 = (dir_ / "a.dvol").string();
+  const std::string i16 = (dir_ / "a.dvoi").string();
+  v.save(f32);
+  v.save_raw_i16(i16);
+  EXPECT_LT(std::filesystem::file_size(i16),
+            std::filesystem::file_size(f32));
+}
+
+TEST_F(VolumeIoTest, RawI16AllZeroVolume) {
+  Volume v(1, 2, 2, 2);
+  const std::string path = (dir_ / "zero.dvoi").string();
+  v.save_raw_i16(path);
+  const Volume r = Volume::load_raw_i16(path);
+  for (int64_t i = 0; i < r.tensor().numel(); ++i) {
+    EXPECT_EQ(r.tensor()[i], 0.0F);
+  }
+}
+
+TEST_F(VolumeIoTest, RawLoaderRejectsFloatFormat) {
+  Volume v(1, 2, 2, 2);
+  const std::string path = (dir_ / "b.dvol").string();
+  v.save(path);
+  EXPECT_THROW(Volume::load_raw_i16(path), IoError);
+  v.save_raw_i16(path);
+  EXPECT_THROW(Volume::load(path), IoError);
+}
+
+TEST_F(VolumeIoTest, LoadRejectsGarbage) {
+  const std::string path = (dir_ / "bad.dvol").string();
+  {
+    std::ofstream os(path);
+    os << "garbage";
+  }
+  EXPECT_THROW(Volume::load(path), IoError);
+  EXPECT_THROW(Volume::load((dir_ / "missing.dvol").string()), IoError);
+}
+
+TEST_F(VolumeIoTest, PgmSliceWritten) {
+  Volume v(1, 2, 4, 4);
+  for (int64_t h = 0; h < 4; ++h) {
+    for (int64_t w = 0; w < 4; ++w) {
+      v.at(0, 1, h, w) = static_cast<float>(h * 4 + w);
+    }
+  }
+  const std::string path = (dir_ / "slice.pgm").string();
+  v.write_pgm_slice(path, 0, 1);
+  std::ifstream is(path, std::ios::binary);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header, "P5");
+  EXPECT_THROW(v.write_pgm_slice(path, 2, 0), InvalidArgument);
+  EXPECT_THROW(v.write_pgm_slice(path, 0, 5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dmis::data

@@ -1,0 +1,121 @@
+#include "nn/layers/batchnorm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck.hpp"
+#include "tensor/rng.hpp"
+
+namespace dmis::nn {
+namespace {
+
+TEST(BatchNormTest, NormalizesToZeroMeanUnitVar) {
+  BatchNorm bn(3);
+  Rng rng(5);
+  NDArray in(Shape{4, 3, 2, 2, 2});
+  testing::fill_uniform(in, rng, -3.0F, 7.0F);
+  const NDArray out = bn.forward1(in, true);
+
+  const int64_t spatial = 8;
+  const int64_t ns = 3 * spatial;
+  for (int64_t c = 0; c < 3; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (int64_t n = 0; n < 4; ++n) {
+      for (int64_t i = 0; i < spatial; ++i) {
+        const float v = out[n * ns + c * spatial + i];
+        sum += v;
+        sq += static_cast<double>(v) * v;
+      }
+    }
+    const double count = 4.0 * spatial;
+    EXPECT_NEAR(sum / count, 0.0, 1e-4);
+    EXPECT_NEAR(sq / count, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, GammaBetaAffine) {
+  BatchNorm bn(1);
+  auto params = bn.params();
+  params[0].value->fill(2.0F);  // gamma
+  params[1].value->fill(1.0F);  // beta
+  Rng rng(6);
+  NDArray in(Shape{8, 1, 2, 2, 2});
+  testing::fill_uniform(in, rng, -1.0F, 1.0F);
+  const NDArray out = bn.forward1(in, true);
+  // out = 2*x_hat + 1, so the mean must be ~1 and variance ~4.
+  EXPECT_NEAR(out.mean(), 1.0, 1e-4);
+  double var = 0.0;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    var += (out[i] - 1.0) * (out[i] - 1.0);
+  }
+  EXPECT_NEAR(var / static_cast<double>(out.numel()), 4.0, 0.05);
+}
+
+TEST(BatchNormTest, RunningStatsConvergeToBatchStats) {
+  BatchNorm bn(1, /*momentum=*/0.0F);  // adopt batch stats immediately
+  NDArray in(Shape{4, 1, 2, 2, 2});
+  Rng rng(7);
+  testing::fill_uniform(in, rng, 2.0F, 4.0F);
+  (void)bn.forward1(in, true);
+  double mean = in.mean();
+  EXPECT_NEAR(bn.running_mean()[0], mean, 1e-4);
+  double var = 0.0;
+  for (int64_t i = 0; i < in.numel(); ++i) {
+    var += (in[i] - mean) * (in[i] - mean);
+  }
+  var /= static_cast<double>(in.numel());
+  EXPECT_NEAR(bn.running_var()[0], var, 1e-3);
+}
+
+TEST(BatchNormTest, EvalModeUsesRunningStats) {
+  BatchNorm bn(1, 0.0F);
+  NDArray train_in(Shape{4, 1, 2, 2, 2});
+  Rng rng(8);
+  testing::fill_uniform(train_in, rng, -1.0F, 1.0F);
+  (void)bn.forward1(train_in, true);
+
+  // In eval mode a constant input maps through the frozen affine transform;
+  // different constants map consistently (no batch statistics involved).
+  NDArray a(Shape{1, 1, 2, 2, 2}, 0.0F);
+  NDArray b(Shape{1, 1, 2, 2, 2}, 1.0F);
+  const NDArray ya = bn.forward1(a, false);
+  const NDArray yb = bn.forward1(b, false);
+  const float scale = yb[0] - ya[0];
+  EXPECT_GT(scale, 0.0F);  // monotone affine map
+  // All voxels identical for constant input.
+  for (int64_t i = 1; i < ya.numel(); ++i) EXPECT_FLOAT_EQ(ya[i], ya[0]);
+}
+
+TEST(BatchNormTest, GradCheckTrainingMode) {
+  BatchNorm bn(2);
+  testing::GradCheckOptions opts;
+  opts.tol = 3e-2F;  // batch-coupled derivative is noisier in fp32
+  testing::expect_gradients_match(bn, {Shape{3, 2, 2, 2, 2}}, opts);
+}
+
+TEST(BatchNormTest, GradCheckEvalMode) {
+  BatchNorm bn(2);
+  // Populate running stats first.
+  Rng rng(9);
+  NDArray warm(Shape{4, 2, 2, 2, 2});
+  testing::fill_uniform(warm, rng, -1.0F, 1.0F);
+  (void)bn.forward1(warm, true);
+  testing::GradCheckOptions opts;
+  opts.training = false;
+  testing::expect_gradients_match(bn, {Shape{2, 2, 2, 2, 2}}, opts);
+}
+
+TEST(BatchNormTest, RejectsWrongChannels) {
+  BatchNorm bn(4);
+  NDArray in(Shape{1, 3, 2, 2, 2});
+  EXPECT_THROW(bn.forward1(in, true), InvalidArgument);
+}
+
+TEST(BatchNormTest, RejectsBadConstruction) {
+  EXPECT_THROW(BatchNorm(0), InvalidArgument);
+  EXPECT_THROW(BatchNorm(2, 1.0F), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dmis::nn

@@ -1,0 +1,102 @@
+#include "nn/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "tensor/rng.hpp"
+
+namespace dmis::nn {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("dmis_ckpt_test_" + std::to_string(::getpid()) + ".bin");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CheckpointTest, RoundTripsValues) {
+  NDArray w1(Shape{2, 3});
+  NDArray g1(Shape{2, 3});
+  NDArray w2(Shape{5});
+  NDArray g2(Shape{5});
+  Rng rng(3);
+  for (int64_t i = 0; i < w1.numel(); ++i)
+    w1[i] = static_cast<float>(rng.normal());
+  for (int64_t i = 0; i < w2.numel(); ++i)
+    w2[i] = static_cast<float>(rng.normal());
+
+  std::vector<Param> params{{"layer.weight", &w1, &g1},
+                            {"layer.bias", &w2, &g2}};
+  save_checkpoint(path_.string(), params);
+
+  NDArray r1(Shape{2, 3});
+  NDArray r2(Shape{5});
+  std::vector<Param> restored{{"layer.weight", &r1, &g1},
+                              {"layer.bias", &r2, &g2}};
+  load_checkpoint(path_.string(), restored);
+  EXPECT_TRUE(r1.allclose(w1, 0.0F));
+  EXPECT_TRUE(r2.allclose(w2, 0.0F));
+}
+
+TEST_F(CheckpointTest, MissingParamThrows) {
+  NDArray w(Shape{2});
+  NDArray g(Shape{2});
+  std::vector<Param> params{{"a", &w, &g}};
+  save_checkpoint(path_.string(), params);
+  std::vector<Param> wrong{{"b", &w, &g}};
+  EXPECT_THROW(load_checkpoint(path_.string(), wrong), IoError);
+}
+
+TEST_F(CheckpointTest, ShapeMismatchThrows) {
+  NDArray w(Shape{2});
+  NDArray g(Shape{2});
+  std::vector<Param> params{{"a", &w, &g}};
+  save_checkpoint(path_.string(), params);
+  NDArray w3(Shape{3});
+  NDArray g3(Shape{3});
+  std::vector<Param> wrong{{"a", &w3, &g3}};
+  EXPECT_THROW(load_checkpoint(path_.string(), wrong), IoError);
+}
+
+TEST_F(CheckpointTest, ExtraFileEntriesIgnored) {
+  NDArray w1(Shape{2}, 1.0F);
+  NDArray w2(Shape{2}, 2.0F);
+  NDArray g(Shape{2});
+  std::vector<Param> params{{"a", &w1, &g}, {"b", &w2, &g}};
+  save_checkpoint(path_.string(), params);
+  NDArray r(Shape{2});
+  std::vector<Param> only_a{{"a", &r, &g}};
+  load_checkpoint(path_.string(), only_a);
+  EXPECT_FLOAT_EQ(r[0], 1.0F);
+}
+
+TEST_F(CheckpointTest, GarbageFileRejected) {
+  {
+    std::ofstream os(path_);
+    os << "not a checkpoint";
+  }
+  NDArray w(Shape{1});
+  NDArray g(Shape{1});
+  std::vector<Param> params{{"a", &w, &g}};
+  EXPECT_THROW(load_checkpoint(path_.string(), params), IoError);
+}
+
+TEST_F(CheckpointTest, MissingFileThrows) {
+  NDArray w(Shape{1});
+  NDArray g(Shape{1});
+  std::vector<Param> params{{"a", &w, &g}};
+  EXPECT_THROW(load_checkpoint("/nonexistent/dir/x.bin", params), IoError);
+}
+
+}  // namespace
+}  // namespace dmis::nn

@@ -1,0 +1,88 @@
+#include "nn/infer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "tensor/rng.hpp"
+
+namespace dmis::nn {
+namespace {
+
+TEST(PadToDivisibleTest, AlreadyDivisibleIsIdentity) {
+  NDArray x(Shape{1, 1, 8, 8, 8}, 3.0F);
+  const NDArray padded = pad_to_divisible(x, 8);
+  EXPECT_EQ(padded.shape(), x.shape());
+  EXPECT_TRUE(padded.allclose(x, 0.0F));
+}
+
+TEST(PadToDivisibleTest, PadsToNextMultipleCentered) {
+  NDArray x(Shape{1, 1, 5, 6, 7}, 1.0F);
+  const NDArray padded = pad_to_divisible(x, 4);
+  EXPECT_EQ(padded.shape(), (Shape{1, 1, 8, 8, 8}));
+  // Content preserved: sum unchanged (zero padding).
+  EXPECT_DOUBLE_EQ(padded.sum(), x.sum());
+  // Depth pad (8-5)=3 -> 1 leading, 2 trailing: slice 0 all zero,
+  // slice 1 contains data.
+  EXPECT_FLOAT_EQ(padded[0], 0.0F);
+  const int64_t slice1 = 1 * 8 * 8 + 1 * 8 + 0;  // (z=1, y=1, x=0)
+  EXPECT_FLOAT_EQ(padded[slice1], 1.0F);
+}
+
+TEST(CropSpatialTest, InverseOfPad) {
+  NDArray x(Shape{2, 3, 5, 6, 7});
+  Rng rng(1);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.normal());
+  }
+  const NDArray padded = pad_to_divisible(x, 8);
+  const NDArray back = crop_spatial(padded, 5, 6, 7);
+  EXPECT_TRUE(back.allclose(x, 0.0F));
+}
+
+TEST(CropSpatialTest, RejectsUpscale) {
+  NDArray x(Shape{1, 1, 4, 4, 4});
+  EXPECT_THROW(crop_spatial(x, 5, 4, 4), InvalidArgument);
+}
+
+TEST(InferPaddedTest, ServesArbitraryGeometry) {
+  UNet3dOptions opts;
+  opts.in_channels = 1;
+  opts.base_filters = 2;
+  opts.depth = 3;  // divisor 4
+  UNet3d net(opts);
+
+  // 5x6x7 is not divisible by 4; plain forward would throw.
+  NDArray x(Shape{1, 1, 5, 6, 7});
+  Rng rng(2);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.normal());
+  }
+  EXPECT_THROW(net.forward(x, false), InvalidArgument);
+
+  const NDArray out = infer_padded(net, x);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 5, 6, 7}));
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_GE(out[i], 0.0F);
+    EXPECT_LE(out[i], 1.0F);
+  }
+}
+
+TEST(InferPaddedTest, MatchesPlainForwardOnDivisibleInput) {
+  UNet3dOptions opts;
+  opts.in_channels = 1;
+  opts.base_filters = 2;
+  opts.depth = 2;
+  opts.seed = 5;
+  UNet3d net(opts);
+  NDArray x(Shape{1, 1, 4, 4, 4});
+  Rng rng(3);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.normal());
+  }
+  const NDArray via_infer = infer_padded(net, x);
+  const NDArray direct = net.forward(x, false);
+  EXPECT_TRUE(via_infer.allclose(direct, 1e-6F));
+}
+
+}  // namespace
+}  // namespace dmis::nn

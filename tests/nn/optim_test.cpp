@@ -1,0 +1,125 @@
+#include "nn/optim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dmis::nn {
+namespace {
+
+// A single scalar "parameter" with its gradient for closed-form checks.
+struct ScalarParam {
+  NDArray w{Shape{1}};
+  NDArray g{Shape{1}};
+  std::vector<Param> params() { return {{"w", &w, &g}}; }
+};
+
+TEST(SgdTest, VanillaStepIsLrTimesGrad) {
+  ScalarParam p;
+  p.w[0] = 1.0F;
+  Sgd opt(p.params(), 0.1, 0.0);
+  p.g[0] = 2.0F;
+  opt.step();
+  EXPECT_NEAR(p.w[0], 1.0F - 0.1F * 2.0F, 1e-6F);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  ScalarParam p;
+  Sgd opt(p.params(), 0.1, 0.5);
+  p.g[0] = 1.0F;
+  opt.step();  // v = 1, w = -0.1
+  opt.step();  // v = 1.5, w = -0.25
+  EXPECT_NEAR(p.w[0], -0.25F, 1e-6F);
+}
+
+TEST(SgdTest, MinimizesQuadratic) {
+  ScalarParam p;
+  p.w[0] = 5.0F;
+  Sgd opt(p.params(), 0.1, 0.9);
+  for (int i = 0; i < 200; ++i) {
+    p.g[0] = 2.0F * p.w[0];  // d/dw of w^2
+    opt.step();
+  }
+  EXPECT_NEAR(p.w[0], 0.0F, 1e-3F);
+}
+
+TEST(AdamTest, FirstStepMagnitudeIsLr) {
+  // With bias correction, |first update| ~= lr regardless of grad scale.
+  ScalarParam p;
+  Adam opt(p.params(), 0.01);
+  p.g[0] = 1234.0F;
+  opt.step();
+  EXPECT_NEAR(p.w[0], -0.01F, 1e-4F);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  ScalarParam p;
+  p.w[0] = 3.0F;
+  Adam opt(p.params(), 0.05);
+  for (int i = 0; i < 500; ++i) {
+    p.g[0] = 2.0F * p.w[0];
+    opt.step();
+  }
+  EXPECT_NEAR(p.w[0], 0.0F, 1e-2F);
+}
+
+TEST(AdamTest, MinimizesRosenbrockish2d) {
+  // f(x, y) = (1-x)^2 + 10 (y - x^2)^2 — a curved valley.
+  NDArray w(Shape{2});
+  NDArray g(Shape{2});
+  w[0] = -1.0F;
+  w[1] = 1.0F;
+  std::vector<Param> params{{"w", &w, &g}};
+  Adam opt(params, 0.02);
+  for (int i = 0; i < 4000; ++i) {
+    const float x = w[0], y = w[1];
+    g[0] = -2.0F * (1.0F - x) - 40.0F * x * (y - x * x);
+    g[1] = 20.0F * (y - x * x);
+    opt.step();
+  }
+  EXPECT_NEAR(w[0], 1.0F, 0.05F);
+  EXPECT_NEAR(w[1], 1.0F, 0.1F);
+}
+
+TEST(OptimizerTest, ZeroGradClears) {
+  ScalarParam p;
+  Sgd opt(p.params(), 0.1);
+  p.g[0] = 7.0F;
+  opt.zero_grad();
+  EXPECT_EQ(p.g[0], 0.0F);
+}
+
+TEST(OptimizerTest, SetLrTakesEffect) {
+  ScalarParam p;
+  Sgd opt(p.params(), 0.1, 0.0);
+  opt.set_lr(1.0);
+  p.g[0] = 1.0F;
+  opt.step();
+  EXPECT_NEAR(p.w[0], -1.0F, 1e-6F);
+}
+
+TEST(OptimizerTest, RejectsBadConfigs) {
+  ScalarParam p;
+  EXPECT_THROW(Sgd(p.params(), -0.1), InvalidArgument);
+  EXPECT_THROW(Sgd(p.params(), 0.1, 1.5), InvalidArgument);
+  EXPECT_THROW(Adam(p.params(), 0.0), InvalidArgument);
+}
+
+TEST(OptimizerFactoryTest, ByName) {
+  ScalarParam p;
+  EXPECT_EQ(make_optimizer("adam", p.params(), 0.1)->name(), "adam");
+  EXPECT_EQ(make_optimizer("sgd", p.params(), 0.1)->name(), "sgd");
+  EXPECT_THROW(make_optimizer("rmsprop", p.params(), 0.1), InvalidArgument);
+}
+
+TEST(OptimizerTest, StepCountAdvances) {
+  ScalarParam p;
+  Adam opt(p.params(), 0.1);
+  EXPECT_EQ(opt.step_count(), 0);
+  opt.step();
+  opt.step();
+  EXPECT_EQ(opt.step_count(), 2);
+}
+
+}  // namespace
+}  // namespace dmis::nn

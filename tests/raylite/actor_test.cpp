@@ -1,0 +1,157 @@
+#include "raylite/actor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dmis::ray {
+namespace {
+
+TEST(ActorTest, StatePersistsAcrossCalls) {
+  RayLite cluster(Resources{0, 2}, 2);
+  ActorHandle counter = spawn_actor(cluster, Resources{0, 1},
+                                    [] { return std::any(int{0}); });
+  for (int i = 1; i <= 5; ++i) {
+    Future f = counter.call([](std::any& s) {
+      return std::any(++std::any_cast<int&>(s));
+    });
+    EXPECT_EQ(std::any_cast<int>(f.get()), i);
+  }
+  counter.kill();
+}
+
+TEST(ActorTest, CallsExecuteInSubmissionOrder) {
+  RayLite cluster(Resources{0, 1}, 1);
+  ActorHandle log = spawn_actor(cluster, Resources{0, 0}, [] {
+    return std::any(std::vector<int>{});
+  });
+  std::vector<Future> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(log.call([i](std::any& s) {
+      std::any_cast<std::vector<int>&>(s).push_back(i);
+      return std::any{};
+    }));
+  }
+  Future readback = log.call([](std::any& s) {
+    return std::any(std::any_cast<std::vector<int>&>(s));
+  });
+  const auto seen = std::any_cast<std::vector<int>>(readback.get());
+  ASSERT_EQ(seen.size(), 20U);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+}
+
+TEST(ActorTest, PinsResourcesForLifetime) {
+  RayLite cluster(Resources{2, 4}, 2);
+  ActorHandle a = spawn_actor(cluster, Resources{1, 1},
+                              [] { return std::any(0); });
+  EXPECT_EQ(cluster.available_resources().gpus, 1);
+  ActorHandle b = spawn_actor(cluster, Resources{1, 1},
+                              [] { return std::any(0); });
+  EXPECT_EQ(cluster.available_resources().gpus, 0);
+  a.kill();
+  EXPECT_EQ(cluster.available_resources().gpus, 1);
+  b.kill();
+  EXPECT_EQ(cluster.available_resources().gpus, 2);
+}
+
+TEST(ActorTest, CreationBlocksUntilResourcesFree) {
+  RayLite cluster(Resources{1, 2}, 2);
+  ActorHandle first = spawn_actor(cluster, Resources{1, 1},
+                                  [] { return std::any(0); });
+  std::atomic<bool> second_created{false};
+  std::thread spawner([&] {
+    ActorHandle second = spawn_actor(cluster, Resources{1, 1},
+                                     [] { return std::any(0); });
+    second_created.store(true);
+    second.kill();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_created.load());  // still waiting on the GPU
+  first.kill();
+  spawner.join();
+  EXPECT_TRUE(second_created.load());
+}
+
+TEST(ActorTest, MethodExceptionsPropagate) {
+  RayLite cluster(Resources{0, 1}, 1);
+  ActorHandle actor = spawn_actor(cluster, Resources{0, 0},
+                                  [] { return std::any(0); });
+  Future bad = actor.call([](std::any&) -> std::any {
+    throw IoError("actor method failed");
+  });
+  EXPECT_THROW(bad.get(), IoError);
+  // The actor survives and keeps serving.
+  Future ok = actor.call([](std::any& s) {
+    return std::any(std::any_cast<int&>(s) + 41);
+  });
+  EXPECT_EQ(std::any_cast<int>(ok.get()), 41);
+}
+
+TEST(ActorTest, KillIsIdempotentAndRejectsFurtherCalls) {
+  RayLite cluster(Resources{0, 1}, 1);
+  ActorHandle actor = spawn_actor(cluster, Resources{0, 1},
+                                  [] { return std::any(0); });
+  actor.kill();
+  actor.kill();
+  EXPECT_THROW(actor.call([](std::any&) { return std::any{}; }),
+               InvalidArgument);
+  EXPECT_EQ(cluster.available_resources().cpus, 1);
+}
+
+TEST(ActorTest, InvalidHandleRejected) {
+  ActorHandle empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_THROW(empty.call([](std::any&) { return std::any{}; }),
+               InvalidArgument);
+}
+
+struct Accumulator {
+  explicit Accumulator(double start) : total(start) {}
+  double add(double x) { return total += x; }
+  double total;
+};
+
+TEST(TypedActorTest, TypedInterface) {
+  RayLite cluster(Resources{0, 2}, 2);
+  TypedActorHandle<Accumulator, double> acc(cluster, Resources{0, 1}, 10.0);
+  Future f1 = acc.call([](Accumulator& a) { return a.add(5.0); });
+  EXPECT_DOUBLE_EQ(std::any_cast<double>(f1.get()), 15.0);
+  // void-returning methods are fine too.
+  Future f2 = acc.call([](Accumulator& a) { a.add(1.0); });
+  (void)f2.get();
+  Future f3 = acc.call([](Accumulator& a) { return a.total; });
+  EXPECT_DOUBLE_EQ(std::any_cast<double>(f3.get()), 16.0);
+  acc.kill();
+}
+
+// The Ray.SGD shape: N replica-trainer actors stepping in lockstep,
+// coordinated by futures.
+TEST(ActorTest, ReplicaTrainerPattern) {
+  RayLite cluster(Resources{4, 4}, 4);
+  std::vector<ActorHandle> replicas;
+  for (int r = 0; r < 4; ++r) {
+    replicas.push_back(spawn_actor(cluster, Resources{1, 1}, [r] {
+      return std::any(double{static_cast<double>(r)});
+    }));
+  }
+  for (int step = 0; step < 3; ++step) {
+    std::vector<Future> futures;
+    for (auto& rep : replicas) {
+      futures.push_back(rep.call([](std::any& s) {
+        auto& w = std::any_cast<double&>(s);
+        w += 1.0;  // "one training step"
+        return std::any(w);
+      }));
+    }
+    double sum = 0.0;
+    for (auto& f : futures) sum += std::any_cast<double>(f.get());
+    EXPECT_DOUBLE_EQ(sum, (0 + 1 + 2 + 3) + 4.0 * (step + 1));
+  }
+  for (auto& rep : replicas) rep.kill();
+}
+
+}  // namespace
+}  // namespace dmis::ray

@@ -1,0 +1,91 @@
+#include "raylite/object_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dmis::ray {
+namespace {
+
+TEST(ObjectStoreTest, PutGetRoundTrip) {
+  ObjectStore store;
+  const ObjectRef ref = store.put(std::string("hello"));
+  EXPECT_TRUE(ref.valid());
+  auto value = store.get_as<std::string>(ref);
+  EXPECT_EQ(*value, "hello");
+  EXPECT_EQ(store.size(), 1U);
+}
+
+TEST(ObjectStoreTest, DefaultRefInvalid) {
+  ObjectRef ref;
+  EXPECT_FALSE(ref.valid());
+  ObjectStore store;
+  EXPECT_THROW(store.get(ref), InvalidArgument);
+}
+
+TEST(ObjectStoreTest, GetUnknownThrows) {
+  ObjectStore store;
+  const ObjectRef ref = store.put(1);
+  store.del(ref);
+  EXPECT_THROW(store.get(ref), InvalidArgument);
+  EXPECT_EQ(store.size(), 0U);
+}
+
+TEST(ObjectStoreTest, DelIsIdempotent) {
+  ObjectStore store;
+  const ObjectRef ref = store.put(1);
+  store.del(ref);
+  EXPECT_NO_THROW(store.del(ref));
+}
+
+TEST(ObjectStoreTest, TypedGetRejectsWrongType) {
+  ObjectStore store;
+  const ObjectRef ref = store.put(std::string("x"));
+  EXPECT_THROW(store.get_as<int>(ref), InvalidArgument);
+}
+
+TEST(ObjectStoreTest, ReadersSurviveDeletion) {
+  ObjectStore store;
+  const ObjectRef ref = store.put(std::vector<int>{1, 2, 3});
+  auto held = store.get_as<std::vector<int>>(ref);
+  store.del(ref);
+  EXPECT_EQ(held->size(), 3U);
+  EXPECT_EQ((*held)[2], 3);
+}
+
+TEST(ObjectStoreTest, RefsAreUniqueAndOrdered) {
+  ObjectStore store;
+  const ObjectRef a = store.put(1);
+  const ObjectRef b = store.put(2);
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_TRUE(a < b);
+}
+
+TEST(ObjectStoreTest, ConcurrentPutsAndGets) {
+  ObjectStore store;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<ObjectRef>> refs(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, &refs, t] {
+      for (int i = 0; i < 100; ++i) {
+        refs[static_cast<size_t>(t)].push_back(store.put(t * 1000 + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.size(), 400U);
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 100; ++i) {
+      const auto v = store.get_as<int>(refs[static_cast<size_t>(t)]
+                                           [static_cast<size_t>(i)]);
+      EXPECT_EQ(*v, t * 1000 + i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmis::ray

@@ -1,0 +1,124 @@
+#include "raylite/raylite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "common/check.hpp"
+
+namespace dmis::ray {
+namespace {
+
+TEST(RayLiteTest, ExecutesTask) {
+  RayLite cluster(Resources{0, 4}, 2);
+  Future f = cluster.submit(Resources{0, 1}, [] { return std::any(42); });
+  EXPECT_EQ(std::any_cast<int>(f.get()), 42);
+  EXPECT_TRUE(f.ready());
+}
+
+TEST(RayLiteTest, PropagatesExceptions) {
+  RayLite cluster(Resources{0, 1}, 1);
+  Future f = cluster.submit(Resources{0, 1}, []() -> std::any {
+    throw IoError("task blew up");
+  });
+  EXPECT_THROW(f.get(), IoError);
+}
+
+TEST(RayLiteTest, RejectsImpossibleRequest) {
+  RayLite cluster(Resources{2, 4}, 2);
+  EXPECT_THROW(cluster.submit(Resources{3, 1}, [] { return std::any{}; }),
+               InvalidArgument);
+}
+
+TEST(RayLiteTest, GpuPoolLimitsConcurrency) {
+  // 2 GPUs, 4 workers: at most 2 gpu-tasks may overlap.
+  RayLite cluster(Resources{2, 8}, 4);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  std::vector<Future> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(cluster.submit(Resources{1, 1}, [&]() -> std::any {
+      const int now = running.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      running.fetch_sub(1);
+      return {};
+    }));
+  }
+  for (auto& f : futures) (void)f.get();
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_EQ(cluster.tasks_completed(), 8);
+}
+
+TEST(RayLiteTest, ResourcesReleasedAfterCompletion) {
+  RayLite cluster(Resources{2, 2}, 2);
+  Future f = cluster.submit(Resources{2, 2}, [] { return std::any{}; });
+  (void)f.get();
+  // Poll briefly: release happens just before the future resolves.
+  for (int i = 0; i < 100; ++i) {
+    const Resources avail = cluster.available_resources();
+    if (avail.gpus == 2 && avail.cpus == 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const Resources avail = cluster.available_resources();
+  EXPECT_EQ(avail.gpus, 2);
+  EXPECT_EQ(avail.cpus, 2);
+}
+
+TEST(RayLiteTest, SmallTaskOvertakesUnplaceableLarge) {
+  // 1 GPU total. A long gpu:1 task runs; a second gpu:1 task queues;
+  // a gpu:0 task must not be blocked behind it.
+  RayLite cluster(Resources{1, 4}, 3);
+  std::atomic<bool> small_done{false};
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+
+  Future big1 = cluster.submit(Resources{1, 1}, [&]() -> std::any {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+    return {};
+  });
+  Future big2 = cluster.submit(Resources{1, 1}, [] { return std::any{}; });
+  Future small = cluster.submit(Resources{0, 1}, [&]() -> std::any {
+    small_done.store(true);
+    return {};
+  });
+
+  (void)small.get();
+  EXPECT_TRUE(small_done.load());
+  EXPECT_FALSE(big2.ready());  // still waiting on the GPU
+  {
+    const std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  (void)big1.get();
+  (void)big2.get();
+}
+
+TEST(RayLiteTest, ManyTasksAllComplete) {
+  RayLite cluster(Resources{4, 16}, 8);
+  std::atomic<int> sum{0};
+  std::vector<Future> futures;
+  for (int i = 1; i <= 100; ++i) {
+    futures.push_back(cluster.submit(Resources{0, 1}, [&sum, i]() -> std::any {
+      sum.fetch_add(i);
+      return {};
+    }));
+  }
+  for (auto& f : futures) (void)f.get();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(RayLiteTest, RejectsBadConstruction) {
+  EXPECT_THROW(RayLite(Resources{-1, 1}, 1), InvalidArgument);
+  EXPECT_THROW(RayLite(Resources{1, 1}, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dmis::ray

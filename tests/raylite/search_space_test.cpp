@@ -1,0 +1,124 @@
+#include "raylite/search_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace dmis::ray {
+namespace {
+
+TEST(ParamSetTest, TypedGetters) {
+  ParamSet p{{"lr", 1e-4},
+             {"bf", int64_t{8}},
+             {"loss", std::string("dice")},
+             {"augment", true}};
+  EXPECT_DOUBLE_EQ(param_double(p, "lr"), 1e-4);
+  EXPECT_EQ(param_int(p, "bf"), 8);
+  EXPECT_EQ(param_str(p, "loss"), "dice");
+  EXPECT_TRUE(param_bool(p, "augment"));
+  // int promotes to double.
+  EXPECT_DOUBLE_EQ(param_double(p, "bf"), 8.0);
+  EXPECT_THROW(param_int(p, "lr"), InvalidArgument);
+  EXPECT_THROW(param_str(p, "missing"), InvalidArgument);
+}
+
+TEST(ParamSetTest, StrRendering) {
+  ParamSet p{{"a", int64_t{1}}, {"b", std::string("x")}};
+  EXPECT_EQ(param_set_str(p), "a=1, b=x");
+}
+
+TEST(SearchSpaceTest, GridIsCrossProduct) {
+  SearchSpace space;
+  space.choice("lr", {1e-3, 1e-4, 1e-5, 1e-6})
+      .choice("loss", {std::string("dice"), std::string("qdice")})
+      .choice("bf", {int64_t{8}, int64_t{16}})
+      .choice("augment", {false, true});
+  EXPECT_EQ(space.grid_size(), 32);
+  const auto grid = space.grid();
+  ASSERT_EQ(grid.size(), 32U);
+  // All points distinct.
+  std::set<std::string> rendered;
+  for (const auto& p : grid) rendered.insert(param_set_str(p));
+  EXPECT_EQ(rendered.size(), 32U);
+  // Every point has all four keys.
+  for (const auto& p : grid) EXPECT_EQ(p.size(), 4U);
+}
+
+TEST(SearchSpaceTest, GridOrderIsDeterministic) {
+  SearchSpace space;
+  space.choice("a", {int64_t{1}, int64_t{2}})
+      .choice("b", {std::string("x"), std::string("y")});
+  const auto grid = space.grid();
+  ASSERT_EQ(grid.size(), 4U);
+  EXPECT_EQ(param_set_str(grid[0]), "a=1, b=x");
+  EXPECT_EQ(param_set_str(grid[1]), "a=1, b=y");
+  EXPECT_EQ(param_set_str(grid[2]), "a=2, b=x");
+  EXPECT_EQ(param_set_str(grid[3]), "a=2, b=y");
+}
+
+TEST(SearchSpaceTest, GridRejectsContinuous) {
+  SearchSpace space;
+  space.choice("a", {int64_t{1}}).uniform("u", 0.0, 1.0);
+  EXPECT_THROW(space.grid(), InvalidArgument);
+}
+
+TEST(SearchSpaceTest, SampleDrawsFromRanges) {
+  SearchSpace space;
+  space.choice("bf", {int64_t{8}, int64_t{16}})
+      .uniform("dropout", 0.1, 0.5)
+      .loguniform("lr", 1e-6, 1e-3);
+  const auto samples = space.sample(200, 7);
+  ASSERT_EQ(samples.size(), 200U);
+  int bf8 = 0;
+  for (const auto& p : samples) {
+    const int64_t bf = param_int(p, "bf");
+    EXPECT_TRUE(bf == 8 || bf == 16);
+    bf8 += bf == 8;
+    const double d = param_double(p, "dropout");
+    EXPECT_GE(d, 0.1);
+    EXPECT_LE(d, 0.5);
+    const double lr = param_double(p, "lr");
+    EXPECT_GE(lr, 1e-6);
+    EXPECT_LE(lr, 1e-3);
+  }
+  EXPECT_GT(bf8, 60);   // both options actually drawn
+  EXPECT_LT(bf8, 140);
+}
+
+TEST(SearchSpaceTest, LoguniformCoversDecades) {
+  SearchSpace space;
+  space.loguniform("lr", 1e-6, 1e-3);
+  const auto samples = space.sample(500, 11);
+  int tiny = 0;
+  for (const auto& p : samples) {
+    if (param_double(p, "lr") < 1e-5) ++tiny;
+  }
+  // Log-uniform: ~1/3 of draws per decade; uniform would give ~1%.
+  EXPECT_GT(tiny, 100);
+}
+
+TEST(SearchSpaceTest, SampleDeterministicPerSeed) {
+  SearchSpace space;
+  space.uniform("x", 0.0, 1.0);
+  const auto a = space.sample(5, 3);
+  const auto b = space.sample(5, 3);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(param_double(a[static_cast<size_t>(i)], "x"),
+                     param_double(b[static_cast<size_t>(i)], "x"));
+  }
+}
+
+TEST(SearchSpaceTest, RejectsBadDefinitions) {
+  SearchSpace space;
+  space.choice("a", {int64_t{1}});
+  EXPECT_THROW(space.choice("a", {int64_t{2}}), InvalidArgument);
+  EXPECT_THROW(space.choice("empty", {}), InvalidArgument);
+  EXPECT_THROW(space.uniform("u", 1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(space.loguniform("l", 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(space.sample(0, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dmis::ray

@@ -1,0 +1,193 @@
+#include "raylite/tune.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dmis::ray {
+namespace {
+
+// A synthetic trainable whose final metric is a known function of its
+// hyper-parameters: val_dice = 1 - |log10(lr) + 4| / 10 (best at 1e-4).
+void synthetic_trainable(const ParamSet& params, Reporter& reporter) {
+  const double lr = param_double(params, "lr");
+  const double final_dice = 1.0 - std::fabs(std::log10(lr) + 4.0) / 10.0;
+  for (int64_t epoch = 0; epoch < 5; ++epoch) {
+    if (reporter.should_stop()) return;
+    const double dice =
+        final_dice * (static_cast<double>(epoch + 1) / 5.0);
+    reporter.report(epoch, {{"val_dice", dice}, {"loss", 1.0 - dice}});
+  }
+}
+
+std::vector<ParamSet> lr_grid() {
+  SearchSpace space;
+  space.choice("lr", {1e-3, 1e-4, 1e-5, 1e-6});
+  return space.grid();
+}
+
+TEST(TuneTest, RunsAllTrialsToTermination) {
+  TuneOptions opts;
+  opts.num_gpus = 2;
+  const TuneResult result = tune_run(synthetic_trainable, lr_grid(), opts);
+  ASSERT_EQ(result.trials.size(), 4U);
+  EXPECT_EQ(result.count(TrialStatus::kTerminated), 4);
+  for (const Trial& t : result.trials) {
+    EXPECT_EQ(t.iterations, 5);
+    EXPECT_TRUE(t.last_metrics.count("val_dice"));
+  }
+}
+
+TEST(TuneTest, BestPicksKnownOptimum) {
+  TuneOptions opts;
+  opts.num_gpus = 4;
+  const TuneResult result = tune_run(synthetic_trainable, lr_grid(), opts);
+  const Trial& best = result.best("val_dice");
+  EXPECT_DOUBLE_EQ(param_double(best.params, "lr"), 1e-4);
+  // Minimize mode picks the worst lr's loss... i.e. best (lowest) loss
+  // is still the lr=1e-4 trial.
+  const Trial& best_loss = result.best("loss", /*maximize=*/false);
+  EXPECT_DOUBLE_EQ(param_double(best_loss.params, "lr"), 1e-4);
+}
+
+TEST(TuneTest, TrialErrorsAreCapturedNotFatal) {
+  const auto flaky = [](const ParamSet& params, Reporter& reporter) {
+    if (param_double(params, "lr") > 5e-4) {
+      throw IoError("simulated NaN loss");
+    }
+    reporter.report(0, {{"val_dice", 0.5}});
+  };
+  TuneOptions opts;
+  opts.num_gpus = 2;
+  const TuneResult result = tune_run(flaky, lr_grid(), opts);
+  EXPECT_EQ(result.count(TrialStatus::kError), 1);
+  EXPECT_EQ(result.count(TrialStatus::kTerminated), 3);
+  for (const Trial& t : result.trials) {
+    if (t.status == TrialStatus::kError) {
+      EXPECT_NE(t.error.find("NaN"), std::string::npos);
+    }
+  }
+}
+
+TEST(TuneTest, ConcurrencyBoundedByGpuPool) {
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  const auto trainable = [&](const ParamSet&, Reporter& reporter) {
+    const int now = running.fetch_add(1) + 1;
+    int expected = peak.load();
+    while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    running.fetch_sub(1);
+    reporter.report(0, {{"val_dice", 0.1}});
+  };
+  TuneOptions opts;
+  opts.num_gpus = 2;
+  SearchSpace space;
+  space.choice("i", {int64_t{0}, int64_t{1}, int64_t{2}, int64_t{3},
+                     int64_t{4}, int64_t{5}, int64_t{6}, int64_t{7}});
+  const TuneResult result = tune_run(trainable, space.grid(), opts);
+  EXPECT_EQ(result.count(TrialStatus::kTerminated), 8);
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(TuneTest, AshaStopsLowPerformersEarly) {
+  // Trials with monotone metric proportional to their "quality" q; ASHA
+  // at eta=2 should stop roughly half at each rung.
+  const auto trainable = [](const ParamSet& params, Reporter& reporter) {
+    const double q = param_double(params, "q");
+    for (int64_t epoch = 0; epoch < 8; ++epoch) {
+      if (reporter.should_stop()) return;
+      reporter.report(epoch, {{"val_dice", q * (1.0 + 0.01 * epoch)}});
+    }
+  };
+  SearchSpace space;
+  std::vector<ParamValue> qs;
+  for (int i = 8; i >= 1; --i) qs.push_back(0.1 * i);
+  space.choice("q", qs);
+
+  TuneOptions opts;
+  opts.num_gpus = 1;  // serial: deterministic rung populations
+  AshaOptions asha;
+  asha.metric = "val_dice";
+  asha.grace_period = 2;
+  asha.reduction_factor = 2;
+  opts.asha = asha;
+
+  const TuneResult result = tune_run(trainable, space.grid(), opts);
+  const int64_t stopped = result.count(TrialStatus::kStopped);
+  const int64_t full = result.count(TrialStatus::kTerminated);
+  EXPECT_EQ(stopped + full, 8);
+  EXPECT_GT(stopped, 0);      // some early stopping happened
+  EXPECT_GT(full, 0);         // the best survived
+  // The best trial must run to completion.
+  const Trial& best = result.best("val_dice");
+  EXPECT_EQ(best.iterations, 8);
+  // Early-stopped trials did fewer iterations.
+  for (const Trial& t : result.trials) {
+    if (t.status == TrialStatus::kStopped) EXPECT_LT(t.iterations, 8);
+  }
+}
+
+TEST(TuneTest, AshaSavesTotalIterations) {
+  std::atomic<int64_t> total_epochs{0};
+  const auto trainable = [&](const ParamSet& params, Reporter& reporter) {
+    const double q = param_double(params, "q");
+    for (int64_t epoch = 0; epoch < 16; ++epoch) {
+      if (reporter.should_stop()) return;
+      total_epochs.fetch_add(1);
+      reporter.report(epoch, {{"val_dice", q}});
+    }
+  };
+  SearchSpace space;
+  std::vector<ParamValue> qs;
+  for (int i = 8; i >= 1; --i) qs.push_back(0.1 * i);
+  space.choice("q", qs);
+
+  TuneOptions fifo;
+  fifo.num_gpus = 1;
+  const TuneResult full = tune_run(trainable, space.grid(), fifo);
+  const int64_t full_epochs = total_epochs.exchange(0);
+
+  TuneOptions opts = fifo;
+  AshaOptions asha;
+  asha.grace_period = 2;
+  opts.asha = asha;
+  const TuneResult pruned = tune_run(trainable, space.grid(), opts);
+  const int64_t pruned_epochs = total_epochs.load();
+
+  EXPECT_EQ(full.count(TrialStatus::kTerminated), 8);
+  EXPECT_LT(pruned_epochs, full_epochs / 2);  // substantial savings
+  // And the optimum is preserved.
+  EXPECT_DOUBLE_EQ(param_double(pruned.best("val_dice").params, "q"), 0.8);
+}
+
+TEST(TuneTest, RejectsBadArguments) {
+  TuneOptions opts;
+  EXPECT_THROW(tune_run(nullptr, lr_grid(), opts), InvalidArgument);
+  EXPECT_THROW(tune_run(synthetic_trainable, {}, opts), InvalidArgument);
+  opts.num_gpus = 0;
+  EXPECT_THROW(tune_run(synthetic_trainable, lr_grid(), opts),
+               InvalidArgument);
+}
+
+TEST(TuneTest, BestThrowsWhenNoTrialReportedMetric) {
+  const auto silent = [](const ParamSet&, Reporter&) {};
+  TuneOptions opts;
+  const TuneResult result = tune_run(silent, lr_grid(), opts);
+  EXPECT_THROW(result.best("val_dice"), InvalidArgument);
+}
+
+TEST(TrialStatusTest, Names) {
+  EXPECT_STREQ(trial_status_name(TrialStatus::kPending), "PENDING");
+  EXPECT_STREQ(trial_status_name(TrialStatus::kRunning), "RUNNING");
+  EXPECT_STREQ(trial_status_name(TrialStatus::kTerminated), "TERMINATED");
+  EXPECT_STREQ(trial_status_name(TrialStatus::kStopped), "STOPPED");
+  EXPECT_STREQ(trial_status_name(TrialStatus::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace dmis::ray

@@ -1,0 +1,92 @@
+#include "tensor/ndarray.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dmis {
+namespace {
+
+TEST(NDArrayTest, ZeroInitialized) {
+  NDArray a(Shape{2, 3});
+  EXPECT_EQ(a.numel(), 6);
+  for (int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], 0.0F);
+}
+
+TEST(NDArrayTest, FillAndValueConstructor) {
+  NDArray a(Shape{4}, 2.5F);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(a[i], 2.5F);
+  a.fill(-1.0F);
+  EXPECT_EQ(a.sum(), -4.0);
+}
+
+TEST(NDArrayTest, FromSpanChecksSize) {
+  const std::vector<float> v{1, 2, 3, 4, 5, 6};
+  NDArray a(Shape{2, 3}, v);
+  EXPECT_EQ(a[5], 6.0F);
+  EXPECT_THROW(NDArray(Shape{2, 2}, std::span<const float>(v)),
+               InvalidArgument);
+}
+
+TEST(NDArrayTest, CopyIsDeep) {
+  NDArray a(Shape{3}, 1.0F);
+  NDArray b = a;
+  b[0] = 9.0F;
+  EXPECT_EQ(a[0], 1.0F);
+}
+
+TEST(NDArrayTest, ElementwiseOps) {
+  NDArray a(Shape{3}, 1.0F);
+  NDArray b(Shape{3}, 2.0F);
+  a.add_(b);
+  EXPECT_EQ(a[1], 3.0F);
+  a.sub_(b);
+  EXPECT_EQ(a[1], 1.0F);
+  a.scale_(4.0F);
+  EXPECT_EQ(a[1], 4.0F);
+  a.axpy_(0.5F, b);
+  EXPECT_EQ(a[1], 5.0F);
+  NDArray c(Shape{4}, 1.0F);
+  EXPECT_THROW(a.add_(c), InvalidArgument);
+}
+
+TEST(NDArrayTest, Reductions) {
+  const std::vector<float> v{-1, 0, 2, 5};
+  NDArray a(Shape{4}, v);
+  EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+  EXPECT_EQ(a.max(), 5.0F);
+  EXPECT_EQ(a.min(), -1.0F);
+  EXPECT_NEAR(a.l2_norm(), std::sqrt(1 + 0 + 4 + 25), 1e-12);
+}
+
+TEST(NDArrayTest, ReshapePreservesData) {
+  NDArray a(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  a.reshape(Shape{3, 2});
+  EXPECT_EQ(a.shape(), (Shape{3, 2}));
+  EXPECT_EQ(a[4], 5.0F);
+  EXPECT_THROW(a.reshape(Shape{7}), InvalidArgument);
+}
+
+TEST(NDArrayTest, AtBoundsChecked) {
+  NDArray a(Shape{2});
+  EXPECT_NO_THROW(a.at(1));
+  EXPECT_THROW(a.at(2), InvalidArgument);
+  EXPECT_THROW(a.at(-1), InvalidArgument);
+}
+
+TEST(NDArrayTest, Allclose) {
+  NDArray a(Shape{2}, 1.0F);
+  NDArray b(Shape{2}, 1.0F);
+  b[0] += 1e-6F;
+  EXPECT_TRUE(a.allclose(b));
+  b[0] += 1.0F;
+  EXPECT_FALSE(a.allclose(b));
+  EXPECT_FALSE(a.allclose(NDArray(Shape{3}, 1.0F)));
+}
+
+}  // namespace
+}  // namespace dmis

@@ -1,0 +1,106 @@
+#include "tensor/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace dmis {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBoundsAndCoverage) {
+  Rng rng(11);
+  std::vector<int> hits(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const int64_t v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++hits[static_cast<size_t>(v)];
+  }
+  for (int h : hits) EXPECT_GT(h, 800);  // roughly uniform
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(5);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, TruncatedNormalStaysWithinTwoSigma) {
+  Rng rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.truncated_normal(1.0, 0.5);
+    EXPECT_LE(std::fabs(x - 1.0), 2.0 * 0.5 + 1e-12);
+  }
+}
+
+TEST(RngTest, TruncatedNormalZeroStddevIsMean) {
+  Rng rng(1);
+  EXPECT_EQ(rng.truncated_normal(3.5, 0.0), 3.5);
+}
+
+TEST(RngTest, LognormalIsPositive) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentAndDeterministic) {
+  Rng a(42);
+  Rng b(42);
+  Rng sa = a.split();
+  Rng sb = b.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(sa.next_u64(), sb.next_u64());
+  // Parent and child streams diverge.
+  Rng c(42);
+  Rng child = c.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (c.next_u64() == child.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(13);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  shuffle(v.begin(), v.end(), rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace dmis

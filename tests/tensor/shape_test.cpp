@@ -1,0 +1,64 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace dmis {
+namespace {
+
+TEST(ShapeTest, DefaultIsRankZeroScalar) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(ShapeTest, BasicDimsAndNumel) {
+  Shape s{2, 4, 24, 24, 16};
+  EXPECT_EQ(s.rank(), 5);
+  EXPECT_EQ(s.n(), 2);
+  EXPECT_EQ(s.c(), 4);
+  EXPECT_EQ(s.d(), 24);
+  EXPECT_EQ(s.h(), 24);
+  EXPECT_EQ(s.w(), 16);
+  EXPECT_EQ(s.numel(), 2 * 4 * 24 * 24 * 16);
+}
+
+TEST(ShapeTest, NegativeAxes) {
+  Shape s{3, 5, 7};
+  EXPECT_EQ(s.dim(-1), 7);
+  EXPECT_EQ(s.dim(-3), 3);
+  EXPECT_THROW(s.dim(-4), InvalidArgument);
+  EXPECT_THROW(s.dim(3), InvalidArgument);
+}
+
+TEST(ShapeTest, StridesAreRowMajor) {
+  Shape s{2, 3, 4};
+  const auto st = s.strides();
+  EXPECT_EQ(st[0], 12);
+  EXPECT_EQ(st[1], 4);
+  EXPECT_EQ(st[2], 1);
+}
+
+TEST(ShapeTest, AppendedAndWithDim) {
+  Shape s{2, 3};
+  EXPECT_EQ(s.appended(5), (Shape{2, 3, 5}));
+  EXPECT_EQ(s.with_dim(0, 9), (Shape{9, 3}));
+  EXPECT_EQ(s, (Shape{2, 3}));  // originals untouched
+}
+
+TEST(ShapeTest, RejectsBadDims) {
+  EXPECT_THROW((Shape{0, 3}), InvalidArgument);
+  EXPECT_THROW((Shape{2, -1}), InvalidArgument);
+  EXPECT_THROW((Shape{1, 1, 1, 1, 1, 1}), InvalidArgument);
+}
+
+TEST(ShapeTest, EqualityAndStr) {
+  EXPECT_EQ((Shape{1, 2}), (Shape{1, 2}));
+  EXPECT_NE((Shape{1, 2}), (Shape{2, 1}));
+  EXPECT_NE((Shape{1, 2}), (Shape{1, 2, 1}));
+  EXPECT_EQ((Shape{4, 240, 240, 152}).str(), "[4, 240, 240, 152]");
+}
+
+}  // namespace
+}  // namespace dmis
