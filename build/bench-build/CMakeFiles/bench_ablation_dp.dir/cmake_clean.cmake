@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dp"
+  "../bench/bench_ablation_dp.pdb"
+  "CMakeFiles/bench_ablation_dp.dir/bench_ablation_dp.cpp.o"
+  "CMakeFiles/bench_ablation_dp.dir/bench_ablation_dp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

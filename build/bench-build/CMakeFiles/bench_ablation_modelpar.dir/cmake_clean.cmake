@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_modelpar"
+  "../bench/bench_ablation_modelpar.pdb"
+  "CMakeFiles/bench_ablation_modelpar.dir/bench_ablation_modelpar.cpp.o"
+  "CMakeFiles/bench_ablation_modelpar.dir/bench_ablation_modelpar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_modelpar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sched"
+  "../bench/bench_ablation_sched.pdb"
+  "CMakeFiles/bench_ablation_sched.dir/bench_ablation_sched.cpp.o"
+  "CMakeFiles/bench_ablation_sched.dir/bench_ablation_sched.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

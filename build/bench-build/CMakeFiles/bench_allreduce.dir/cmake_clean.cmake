@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_allreduce"
+  "../bench/bench_allreduce.pdb"
+  "CMakeFiles/bench_allreduce.dir/bench_allreduce.cpp.o"
+  "CMakeFiles/bench_allreduce.dir/bench_allreduce.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

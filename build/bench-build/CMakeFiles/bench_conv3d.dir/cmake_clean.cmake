@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_conv3d"
+  "../bench/bench_conv3d.pdb"
+  "CMakeFiles/bench_conv3d.dir/bench_conv3d.cpp.o"
+  "CMakeFiles/bench_conv3d.dir/bench_conv3d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conv3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dice_parity"
+  "../bench/bench_dice_parity.pdb"
+  "CMakeFiles/bench_dice_parity.dir/bench_dice_parity.cpp.o"
+  "CMakeFiles/bench_dice_parity.dir/bench_dice_parity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dice_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

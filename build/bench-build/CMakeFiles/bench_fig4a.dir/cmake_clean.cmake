@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4a"
+  "../bench/bench_fig4a.pdb"
+  "CMakeFiles/bench_fig4a.dir/bench_fig4a.cpp.o"
+  "CMakeFiles/bench_fig4a.dir/bench_fig4a.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4b"
+  "../bench/bench_fig4b.pdb"
+  "CMakeFiles/bench_fig4b.dir/bench_fig4b.cpp.o"
+  "CMakeFiles/bench_fig4b.dir/bench_fig4b.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

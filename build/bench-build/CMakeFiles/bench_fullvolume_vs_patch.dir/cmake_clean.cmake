@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fullvolume_vs_patch"
+  "../bench/bench_fullvolume_vs_patch.pdb"
+  "CMakeFiles/bench_fullvolume_vs_patch.dir/bench_fullvolume_vs_patch.cpp.o"
+  "CMakeFiles/bench_fullvolume_vs_patch.dir/bench_fullvolume_vs_patch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fullvolume_vs_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

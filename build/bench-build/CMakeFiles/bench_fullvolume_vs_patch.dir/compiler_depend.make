@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fullvolume_vs_patch.
+# This may be replaced when dependencies are built.

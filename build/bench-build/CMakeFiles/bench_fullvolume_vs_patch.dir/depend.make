@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fullvolume_vs_patch.
+# This may be replaced when dependencies are built.

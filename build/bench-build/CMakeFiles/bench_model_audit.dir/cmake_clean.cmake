@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_model_audit"
+  "../bench/bench_model_audit.pdb"
+  "CMakeFiles/bench_model_audit.dir/bench_model_audit.cpp.o"
+  "CMakeFiles/bench_model_audit.dir/bench_model_audit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1"
+  "../bench/bench_table1.pdb"
+  "CMakeFiles/bench_table1.dir/bench_table1.cpp.o"
+  "CMakeFiles/bench_table1.dir/bench_table1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

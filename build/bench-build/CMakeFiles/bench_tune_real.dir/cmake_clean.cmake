@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tune_real"
+  "../bench/bench_tune_real.pdb"
+  "CMakeFiles/bench_tune_real.dir/bench_tune_real.cpp.o"
+  "CMakeFiles/bench_tune_real.dir/bench_tune_real.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tune_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tune_real.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cluster_scaling.cpp" "examples/CMakeFiles/cluster_scaling.dir/cluster_scaling.cpp.o" "gcc" "examples/CMakeFiles/cluster_scaling.dir/cluster_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dmis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/dmis_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/raylite/CMakeFiles/dmis_ray.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dmis_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dmis_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dmis_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dmis_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dmis_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

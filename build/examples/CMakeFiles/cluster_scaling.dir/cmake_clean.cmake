@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_scaling.dir/cluster_scaling.cpp.o"
+  "CMakeFiles/cluster_scaling.dir/cluster_scaling.cpp.o.d"
+  "cluster_scaling"
+  "cluster_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

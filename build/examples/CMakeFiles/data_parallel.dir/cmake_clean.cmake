@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_parallel.dir/data_parallel.cpp.o"
+  "CMakeFiles/data_parallel.dir/data_parallel.cpp.o.d"
+  "data_parallel"
+  "data_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

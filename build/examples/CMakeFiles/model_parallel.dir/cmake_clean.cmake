@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_parallel.dir/model_parallel.cpp.o"
+  "CMakeFiles/model_parallel.dir/model_parallel.cpp.o.d"
+  "model_parallel"
+  "model_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

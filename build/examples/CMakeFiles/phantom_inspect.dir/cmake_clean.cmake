@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_inspect.dir/phantom_inspect.cpp.o"
+  "CMakeFiles/phantom_inspect.dir/phantom_inspect.cpp.o.d"
+  "phantom_inspect"
+  "phantom_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_volume.dir/segment_volume.cpp.o"
+  "CMakeFiles/segment_volume.dir/segment_volume.cpp.o.d"
+  "segment_volume"
+  "segment_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

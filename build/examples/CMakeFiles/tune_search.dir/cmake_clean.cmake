@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_search.dir/tune_search.cpp.o"
+  "CMakeFiles/tune_search.dir/tune_search.cpp.o.d"
+  "tune_search"
+  "tune_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

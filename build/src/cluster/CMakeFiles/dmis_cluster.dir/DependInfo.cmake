@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/costmodel.cpp" "src/cluster/CMakeFiles/dmis_cluster.dir/costmodel.cpp.o" "gcc" "src/cluster/CMakeFiles/dmis_cluster.dir/costmodel.cpp.o.d"
+  "/root/repo/src/cluster/desim.cpp" "src/cluster/CMakeFiles/dmis_cluster.dir/desim.cpp.o" "gcc" "src/cluster/CMakeFiles/dmis_cluster.dir/desim.cpp.o.d"
+  "/root/repo/src/cluster/sim_study.cpp" "src/cluster/CMakeFiles/dmis_cluster.dir/sim_study.cpp.o" "gcc" "src/cluster/CMakeFiles/dmis_cluster.dir/sim_study.cpp.o.d"
+  "/root/repo/src/cluster/topology.cpp" "src/cluster/CMakeFiles/dmis_cluster.dir/topology.cpp.o" "gcc" "src/cluster/CMakeFiles/dmis_cluster.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dmis_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmis_cluster.dir/costmodel.cpp.o"
+  "CMakeFiles/dmis_cluster.dir/costmodel.cpp.o.d"
+  "CMakeFiles/dmis_cluster.dir/desim.cpp.o"
+  "CMakeFiles/dmis_cluster.dir/desim.cpp.o.d"
+  "CMakeFiles/dmis_cluster.dir/sim_study.cpp.o"
+  "CMakeFiles/dmis_cluster.dir/sim_study.cpp.o.d"
+  "CMakeFiles/dmis_cluster.dir/topology.cpp.o"
+  "CMakeFiles/dmis_cluster.dir/topology.cpp.o.d"
+  "libdmis_cluster.a"
+  "libdmis_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmis_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

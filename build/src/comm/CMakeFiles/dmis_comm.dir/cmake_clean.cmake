@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmis_comm.dir/communicator.cpp.o"
+  "CMakeFiles/dmis_comm.dir/communicator.cpp.o.d"
+  "libdmis_comm.a"
+  "libdmis_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmis_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

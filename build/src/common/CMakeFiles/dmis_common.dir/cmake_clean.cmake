@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmis_common.dir/logging.cpp.o"
+  "CMakeFiles/dmis_common.dir/logging.cpp.o.d"
+  "libdmis_common.a"
+  "libdmis_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmis_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/dmis_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/dmis_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/format.cpp" "src/core/CMakeFiles/dmis_core.dir/format.cpp.o" "gcc" "src/core/CMakeFiles/dmis_core.dir/format.cpp.o.d"
+  "/root/repo/src/core/hp_space.cpp" "src/core/CMakeFiles/dmis_core.dir/hp_space.cpp.o" "gcc" "src/core/CMakeFiles/dmis_core.dir/hp_space.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/dmis_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/dmis_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/dmis_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/dmis_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/scaling_study.cpp" "src/core/CMakeFiles/dmis_core.dir/scaling_study.cpp.o" "gcc" "src/core/CMakeFiles/dmis_core.dir/scaling_study.cpp.o.d"
+  "/root/repo/src/core/serve.cpp" "src/core/CMakeFiles/dmis_core.dir/serve.cpp.o" "gcc" "src/core/CMakeFiles/dmis_core.dir/serve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/dmis_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/raylite/CMakeFiles/dmis_ray.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dmis_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dmis_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dmis_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dmis_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dmis_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

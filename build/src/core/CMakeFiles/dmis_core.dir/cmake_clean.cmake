@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmis_core.dir/experiment.cpp.o"
+  "CMakeFiles/dmis_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/dmis_core.dir/format.cpp.o"
+  "CMakeFiles/dmis_core.dir/format.cpp.o.d"
+  "CMakeFiles/dmis_core.dir/hp_space.cpp.o"
+  "CMakeFiles/dmis_core.dir/hp_space.cpp.o.d"
+  "CMakeFiles/dmis_core.dir/pipeline.cpp.o"
+  "CMakeFiles/dmis_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/dmis_core.dir/report.cpp.o"
+  "CMakeFiles/dmis_core.dir/report.cpp.o.d"
+  "CMakeFiles/dmis_core.dir/scaling_study.cpp.o"
+  "CMakeFiles/dmis_core.dir/scaling_study.cpp.o.d"
+  "CMakeFiles/dmis_core.dir/serve.cpp.o"
+  "CMakeFiles/dmis_core.dir/serve.cpp.o.d"
+  "libdmis_core.a"
+  "libdmis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

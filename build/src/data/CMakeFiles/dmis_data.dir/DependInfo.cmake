@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/augment.cpp" "src/data/CMakeFiles/dmis_data.dir/augment.cpp.o" "gcc" "src/data/CMakeFiles/dmis_data.dir/augment.cpp.o.d"
+  "/root/repo/src/data/crc32c.cpp" "src/data/CMakeFiles/dmis_data.dir/crc32c.cpp.o" "gcc" "src/data/CMakeFiles/dmis_data.dir/crc32c.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/dmis_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/dmis_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/patches.cpp" "src/data/CMakeFiles/dmis_data.dir/patches.cpp.o" "gcc" "src/data/CMakeFiles/dmis_data.dir/patches.cpp.o.d"
+  "/root/repo/src/data/phantom.cpp" "src/data/CMakeFiles/dmis_data.dir/phantom.cpp.o" "gcc" "src/data/CMakeFiles/dmis_data.dir/phantom.cpp.o.d"
+  "/root/repo/src/data/record.cpp" "src/data/CMakeFiles/dmis_data.dir/record.cpp.o" "gcc" "src/data/CMakeFiles/dmis_data.dir/record.cpp.o.d"
+  "/root/repo/src/data/split.cpp" "src/data/CMakeFiles/dmis_data.dir/split.cpp.o" "gcc" "src/data/CMakeFiles/dmis_data.dir/split.cpp.o.d"
+  "/root/repo/src/data/transforms.cpp" "src/data/CMakeFiles/dmis_data.dir/transforms.cpp.o" "gcc" "src/data/CMakeFiles/dmis_data.dir/transforms.cpp.o.d"
+  "/root/repo/src/data/volume.cpp" "src/data/CMakeFiles/dmis_data.dir/volume.cpp.o" "gcc" "src/data/CMakeFiles/dmis_data.dir/volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dmis_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmis_data.dir/augment.cpp.o"
+  "CMakeFiles/dmis_data.dir/augment.cpp.o.d"
+  "CMakeFiles/dmis_data.dir/crc32c.cpp.o"
+  "CMakeFiles/dmis_data.dir/crc32c.cpp.o.d"
+  "CMakeFiles/dmis_data.dir/dataset.cpp.o"
+  "CMakeFiles/dmis_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/dmis_data.dir/patches.cpp.o"
+  "CMakeFiles/dmis_data.dir/patches.cpp.o.d"
+  "CMakeFiles/dmis_data.dir/phantom.cpp.o"
+  "CMakeFiles/dmis_data.dir/phantom.cpp.o.d"
+  "CMakeFiles/dmis_data.dir/record.cpp.o"
+  "CMakeFiles/dmis_data.dir/record.cpp.o.d"
+  "CMakeFiles/dmis_data.dir/split.cpp.o"
+  "CMakeFiles/dmis_data.dir/split.cpp.o.d"
+  "CMakeFiles/dmis_data.dir/transforms.cpp.o"
+  "CMakeFiles/dmis_data.dir/transforms.cpp.o.d"
+  "CMakeFiles/dmis_data.dir/volume.cpp.o"
+  "CMakeFiles/dmis_data.dir/volume.cpp.o.d"
+  "libdmis_data.a"
+  "libdmis_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmis_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdmis_data.a"
+)

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/dmis_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/graph.cpp" "src/nn/CMakeFiles/dmis_nn.dir/graph.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/graph.cpp.o.d"
+  "/root/repo/src/nn/infer.cpp" "src/nn/CMakeFiles/dmis_nn.dir/infer.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/infer.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/dmis_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/layers/activations.cpp" "src/nn/CMakeFiles/dmis_nn.dir/layers/activations.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/layers/activations.cpp.o.d"
+  "/root/repo/src/nn/layers/batchnorm.cpp" "src/nn/CMakeFiles/dmis_nn.dir/layers/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/layers/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/layers/concat.cpp" "src/nn/CMakeFiles/dmis_nn.dir/layers/concat.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/layers/concat.cpp.o.d"
+  "/root/repo/src/nn/layers/conv3d.cpp" "src/nn/CMakeFiles/dmis_nn.dir/layers/conv3d.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/layers/conv3d.cpp.o.d"
+  "/root/repo/src/nn/layers/conv_transpose3d.cpp" "src/nn/CMakeFiles/dmis_nn.dir/layers/conv_transpose3d.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/layers/conv_transpose3d.cpp.o.d"
+  "/root/repo/src/nn/layers/instancenorm.cpp" "src/nn/CMakeFiles/dmis_nn.dir/layers/instancenorm.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/layers/instancenorm.cpp.o.d"
+  "/root/repo/src/nn/layers/maxpool3d.cpp" "src/nn/CMakeFiles/dmis_nn.dir/layers/maxpool3d.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/layers/maxpool3d.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/dmis_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lr_schedule.cpp" "src/nn/CMakeFiles/dmis_nn.dir/lr_schedule.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/lr_schedule.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/nn/CMakeFiles/dmis_nn.dir/metrics.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/metrics.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/dmis_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/pipelined_unet3d.cpp" "src/nn/CMakeFiles/dmis_nn.dir/pipelined_unet3d.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/pipelined_unet3d.cpp.o.d"
+  "/root/repo/src/nn/unet3d.cpp" "src/nn/CMakeFiles/dmis_nn.dir/unet3d.cpp.o" "gcc" "src/nn/CMakeFiles/dmis_nn.dir/unet3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dmis_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

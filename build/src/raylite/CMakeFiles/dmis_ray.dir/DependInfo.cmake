@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raylite/actor.cpp" "src/raylite/CMakeFiles/dmis_ray.dir/actor.cpp.o" "gcc" "src/raylite/CMakeFiles/dmis_ray.dir/actor.cpp.o.d"
+  "/root/repo/src/raylite/object_store.cpp" "src/raylite/CMakeFiles/dmis_ray.dir/object_store.cpp.o" "gcc" "src/raylite/CMakeFiles/dmis_ray.dir/object_store.cpp.o.d"
+  "/root/repo/src/raylite/raylite.cpp" "src/raylite/CMakeFiles/dmis_ray.dir/raylite.cpp.o" "gcc" "src/raylite/CMakeFiles/dmis_ray.dir/raylite.cpp.o.d"
+  "/root/repo/src/raylite/search_space.cpp" "src/raylite/CMakeFiles/dmis_ray.dir/search_space.cpp.o" "gcc" "src/raylite/CMakeFiles/dmis_ray.dir/search_space.cpp.o.d"
+  "/root/repo/src/raylite/tune.cpp" "src/raylite/CMakeFiles/dmis_ray.dir/tune.cpp.o" "gcc" "src/raylite/CMakeFiles/dmis_ray.dir/tune.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dmis_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

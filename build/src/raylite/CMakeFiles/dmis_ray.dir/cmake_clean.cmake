@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmis_ray.dir/actor.cpp.o"
+  "CMakeFiles/dmis_ray.dir/actor.cpp.o.d"
+  "CMakeFiles/dmis_ray.dir/object_store.cpp.o"
+  "CMakeFiles/dmis_ray.dir/object_store.cpp.o.d"
+  "CMakeFiles/dmis_ray.dir/raylite.cpp.o"
+  "CMakeFiles/dmis_ray.dir/raylite.cpp.o.d"
+  "CMakeFiles/dmis_ray.dir/search_space.cpp.o"
+  "CMakeFiles/dmis_ray.dir/search_space.cpp.o.d"
+  "CMakeFiles/dmis_ray.dir/tune.cpp.o"
+  "CMakeFiles/dmis_ray.dir/tune.cpp.o.d"
+  "libdmis_ray.a"
+  "libdmis_ray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmis_ray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/ndarray.cpp" "src/tensor/CMakeFiles/dmis_tensor.dir/ndarray.cpp.o" "gcc" "src/tensor/CMakeFiles/dmis_tensor.dir/ndarray.cpp.o.d"
+  "/root/repo/src/tensor/rng.cpp" "src/tensor/CMakeFiles/dmis_tensor.dir/rng.cpp.o" "gcc" "src/tensor/CMakeFiles/dmis_tensor.dir/rng.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/tensor/CMakeFiles/dmis_tensor.dir/shape.cpp.o" "gcc" "src/tensor/CMakeFiles/dmis_tensor.dir/shape.cpp.o.d"
+  "/root/repo/src/tensor/thread_pool.cpp" "src/tensor/CMakeFiles/dmis_tensor.dir/thread_pool.cpp.o" "gcc" "src/tensor/CMakeFiles/dmis_tensor.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dmis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmis_tensor.dir/ndarray.cpp.o"
+  "CMakeFiles/dmis_tensor.dir/ndarray.cpp.o.d"
+  "CMakeFiles/dmis_tensor.dir/rng.cpp.o"
+  "CMakeFiles/dmis_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/dmis_tensor.dir/shape.cpp.o"
+  "CMakeFiles/dmis_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/dmis_tensor.dir/thread_pool.cpp.o"
+  "CMakeFiles/dmis_tensor.dir/thread_pool.cpp.o.d"
+  "libdmis_tensor.a"
+  "libdmis_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmis_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

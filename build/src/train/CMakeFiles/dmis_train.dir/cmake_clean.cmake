@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmis_train.dir/mirrored.cpp.o"
+  "CMakeFiles/dmis_train.dir/mirrored.cpp.o.d"
+  "CMakeFiles/dmis_train.dir/pipeline_parallel.cpp.o"
+  "CMakeFiles/dmis_train.dir/pipeline_parallel.cpp.o.d"
+  "CMakeFiles/dmis_train.dir/trainer.cpp.o"
+  "CMakeFiles/dmis_train.dir/trainer.cpp.o.d"
+  "libdmis_train.a"
+  "libdmis_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmis_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/costmodel_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/costmodel_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/costmodel_test.cpp.o.d"
+  "/root/repo/tests/cluster/desim_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/desim_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/desim_test.cpp.o.d"
+  "/root/repo/tests/cluster/sim_study_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/sim_study_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/sim_study_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/dmis_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dmis_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dmis_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

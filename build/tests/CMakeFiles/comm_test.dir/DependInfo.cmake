@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/comm/comm_stress_test.cpp" "tests/CMakeFiles/comm_test.dir/comm/comm_stress_test.cpp.o" "gcc" "tests/CMakeFiles/comm_test.dir/comm/comm_stress_test.cpp.o.d"
+  "/root/repo/tests/comm/communicator_test.cpp" "tests/CMakeFiles/comm_test.dir/comm/communicator_test.cpp.o" "gcc" "tests/CMakeFiles/comm_test.dir/comm/communicator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/dmis_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dmis_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

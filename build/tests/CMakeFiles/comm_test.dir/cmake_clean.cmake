@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_test.dir/comm/comm_stress_test.cpp.o"
+  "CMakeFiles/comm_test.dir/comm/comm_stress_test.cpp.o.d"
+  "CMakeFiles/comm_test.dir/comm/communicator_test.cpp.o"
+  "CMakeFiles/comm_test.dir/comm/communicator_test.cpp.o.d"
+  "comm_test"
+  "comm_test.pdb"
+  "comm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

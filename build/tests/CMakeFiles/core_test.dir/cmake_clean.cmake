@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/experiment_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/experiment_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/format_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/format_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/hp_space_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/hp_space_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/report_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/scaling_study_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/scaling_study_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/serve_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/serve_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/augment_test.cpp" "tests/CMakeFiles/data_test.dir/data/augment_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/augment_test.cpp.o.d"
+  "/root/repo/tests/data/dataset_test.cpp" "tests/CMakeFiles/data_test.dir/data/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/dataset_test.cpp.o.d"
+  "/root/repo/tests/data/patches_test.cpp" "tests/CMakeFiles/data_test.dir/data/patches_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/patches_test.cpp.o.d"
+  "/root/repo/tests/data/phantom_test.cpp" "tests/CMakeFiles/data_test.dir/data/phantom_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/phantom_test.cpp.o.d"
+  "/root/repo/tests/data/pipeline_property_test.cpp" "tests/CMakeFiles/data_test.dir/data/pipeline_property_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/pipeline_property_test.cpp.o.d"
+  "/root/repo/tests/data/record_test.cpp" "tests/CMakeFiles/data_test.dir/data/record_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/record_test.cpp.o.d"
+  "/root/repo/tests/data/split_test.cpp" "tests/CMakeFiles/data_test.dir/data/split_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/split_test.cpp.o.d"
+  "/root/repo/tests/data/transforms_test.cpp" "tests/CMakeFiles/data_test.dir/data/transforms_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/transforms_test.cpp.o.d"
+  "/root/repo/tests/data/volume_test.cpp" "tests/CMakeFiles/data_test.dir/data/volume_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/volume_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/dmis_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dmis_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_test.dir/data/augment_test.cpp.o"
+  "CMakeFiles/data_test.dir/data/augment_test.cpp.o.d"
+  "CMakeFiles/data_test.dir/data/dataset_test.cpp.o"
+  "CMakeFiles/data_test.dir/data/dataset_test.cpp.o.d"
+  "CMakeFiles/data_test.dir/data/patches_test.cpp.o"
+  "CMakeFiles/data_test.dir/data/patches_test.cpp.o.d"
+  "CMakeFiles/data_test.dir/data/phantom_test.cpp.o"
+  "CMakeFiles/data_test.dir/data/phantom_test.cpp.o.d"
+  "CMakeFiles/data_test.dir/data/pipeline_property_test.cpp.o"
+  "CMakeFiles/data_test.dir/data/pipeline_property_test.cpp.o.d"
+  "CMakeFiles/data_test.dir/data/record_test.cpp.o"
+  "CMakeFiles/data_test.dir/data/record_test.cpp.o.d"
+  "CMakeFiles/data_test.dir/data/split_test.cpp.o"
+  "CMakeFiles/data_test.dir/data/split_test.cpp.o.d"
+  "CMakeFiles/data_test.dir/data/transforms_test.cpp.o"
+  "CMakeFiles/data_test.dir/data/transforms_test.cpp.o.d"
+  "CMakeFiles/data_test.dir/data/volume_test.cpp.o"
+  "CMakeFiles/data_test.dir/data/volume_test.cpp.o.d"
+  "data_test"
+  "data_test.pdb"
+  "data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/activations_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/activations_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/activations_test.cpp.o.d"
+  "/root/repo/tests/nn/batchnorm_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/batchnorm_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/batchnorm_test.cpp.o.d"
+  "/root/repo/tests/nn/checkpoint_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/nn/concat_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/concat_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/concat_test.cpp.o.d"
+  "/root/repo/tests/nn/conv3d_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/conv3d_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/conv3d_test.cpp.o.d"
+  "/root/repo/tests/nn/conv_transpose3d_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/conv_transpose3d_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/conv_transpose3d_test.cpp.o.d"
+  "/root/repo/tests/nn/gradcheck.cpp" "tests/CMakeFiles/nn_test.dir/nn/gradcheck.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/gradcheck.cpp.o.d"
+  "/root/repo/tests/nn/graph_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/graph_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/graph_test.cpp.o.d"
+  "/root/repo/tests/nn/infer_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/infer_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/infer_test.cpp.o.d"
+  "/root/repo/tests/nn/instancenorm_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/instancenorm_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/instancenorm_test.cpp.o.d"
+  "/root/repo/tests/nn/loss_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/loss_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/loss_test.cpp.o.d"
+  "/root/repo/tests/nn/lr_schedule_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/lr_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/lr_schedule_test.cpp.o.d"
+  "/root/repo/tests/nn/maxpool3d_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/maxpool3d_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/maxpool3d_test.cpp.o.d"
+  "/root/repo/tests/nn/metrics_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/metrics_test.cpp.o.d"
+  "/root/repo/tests/nn/optim_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/optim_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/optim_test.cpp.o.d"
+  "/root/repo/tests/nn/pipelined_unet3d_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/pipelined_unet3d_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/pipelined_unet3d_test.cpp.o.d"
+  "/root/repo/tests/nn/unet3d_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/unet3d_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/unet3d_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dmis_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dmis_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/raylite/actor_test.cpp" "tests/CMakeFiles/raylite_test.dir/raylite/actor_test.cpp.o" "gcc" "tests/CMakeFiles/raylite_test.dir/raylite/actor_test.cpp.o.d"
+  "/root/repo/tests/raylite/object_store_test.cpp" "tests/CMakeFiles/raylite_test.dir/raylite/object_store_test.cpp.o" "gcc" "tests/CMakeFiles/raylite_test.dir/raylite/object_store_test.cpp.o.d"
+  "/root/repo/tests/raylite/raylite_test.cpp" "tests/CMakeFiles/raylite_test.dir/raylite/raylite_test.cpp.o" "gcc" "tests/CMakeFiles/raylite_test.dir/raylite/raylite_test.cpp.o.d"
+  "/root/repo/tests/raylite/search_space_test.cpp" "tests/CMakeFiles/raylite_test.dir/raylite/search_space_test.cpp.o" "gcc" "tests/CMakeFiles/raylite_test.dir/raylite/search_space_test.cpp.o.d"
+  "/root/repo/tests/raylite/tune_test.cpp" "tests/CMakeFiles/raylite_test.dir/raylite/tune_test.cpp.o" "gcc" "tests/CMakeFiles/raylite_test.dir/raylite/tune_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/raylite/CMakeFiles/dmis_ray.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dmis_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

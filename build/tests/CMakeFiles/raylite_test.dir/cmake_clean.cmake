@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raylite_test.dir/raylite/actor_test.cpp.o"
+  "CMakeFiles/raylite_test.dir/raylite/actor_test.cpp.o.d"
+  "CMakeFiles/raylite_test.dir/raylite/object_store_test.cpp.o"
+  "CMakeFiles/raylite_test.dir/raylite/object_store_test.cpp.o.d"
+  "CMakeFiles/raylite_test.dir/raylite/raylite_test.cpp.o"
+  "CMakeFiles/raylite_test.dir/raylite/raylite_test.cpp.o.d"
+  "CMakeFiles/raylite_test.dir/raylite/search_space_test.cpp.o"
+  "CMakeFiles/raylite_test.dir/raylite/search_space_test.cpp.o.d"
+  "CMakeFiles/raylite_test.dir/raylite/tune_test.cpp.o"
+  "CMakeFiles/raylite_test.dir/raylite/tune_test.cpp.o.d"
+  "raylite_test"
+  "raylite_test.pdb"
+  "raylite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raylite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

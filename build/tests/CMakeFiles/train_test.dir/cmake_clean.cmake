@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_test.dir/train/mirrored_test.cpp.o"
+  "CMakeFiles/train_test.dir/train/mirrored_test.cpp.o.d"
+  "CMakeFiles/train_test.dir/train/pipeline_parallel_test.cpp.o"
+  "CMakeFiles/train_test.dir/train/pipeline_parallel_test.cpp.o.d"
+  "CMakeFiles/train_test.dir/train/trainer_test.cpp.o"
+  "CMakeFiles/train_test.dir/train/trainer_test.cpp.o.d"
+  "train_test"
+  "train_test.pdb"
+  "train_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
