@@ -4,8 +4,21 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "common/fault_injector.hpp"
 
 namespace dmis::comm {
+namespace {
+
+// Failure points sit at collective *entry*, before the rank touches the
+// rendezvous barrier — mirroring a NIC/NCCL fault detected when the
+// operation is issued. Like the real thing, a rank that dies mid-group
+// leaves its peers blocked, so chaos tests arm these points so that
+// every rank of the group fails the same call (e.g. probability 1.0).
+void inject(const char* point) {
+  common::FaultInjector::instance().maybe_fail(point);
+}
+
+}  // namespace
 
 CollectiveContext::CollectiveContext(int size)
     : size_(size),
@@ -27,6 +40,7 @@ Communicator::Communicator(std::shared_ptr<CollectiveContext> ctx, int rank)
 void Communicator::barrier() { ctx_->sync(); }
 
 void Communicator::broadcast(std::span<float> data, int root) {
+  inject("comm.broadcast");
   DMIS_CHECK(root >= 0 && root < size(), "bad broadcast root " << root);
   auto& ctx = *ctx_;
   ctx.ptrs_[static_cast<size_t>(rank_)] = data.data();
@@ -44,6 +58,7 @@ void Communicator::broadcast(std::span<float> data, int root) {
 }
 
 void Communicator::all_reduce_sum(std::span<float> data) {
+  inject("comm.all_reduce");
   const int n = size();
   if (n == 1) return;
   auto& ctx = *ctx_;
@@ -96,6 +111,7 @@ void Communicator::all_reduce_mean(std::span<float> data) {
 }
 
 void Communicator::reduce_sum(std::span<float> data, int root) {
+  inject("comm.reduce");
   DMIS_CHECK(root >= 0 && root < size(), "bad reduce root " << root);
   auto& ctx = *ctx_;
   ctx.ptrs_[static_cast<size_t>(rank_)] = data.data();
@@ -114,6 +130,7 @@ void Communicator::reduce_sum(std::span<float> data, int root) {
 }
 
 std::vector<float> Communicator::all_gather(std::span<const float> data) {
+  inject("comm.all_gather");
   auto& ctx = *ctx_;
   ctx.cptrs_[static_cast<size_t>(rank_)] = data.data();
   ctx.sizes_[static_cast<size_t>(rank_)] = data.size();

@@ -1,0 +1,148 @@
+#include "common/fault_injector.hpp"
+
+namespace dmis::common {
+namespace {
+
+uint64_t fnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t splitmix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double next_unit_double(uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  seed_ = 0;
+  total_fires_ = 0;
+  active_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::seed(uint64_t s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = s;
+}
+
+FaultInjector::Point& FaultInjector::point_locked(const std::string& name) {
+  return points_[name];
+}
+
+void FaultInjector::arm_nth_call(const std::string& point, int64_t nth,
+                                 int64_t max_fires) {
+  DMIS_CHECK(nth >= 1, "nth must be >= 1, got " << nth);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Point& p = point_locked(point);
+  p.mode = Mode::kNthCall;
+  p.n = nth;
+  p.max_fires = max_fires;
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::arm_every_n(const std::string& point, int64_t n,
+                                int64_t max_fires) {
+  DMIS_CHECK(n >= 1, "n must be >= 1, got " << n);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Point& p = point_locked(point);
+  p.mode = Mode::kEveryN;
+  p.n = n;
+  p.max_fires = max_fires;
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::arm_probability(const std::string& point, double p,
+                                    int64_t max_fires) {
+  DMIS_CHECK(p >= 0.0 && p <= 1.0, "probability must be in [0,1], got " << p);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Point& pt = point_locked(point);
+  pt.mode = Mode::kProbability;
+  pt.probability = p;
+  pt.max_fires = max_fires;
+  pt.rng_state = seed_ ^ fnv1a(point);
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(const std::string& point) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  if (it != points_.end()) it->second.mode = Mode::kOff;
+  bool any_armed = false;
+  for (const auto& [name, p] : points_) {
+    any_armed = any_armed || p.mode != Mode::kOff;
+  }
+  active_.store(any_armed, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_fail(const std::string& point) {
+  if (!active_.load(std::memory_order_relaxed)) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Point& p = point_locked(point);
+  ++p.calls;
+  if (p.mode == Mode::kOff) return false;
+  if (p.max_fires >= 0 && p.fires >= p.max_fires) return false;
+  bool fire = false;
+  switch (p.mode) {
+    case Mode::kOff:
+      break;
+    case Mode::kNthCall:
+      fire = p.calls >= p.n;
+      break;
+    case Mode::kEveryN:
+      fire = p.calls % p.n == 0;
+      break;
+    case Mode::kProbability:
+      fire = next_unit_double(p.rng_state) < p.probability;
+      break;
+  }
+  if (fire) {
+    ++p.fires;
+    ++total_fires_;
+  }
+  return fire;
+}
+
+void FaultInjector::maybe_fail(const std::string& point) {
+  if (should_fail(point)) {
+    throw FaultInjected("injected fault at '" + point + "' (call #" +
+                        std::to_string(calls(point)) + ")");
+  }
+}
+
+int64_t FaultInjector::calls(const std::string& point) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.calls;
+}
+
+int64_t FaultInjector::fires(const std::string& point) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+int64_t FaultInjector::total_fires() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_fires_;
+}
+
+}  // namespace dmis::common

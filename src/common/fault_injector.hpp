@@ -1,0 +1,112 @@
+// Deterministic fault injection for chaos/robustness testing.
+//
+// Production code declares *failure points* by calling
+// `FaultInjector::instance().maybe_fail("subsystem.operation")` at the
+// places where a real deployment can crash (task execution, collective
+// entry, checkpoint writes). By default every point is disarmed and the
+// call is a single relaxed atomic load — safe to leave in hot paths.
+//
+// Tests arm points by name with one of three triggers:
+//   * nth-call    — fire on the Nth invocation (1-based),
+//   * every-N     — fire on every Nth invocation,
+//   * probability — fire with probability p per invocation,
+// each optionally bounded by a fire budget. Probability draws use a
+// per-point splitmix64 stream seeded from `seed() ^ fnv1a(point)`, so a
+// fixed seed reproduces the same fire pattern per point regardless of
+// how calls to *other* points interleave across threads.
+//
+// A fired point throws `FaultInjected`, which propagates like any other
+// error (through `Future::get()`, actor calls, trial execution) and is
+// what the tune layer classifies as a transient, retryable failure.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace dmis::common {
+
+/// The error thrown by an armed failure point. Subclasses dmis::Error so
+/// generic error handling treats it like a real crash.
+class FaultInjected : public Error {
+ public:
+  explicit FaultInjected(const std::string& what) : Error(what) {}
+};
+
+class FaultInjector {
+ public:
+  /// Process-wide injector shared by all subsystems.
+  static FaultInjector& instance();
+
+  /// Disarms every point, clears all counters, and restores seed 0.
+  void reset();
+
+  /// Sets the base seed for probability-triggered points. Affects points
+  /// armed *after* the call (each point's stream is derived at arm time).
+  void seed(uint64_t s);
+
+  /// Fires on the `nth` call (1-based) to `point`; with `max_fires` > 1
+  /// the following `max_fires - 1` calls fire too.
+  void arm_nth_call(const std::string& point, int64_t nth,
+                    int64_t max_fires = 1);
+
+  /// Fires on every `n`th call to `point` (calls n, 2n, 3n, ...), at
+  /// most `max_fires` times (-1 = unbounded).
+  void arm_every_n(const std::string& point, int64_t n,
+                   int64_t max_fires = -1);
+
+  /// Fires with probability `p` per call, at most `max_fires` times.
+  void arm_probability(const std::string& point, double p,
+                       int64_t max_fires = -1);
+
+  /// Disarms one point (its counters are kept).
+  void disarm(const std::string& point);
+
+  /// Registers a call to `point`; returns true if the fault fires.
+  /// No-op (and not counted) while nothing at all is armed.
+  bool should_fail(const std::string& point);
+
+  /// should_fail, but throws FaultInjected when the fault fires.
+  void maybe_fail(const std::string& point);
+
+  /// Calls observed at `point` since the last reset (only counted while
+  /// the injector has at least one armed point).
+  int64_t calls(const std::string& point) const;
+
+  /// Times `point` has fired since the last reset.
+  int64_t fires(const std::string& point) const;
+
+  /// Total fires across all points since the last reset.
+  int64_t total_fires() const;
+
+ private:
+  FaultInjector() = default;
+
+  enum class Mode { kOff, kNthCall, kEveryN, kProbability };
+
+  struct Point {
+    Mode mode = Mode::kOff;
+    int64_t n = 0;            // nth-call / every-N parameter
+    double probability = 0.0;
+    int64_t max_fires = -1;   // -1 = unbounded
+    int64_t calls = 0;
+    int64_t fires = 0;
+    uint64_t rng_state = 0;   // splitmix64 stream for kProbability
+  };
+
+  Point& point_locked(const std::string& name);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Point> points_;
+  uint64_t seed_ = 0;
+  int64_t total_fires_ = 0;
+  // Fast-path gate: true while >= 1 point is armed. Relaxed is fine —
+  // tests arm points before starting the threads they want to disturb.
+  std::atomic<bool> active_{false};
+};
+
+}  // namespace dmis::common

@@ -1,84 +1,198 @@
 #include "nn/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 
-#include "common/check.hpp"
+#include "common/fault_injector.hpp"
+#include "data/crc32c.hpp"
 
 namespace dmis::nn {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'M', 'C', 'K'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
 
 template <class T>
-void write_pod(std::ofstream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+void append_pod(std::string& buf, const T& value) {
+  buf.append(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <class T>
-T read_pod(std::ifstream& is) {
+T read_pod(std::istream& is) {
   T value{};
   is.read(reinterpret_cast<char*>(&value), sizeof(T));
   return value;
+}
+
+/// Serializes the parameter section (everything the CRC covers).
+std::string serialize_params(const std::vector<Param>& params) {
+  std::string payload;
+  size_t bytes = sizeof(uint64_t);
+  for (const Param& p : params) {
+    bytes += sizeof(uint32_t) + p.name.size() + sizeof(uint32_t) +
+             static_cast<size_t>(p.value->shape().rank()) * sizeof(int64_t) +
+             static_cast<size_t>(p.value->numel()) * sizeof(float);
+  }
+  payload.reserve(bytes);
+  append_pod(payload, static_cast<uint64_t>(params.size()));
+  for (const Param& p : params) {
+    append_pod(payload, static_cast<uint32_t>(p.name.size()));
+    payload.append(p.name);
+    const Shape& s = p.value->shape();
+    append_pod(payload, static_cast<uint32_t>(s.rank()));
+    for (int i = 0; i < s.rank(); ++i) append_pod(payload, s.dim(i));
+    payload.append(reinterpret_cast<const char*>(p.value->data()),
+                   static_cast<size_t>(p.value->numel()) * sizeof(float));
+  }
+  return payload;
+}
+
+/// POSIX fd wrapper so error paths cannot leak the descriptor.
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { close_now(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  void close_now() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+void write_all(int fd, const char* data, size_t len, const std::string& path) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    DMIS_CHECK_IO(n >= 0, "write failed for '" << path << "': "
+                                               << std::strerror(errno));
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void check_ck(bool ok, const std::string& path, const char* what) {
+  if (!ok) {
+    throw CheckpointError("corrupt checkpoint '" + path + "': " + what);
+  }
 }
 
 }  // namespace
 
 void save_checkpoint(const std::string& path,
                      const std::vector<Param>& params) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  DMIS_CHECK_IO(os.good(), "cannot open '" << path << "' for writing");
-  os.write(kMagic, sizeof(kMagic));
-  write_pod(os, kVersion);
-  write_pod(os, static_cast<uint64_t>(params.size()));
-  for (const Param& p : params) {
-    write_pod(os, static_cast<uint32_t>(p.name.size()));
-    os.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
-    const Shape& s = p.value->shape();
-    write_pod(os, static_cast<uint32_t>(s.rank()));
-    for (int i = 0; i < s.rank(); ++i) write_pod(os, s.dim(i));
-    os.write(reinterpret_cast<const char*>(p.value->data()),
-             static_cast<std::streamsize>(p.value->numel() * sizeof(float)));
+  auto& faults = common::FaultInjector::instance();
+  const std::string payload = serialize_params(params);
+
+  std::string header;
+  header.append(kMagic, sizeof(kMagic));
+  append_pod(header, kVersion);
+  append_pod(header, static_cast<uint64_t>(payload.size()));
+  append_pod(header, data::mask_crc(
+                         data::crc32c(payload.data(), payload.size())));
+
+  // Same-directory temp file: rename(2) is atomic only within a
+  // filesystem, and a crash must never leave a torn file at `path`.
+  const std::string tmp = path + ".tmp";
+  faults.maybe_fail("checkpoint.save.open");
+  Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
+  DMIS_CHECK_IO(fd.get() >= 0, "cannot open '" << tmp << "' for writing: "
+                                               << std::strerror(errno));
+  try {
+    write_all(fd.get(), header.data(), header.size(), tmp);
+    // The mid-write failure point splits the payload so an injected
+    // crash leaves a torn *temp* file — proving the destination is
+    // immune to partial writes.
+    write_all(fd.get(), payload.data(), payload.size() / 2, tmp);
+    faults.maybe_fail("checkpoint.save.write");
+    write_all(fd.get(), payload.data() + payload.size() / 2,
+              payload.size() - payload.size() / 2, tmp);
+    DMIS_CHECK_IO(::fsync(fd.get()) == 0, "fsync failed for '"
+                                              << tmp << "': "
+                                              << std::strerror(errno));
+    fd.close_now();
+    faults.maybe_fail("checkpoint.save.rename");
+    DMIS_CHECK_IO(::rename(tmp.c_str(), path.c_str()) == 0,
+                  "rename '" << tmp << "' -> '" << path
+                             << "' failed: " << std::strerror(errno));
+  } catch (...) {
+    fd.close_now();
+    ::unlink(tmp.c_str());  // best effort; never clobbers `path`
+    throw;
   }
-  DMIS_CHECK_IO(os.good(), "write failed for '" << path << "'");
+
+  // Make the rename itself durable (directory entry update).
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash);
+  Fd dirfd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY));
+  if (dirfd.get() >= 0) (void)::fsync(dirfd.get());
 }
 
 void load_checkpoint(const std::string& path, std::vector<Param>& params) {
+  common::FaultInjector::instance().maybe_fail("checkpoint.load");
   std::ifstream is(path, std::ios::binary);
   DMIS_CHECK_IO(is.good(), "cannot open '" << path << "' for reading");
+
   char magic[4];
   is.read(magic, sizeof(magic));
-  DMIS_CHECK_IO(is.good() && std::equal(magic, magic + 4, kMagic),
-                "'" << path << "' is not a DMCK checkpoint");
+  check_ck(is.good() && std::equal(magic, magic + 4, kMagic), path,
+           "not a DMCK checkpoint");
   const auto version = read_pod<uint32_t>(is);
-  DMIS_CHECK_IO(version == kVersion,
-                "unsupported checkpoint version " << version);
-  const auto count = read_pod<uint64_t>(is);
+  check_ck(is.good() && version == kVersion, path,
+           "unsupported checkpoint version");
+  const auto payload_size = read_pod<uint64_t>(is);
+  const auto stored_crc = read_pod<uint32_t>(is);
+  check_ck(is.good(), path, "truncated header");
 
+  std::string payload(static_cast<size_t>(payload_size), '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  check_ck(static_cast<uint64_t>(is.gcount()) == payload_size, path,
+           "truncated payload");
+  check_ck(data::mask_crc(data::crc32c(payload.data(), payload.size())) ==
+               stored_crc,
+           path, "checksum mismatch");
+
+  // Past the CRC everything below is self-consistent, but guard each
+  // read anyway so a logic bug surfaces as a typed error.
+  std::istringstream ps(payload, std::ios::binary);
+  const auto count = read_pod<uint64_t>(ps);
   struct Entry {
     Shape shape;
     std::vector<float> data;
   };
   std::map<std::string, Entry> entries;
   for (uint64_t i = 0; i < count; ++i) {
-    const auto name_len = read_pod<uint32_t>(is);
+    const auto name_len = read_pod<uint32_t>(ps);
     std::string name(name_len, '\0');
-    is.read(name.data(), name_len);
-    const auto rank = read_pod<uint32_t>(is);
-    DMIS_CHECK_IO(rank <= static_cast<uint32_t>(Shape::kMaxRank),
-                  "corrupt checkpoint: rank " << rank);
+    ps.read(name.data(), name_len);
+    const auto rank = read_pod<uint32_t>(ps);
+    check_ck(ps.good() && rank <= static_cast<uint32_t>(Shape::kMaxRank),
+             path, "bad param rank");
     Shape shape;
     for (uint32_t d = 0; d < rank; ++d) {
-      shape = shape.appended(read_pod<int64_t>(is));
+      shape = shape.appended(read_pod<int64_t>(ps));
     }
     Entry e;
     e.shape = shape;
     e.data.resize(static_cast<size_t>(shape.numel()));
-    is.read(reinterpret_cast<char*>(e.data.data()),
+    ps.read(reinterpret_cast<char*>(e.data.data()),
             static_cast<std::streamsize>(e.data.size() * sizeof(float)));
-    DMIS_CHECK_IO(is.good(), "truncated checkpoint '" << path << "'");
+    check_ck(ps.good(), path, "truncated param entry");
     entries.emplace(std::move(name), std::move(e));
   }
 

@@ -1,9 +1,19 @@
-// Binary checkpointing of named parameters.
+// Binary checkpointing of named parameters — crash-safe.
 //
-// Format (little-endian):
-//   magic "DMCK" | u32 version | u64 param_count |
-//   per param: u32 name_len | name bytes | u32 rank | i64 dims[rank] |
-//              f32 data[numel]
+// Format v2 (little-endian):
+//   magic "DMCK" | u32 version | u64 payload_size | u32 masked_crc32c |
+//   payload:
+//     u64 param_count |
+//     per param: u32 name_len | name bytes | u32 rank | i64 dims[rank] |
+//                f32 data[numel]
+// The CRC32C covers the whole payload (masked the way TFRecord masks
+// stored CRCs), so truncation and bit-rot are both detected at load.
+//
+// save_checkpoint is atomic with respect to crashes: the bytes go to a
+// temp file in the same directory, are fsync'ed, and only then renamed
+// over `path`. A crash at any point leaves either the complete old
+// checkpoint or the complete new one — never a torn file.
+//
 // Load matches by name and verifies shapes, so checkpoints survive graph
 // reconstruction as long as node names are stable.
 #pragma once
@@ -11,17 +21,29 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "nn/module.hpp"
 
 namespace dmis::nn {
 
-/// Writes all `params` to `path`; throws IoError on failure.
+/// A checkpoint file is unreadable: wrong magic, truncated payload, or
+/// checksum mismatch. Subclasses IoError so generic I/O handling still
+/// applies; retry logic catches this type to fall back to an older
+/// checkpoint instead of crashing on garbage.
+class CheckpointError : public IoError {
+ public:
+  explicit CheckpointError(const std::string& what) : IoError(what) {}
+};
+
+/// Writes all `params` to `path` via temp-file + fsync + atomic rename;
+/// throws IoError on failure. On failure `path` is untouched.
 void save_checkpoint(const std::string& path,
                      const std::vector<Param>& params);
 
 /// Loads values into `params` from `path`. Every parameter in `params`
 /// must be present in the file with a matching shape; extra file entries
-/// are ignored.
+/// are ignored. Throws CheckpointError if the file is corrupt or
+/// truncated, IoError for other failures.
 void load_checkpoint(const std::string& path, std::vector<Param>& params);
 
 }  // namespace dmis::nn

@@ -1,6 +1,7 @@
 #include "raylite/actor.hpp"
 
 #include "common/check.hpp"
+#include "common/fault_injector.hpp"
 
 namespace dmis::ray {
 
@@ -20,6 +21,11 @@ void ActorHandle::State::loop() {
     std::any value;
     std::exception_ptr error;
     try {
+      // Failure point: the actor crashing inside a method call. The
+      // error resolves this call's Future; the actor itself stays
+      // alive and keeps draining its queue (Ray restarts the process;
+      // here the "restart" is the already-constructed state object).
+      common::FaultInjector::instance().maybe_fail("raylite.actor.method");
       value = item.first(object);
     } catch (...) {
       error = std::current_exception();

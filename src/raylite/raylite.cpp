@@ -1,6 +1,7 @@
 #include "raylite/raylite.hpp"
 
 #include "common/check.hpp"
+#include "common/fault_injector.hpp"
 
 namespace dmis::ray {
 
@@ -81,6 +82,9 @@ void RayLite::worker_loop() {
     std::any value;
     std::exception_ptr error;
     try {
+      // Failure point: a worker dying as it picks up the task (the
+      // preemption / OOM-kill case). Propagates through Future::get().
+      common::FaultInjector::instance().maybe_fail("raylite.task");
       value = task.fn();
     } catch (...) {
       error = std::current_exception();

@@ -1,7 +1,10 @@
 #include "raylite/tune.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <thread>
 
 #include "common/check.hpp"
 
@@ -14,6 +17,7 @@ const char* trial_status_name(TrialStatus s) {
     case TrialStatus::kTerminated: return "TERMINATED";
     case TrialStatus::kStopped: return "STOPPED";
     case TrialStatus::kError: return "ERROR";
+    case TrialStatus::kFailed: return "FAILED";
   }
   return "?";
 }
@@ -67,8 +71,13 @@ class AshaState {
 
 class TrialReporter final : public Reporter {
  public:
-  TrialReporter(Trial& trial, std::mutex& trial_mutex, AshaState* asha)
-      : trial_(trial), trial_mutex_(trial_mutex), asha_(asha) {}
+  TrialReporter(Trial& trial, std::mutex& trial_mutex, AshaState* asha,
+                std::string checkpoint_dir, int64_t start_iteration)
+      : trial_(trial),
+        trial_mutex_(trial_mutex),
+        asha_(asha),
+        checkpoint_dir_(std::move(checkpoint_dir)),
+        start_iteration_(start_iteration) {}
 
   void report(int64_t iteration,
               const std::map<std::string, double>& metrics) override {
@@ -88,10 +97,18 @@ class TrialReporter final : public Reporter {
 
   bool should_stop() const override { return stop_; }
 
+  const std::string& checkpoint_dir() const override {
+    return checkpoint_dir_;
+  }
+
+  int64_t start_iteration() const override { return start_iteration_; }
+
  private:
   Trial& trial_;
   std::mutex& trial_mutex_;
   AshaState* asha_;
+  std::string checkpoint_dir_;
+  int64_t start_iteration_ = 0;
   bool stop_ = false;
 };
 
@@ -127,12 +144,24 @@ int64_t TuneResult::count(TrialStatus status) const {
   });
 }
 
+int64_t TuneResult::transient_failures() const {
+  int64_t n = 0;
+  for (const Trial& t : trials) {
+    n += static_cast<int64_t>(t.transient_errors.size());
+  }
+  return n;
+}
+
 TuneResult tune_run(const Trainable& trainable,
                     const std::vector<ParamSet>& configs,
                     const TuneOptions& options) {
   DMIS_CHECK(trainable != nullptr, "null trainable");
   DMIS_CHECK(!configs.empty(), "no configurations to tune");
   DMIS_CHECK(options.num_gpus >= 1, "need >= 1 GPU");
+  DMIS_CHECK(options.retry.max_retries >= 0, "negative max_retries");
+  DMIS_CHECK(options.retry.backoff_base >= 0.0 &&
+                 options.retry.backoff_cap >= 0.0,
+             "negative retry backoff");
 
   const int cpus =
       options.num_cpus > 0 ? options.num_cpus : options.num_gpus;
@@ -149,42 +178,107 @@ TuneResult tune_run(const Trainable& trainable,
   result.trials.resize(configs.size());
   std::mutex trials_mutex;
 
+  for (size_t i = 0; i < configs.size(); ++i) {
+    Trial& trial = result.trials[i];
+    trial.id = static_cast<int>(i);
+    trial.params = configs[i];
+    if (!options.checkpoint_root.empty()) {
+      trial.checkpoint_dir =
+          options.checkpoint_root + "/trial_" + std::to_string(i);
+      std::filesystem::create_directories(trial.checkpoint_dir);
+    }
+  }
+
   std::unique_ptr<AshaState> asha;
   if (options.asha.has_value()) {
     asha = std::make_unique<AshaState>(*options.asha);
   }
 
+  const int max_attempts = 1 + options.retry.max_retries;
+
   {
     RayLite cluster(Resources{options.num_gpus, cpus}, max_parallel);
-    std::vector<Future> futures;
-    futures.reserve(configs.size());
-    for (size_t i = 0; i < configs.size(); ++i) {
-      {
-        const std::lock_guard<std::mutex> lock(trials_mutex);
-        result.trials[i].id = static_cast<int>(i);
-        result.trials[i].params = configs[i];
+    std::vector<size_t> pending(configs.size());
+    for (size_t i = 0; i < configs.size(); ++i) pending[i] = i;
+
+    // Round-based rescheduling: round 0 dispatches every trial; round
+    // k > 0 redispatches the trials that failed round k-1 after an
+    // exponentially growing delay. Trials that succeed are never
+    // resubmitted, so the loop terminates after at most
+    // 1 + max_retries rounds.
+    for (int round = 0; !pending.empty(); ++round) {
+      if (round > 0) {
+        const double delay_s =
+            std::min(options.retry.backoff_cap,
+                     options.retry.backoff_base *
+                         std::pow(2.0, static_cast<double>(round - 1)));
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
       }
-      futures.push_back(cluster.submit(options.per_trial, [&, i]() -> std::any {
-        Trial& trial = result.trials[i];
+
+      std::vector<Future> futures;
+      futures.reserve(pending.size());
+      for (const size_t i : pending) {
         {
           const std::lock_guard<std::mutex> lock(trials_mutex);
-          trial.status = TrialStatus::kRunning;
+          ++result.trials[i].attempts;
         }
-        TrialReporter reporter(trial, trials_mutex, asha.get());
+        futures.push_back(
+            cluster.submit(options.per_trial, [&, i]() -> std::any {
+              Trial& trial = result.trials[i];
+              std::string ckpt_dir;
+              int64_t start_iteration = 0;
+              {
+                const std::lock_guard<std::mutex> lock(trials_mutex);
+                trial.status = TrialStatus::kRunning;
+                ckpt_dir = trial.checkpoint_dir;
+                // A retried attempt resumes after the last iteration
+                // the previous attempt managed to report.
+                start_iteration = trial.iterations;
+              }
+              TrialReporter reporter(trial, trials_mutex, asha.get(),
+                                     std::move(ckpt_dir), start_iteration);
+              try {
+                trainable(configs[i], reporter);
+                const std::lock_guard<std::mutex> lock(trials_mutex);
+                trial.status = reporter.should_stop()
+                                   ? TrialStatus::kStopped
+                                   : TrialStatus::kTerminated;
+              } catch (const std::exception& e) {
+                const std::lock_guard<std::mutex> lock(trials_mutex);
+                trial.status = TrialStatus::kError;
+                trial.error = e.what();
+              }
+              return {};
+            }));
+      }
+
+      std::vector<size_t> failed;
+      for (size_t k = 0; k < pending.size(); ++k) {
+        const size_t i = pending[k];
         try {
-          trainable(configs[i], reporter);
-          const std::lock_guard<std::mutex> lock(trials_mutex);
-          trial.status = reporter.should_stop() ? TrialStatus::kStopped
-                                                : TrialStatus::kTerminated;
+          (void)futures[k].get();
         } catch (const std::exception& e) {
+          // The worker died before/around the trainable (injected
+          // preemption): the task body never recorded the failure.
           const std::lock_guard<std::mutex> lock(trials_mutex);
-          trial.status = TrialStatus::kError;
-          trial.error = e.what();
+          result.trials[i].status = TrialStatus::kError;
+          result.trials[i].error = e.what();
         }
-        return {};
-      }));
+        const std::lock_guard<std::mutex> lock(trials_mutex);
+        Trial& trial = result.trials[i];
+        if (trial.status != TrialStatus::kError) continue;
+        if (trial.attempts < max_attempts) {
+          trial.transient_errors.push_back(std::move(trial.error));
+          trial.error.clear();
+          trial.status = TrialStatus::kPending;
+          failed.push_back(i);
+        } else if (options.retry.max_retries > 0) {
+          trial.status = TrialStatus::kFailed;
+        }
+        // max_retries == 0: keep legacy kError accounting.
+      }
+      pending = std::move(failed);
     }
-    for (Future& f : futures) (void)f.get();
   }
   return result;
 }

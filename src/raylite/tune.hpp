@@ -9,6 +9,14 @@
 // Trial schedulers: FIFO (Tune's default queue — what the paper
 // benchmarks) and ASHA (asynchronous successive halving) early stopping
 // as the extension the paper's future work points toward.
+//
+// Fault tolerance (Ray Tune's checkpoint-based trial recovery):
+// a trial that throws is a *transient* failure. With a RetryPolicy the
+// scheduler reschedules it with exponential backoff, handing the new
+// attempt the trial's checkpoint directory and the iteration the last
+// attempt durably reached, so the trainable resumes instead of
+// restarting. A trial whose retry budget runs dry lands in kFailed;
+// kError is reserved for failures with retries disabled.
 #pragma once
 
 #include <functional>
@@ -24,7 +32,14 @@
 
 namespace dmis::ray {
 
-enum class TrialStatus { kPending, kRunning, kTerminated, kStopped, kError };
+enum class TrialStatus {
+  kPending,
+  kRunning,
+  kTerminated,
+  kStopped,
+  kError,   ///< Threw with retries disabled (fail-fast accounting).
+  kFailed,  ///< Threw on every attempt; retry budget exhausted.
+};
 
 const char* trial_status_name(TrialStatus s);
 
@@ -40,6 +55,19 @@ class Reporter {
   /// True once the scheduler decided to early-stop this trial; the
   /// trainable should return promptly.
   virtual bool should_stop() const = 0;
+
+  /// Directory reserved for this trial's checkpoints (empty when
+  /// checkpointing is disabled). Stable across retry attempts.
+  virtual const std::string& checkpoint_dir() const {
+    static const std::string kEmpty;
+    return kEmpty;
+  }
+
+  /// First iteration this attempt should execute: 0 on a fresh start,
+  /// the last reported iteration count when resuming after a failure.
+  /// A resuming trainable restores model state from checkpoint_dir()
+  /// and skips the first start_iteration() epochs.
+  virtual int64_t start_iteration() const { return 0; }
 };
 
 using Trainable = std::function<void(const ParamSet&, Reporter&)>;
@@ -51,6 +79,13 @@ struct Trial {
   int64_t iterations = 0;
   std::map<std::string, double> last_metrics;
   std::string error;
+
+  /// Execution attempts so far (1 = never retried).
+  int attempts = 0;
+  /// Error messages of attempts that failed and were rescheduled.
+  std::vector<std::string> transient_errors;
+  /// Per-trial checkpoint directory ("" when checkpointing is off).
+  std::string checkpoint_dir;
 };
 
 /// ASHA configuration (Li et al., adapted): rungs at grace_period *
@@ -64,11 +99,24 @@ struct AshaOptions {
   int64_t max_rungs = 10;
 };
 
+/// How failed trials are rescheduled. The delay before retry round k is
+/// min(backoff_cap, backoff_base * 2^(k-1)) seconds.
+struct RetryPolicy {
+  int max_retries = 0;        ///< Extra attempts per trial; 0 = fail fast.
+  double backoff_base = 0.05; ///< Seconds before the first retry round.
+  double backoff_cap = 2.0;   ///< Upper bound on any single delay.
+};
+
 struct TuneOptions {
   int num_gpus = 1;             ///< Cluster GPU pool.
   int num_cpus = 0;             ///< 0 -> one CPU per GPU.
   Resources per_trial{1, 1};    ///< The paper: one GPU per experiment.
   std::optional<AshaOptions> asha;  ///< Unset -> FIFO (paper setting).
+  RetryPolicy retry;            ///< Default: no retries (legacy kError).
+  /// When non-empty, trial i gets checkpoint dir
+  /// `<checkpoint_root>/trial_<i>` (created by tune_run) and retried
+  /// attempts are expected to resume from it.
+  std::string checkpoint_root;
 };
 
 struct TuneResult {
@@ -78,10 +126,14 @@ struct TuneResult {
   const Trial& best(const std::string& metric, bool maximize = true) const;
 
   int64_t count(TrialStatus status) const;
+
+  /// Total failed-then-rescheduled attempts across all trials.
+  int64_t transient_failures() const;
 };
 
 /// Runs every configuration through `trainable` on a RayLite cluster.
 /// Trials are dispatched in order; each occupies `per_trial` resources.
+/// Failed trials are rescheduled per `options.retry`.
 TuneResult tune_run(const Trainable& trainable,
                     const std::vector<ParamSet>& configs,
                     const TuneOptions& options);

@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <thread>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/fault_injector.hpp"
 #include "tensor/rng.hpp"
 
 namespace dmis::comm {
@@ -147,6 +149,46 @@ TEST_P(RingAllReduceProperty, MatchesSerialReduction) {
           << " rank=" << rank;
     }
   });
+}
+
+// Collective faults fire at entry, before the rank touches the
+// rendezvous barrier. Arming probability 1.0 makes the whole group fail
+// the same call, so nobody is left blocked — and because the barrier was
+// never entered, the group stays usable once the fault is disarmed.
+TEST(CommFaultTest, InjectedFaultFailsGroupWithoutDeadlock) {
+  auto& faults = common::FaultInjector::instance();
+  faults.reset();
+  faults.arm_probability("comm.all_reduce", 1.0);
+
+  constexpr int kRanks = 3;
+  auto comms = make_group(kRanks);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<float> buf(8, static_cast<float>(r + 1));
+      try {
+        comms[static_cast<size_t>(r)].all_reduce_sum(buf);
+      } catch (const common::FaultInjected&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), kRanks);
+  EXPECT_EQ(faults.fires("comm.all_reduce"), kRanks);
+
+  // Disarm and prove the group recovered: a clean allreduce works.
+  faults.reset();
+  threads.clear();
+  for (int r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<float> buf(8, static_cast<float>(r + 1));
+      comms[static_cast<size_t>(r)].all_reduce_sum(buf);
+      for (const float v : buf) EXPECT_FLOAT_EQ(v, 6.0F);  // 1+2+3
+    });
+  }
+  for (auto& t : threads) t.join();
 }
 
 INSTANTIATE_TEST_SUITE_P(

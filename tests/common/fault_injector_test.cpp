@@ -1,0 +1,174 @@
+#include "common/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace dmis::common {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().reset(); }
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedByDefault) {
+  auto& fi = FaultInjector::instance();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fi.should_fail("anything"));
+    EXPECT_NO_THROW(fi.maybe_fail("anything"));
+  }
+  // Nothing armed -> the fast path skips even call counting.
+  EXPECT_EQ(fi.calls("anything"), 0);
+  EXPECT_EQ(fi.total_fires(), 0);
+}
+
+TEST_F(FaultInjectorTest, NthCallFiresExactlyOnce) {
+  auto& fi = FaultInjector::instance();
+  fi.arm_nth_call("p", 3);
+  EXPECT_FALSE(fi.should_fail("p"));
+  EXPECT_FALSE(fi.should_fail("p"));
+  EXPECT_TRUE(fi.should_fail("p"));   // call 3
+  EXPECT_FALSE(fi.should_fail("p"));  // budget (1) exhausted
+  EXPECT_EQ(fi.calls("p"), 4);
+  EXPECT_EQ(fi.fires("p"), 1);
+}
+
+TEST_F(FaultInjectorTest, NthCallWithBudgetFiresConsecutively) {
+  auto& fi = FaultInjector::instance();
+  fi.arm_nth_call("p", 2, /*max_fires=*/2);
+  EXPECT_FALSE(fi.should_fail("p"));
+  EXPECT_TRUE(fi.should_fail("p"));
+  EXPECT_TRUE(fi.should_fail("p"));
+  EXPECT_FALSE(fi.should_fail("p"));
+  EXPECT_EQ(fi.fires("p"), 2);
+}
+
+TEST_F(FaultInjectorTest, EveryNFiresPeriodically) {
+  auto& fi = FaultInjector::instance();
+  fi.arm_every_n("p", 3);
+  int fired = 0;
+  for (int i = 1; i <= 9; ++i) {
+    if (fi.should_fail("p")) {
+      ++fired;
+      EXPECT_EQ(i % 3, 0) << "fired off-period at call " << i;
+    }
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+TEST_F(FaultInjectorTest, EveryNRespectsFireBudget) {
+  auto& fi = FaultInjector::instance();
+  fi.arm_every_n("p", 2, /*max_fires=*/2);
+  int fired = 0;
+  for (int i = 0; i < 20; ++i) fired += fi.should_fail("p") ? 1 : 0;
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_F(FaultInjectorTest, MaybeFailThrowsTypedError) {
+  auto& fi = FaultInjector::instance();
+  fi.arm_nth_call("p", 1);
+  EXPECT_THROW(fi.maybe_fail("p"), FaultInjected);
+  // FaultInjected is a dmis::Error, so generic handlers catch it too.
+  fi.arm_nth_call("q", 1);
+  EXPECT_THROW(fi.maybe_fail("q"), Error);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityIsDeterministicPerSeed) {
+  auto& fi = FaultInjector::instance();
+  const auto pattern = [&](uint64_t seed) {
+    fi.reset();
+    fi.seed(seed);
+    fi.arm_probability("p", 0.3);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(fi.should_fail("p"));
+    return fired;
+  };
+  const auto a = pattern(42);
+  const auto b = pattern(42);
+  const auto c = pattern(7);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // p=0.3 over 200 draws: loose sanity band on the fire rate.
+  const int count_a = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(count_a, 30);
+  EXPECT_LT(count_a, 90);
+}
+
+TEST_F(FaultInjectorTest, PointsAreIndependentStreams) {
+  auto& fi = FaultInjector::instance();
+  fi.seed(42);
+  fi.arm_probability("a", 0.5);
+  fi.arm_probability("b", 0.5);
+  std::vector<bool> fa;
+  std::vector<bool> fb;
+  // Interleave the calls; per-point streams must not disturb each other.
+  for (int i = 0; i < 64; ++i) {
+    fa.push_back(fi.should_fail("a"));
+    fb.push_back(fi.should_fail("b"));
+  }
+  fi.reset();
+  fi.seed(42);
+  fi.arm_probability("a", 0.5);
+  fi.arm_probability("b", 0.5);
+  std::vector<bool> fb2;
+  // Different interleaving: drain b first, then a.
+  for (int i = 0; i < 64; ++i) fb2.push_back(fi.should_fail("b"));
+  EXPECT_EQ(fb, fb2);
+}
+
+TEST_F(FaultInjectorTest, DisarmStopsFiringButKeepsCounters) {
+  auto& fi = FaultInjector::instance();
+  fi.arm_every_n("p", 1);
+  fi.arm_every_n("other", 100);  // keeps the injector active
+  EXPECT_TRUE(fi.should_fail("p"));
+  fi.disarm("p");
+  EXPECT_FALSE(fi.should_fail("p"));
+  EXPECT_EQ(fi.calls("p"), 2);
+  EXPECT_EQ(fi.fires("p"), 1);
+}
+
+TEST_F(FaultInjectorTest, ResetDisarmsEverything) {
+  auto& fi = FaultInjector::instance();
+  fi.arm_every_n("p", 1);
+  EXPECT_TRUE(fi.should_fail("p"));
+  fi.reset();
+  EXPECT_FALSE(fi.should_fail("p"));
+  EXPECT_EQ(fi.calls("p"), 0);
+  EXPECT_EQ(fi.total_fires(), 0);
+}
+
+TEST_F(FaultInjectorTest, RejectsBadArguments) {
+  auto& fi = FaultInjector::instance();
+  EXPECT_THROW(fi.arm_nth_call("p", 0), InvalidArgument);
+  EXPECT_THROW(fi.arm_every_n("p", 0), InvalidArgument);
+  EXPECT_THROW(fi.arm_probability("p", -0.1), InvalidArgument);
+  EXPECT_THROW(fi.arm_probability("p", 1.5), InvalidArgument);
+}
+
+TEST_F(FaultInjectorTest, ThreadSafeCounting) {
+  auto& fi = FaultInjector::instance();
+  fi.arm_every_n("p", 2, /*max_fires=*/-1);
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 250;
+  std::vector<std::thread> threads;
+  std::atomic<int> fired{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        if (fi.should_fail("p")) fired.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fi.calls("p"), kThreads * kCallsPerThread);
+  EXPECT_EQ(fired.load(), kThreads * kCallsPerThread / 2);
+  EXPECT_EQ(fi.fires("p"), fired.load());
+}
+
+}  // namespace
+}  // namespace dmis::common

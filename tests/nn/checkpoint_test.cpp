@@ -9,6 +9,7 @@
 #include <fstream>
 
 #include "common/check.hpp"
+#include "common/fault_injector.hpp"
 #include "tensor/rng.hpp"
 
 namespace dmis::nn {
@@ -17,10 +18,15 @@ namespace {
 class CheckpointTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    common::FaultInjector::instance().reset();
     path_ = std::filesystem::temp_directory_path() /
             ("dmis_ckpt_test_" + std::to_string(::getpid()) + ".bin");
   }
-  void TearDown() override { std::filesystem::remove(path_); }
+  void TearDown() override {
+    common::FaultInjector::instance().reset();
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_.string() + ".tmp");
+  }
   std::filesystem::path path_;
 };
 
@@ -96,6 +102,98 @@ TEST_F(CheckpointTest, MissingFileThrows) {
   NDArray g(Shape{1});
   std::vector<Param> params{{"a", &w, &g}};
   EXPECT_THROW(load_checkpoint("/nonexistent/dir/x.bin", params), IoError);
+}
+
+TEST_F(CheckpointTest, TruncatedFileThrowsTypedError) {
+  NDArray w(Shape{64});
+  NDArray g(Shape{64});
+  for (int64_t i = 0; i < w.numel(); ++i) w[i] = static_cast<float>(i);
+  std::vector<Param> params{{"a", &w, &g}};
+  save_checkpoint(path_.string(), params);
+
+  // Chop the file at several points: inside the payload and inside the
+  // header. Every truncation must surface as CheckpointError.
+  const auto full_size = std::filesystem::file_size(path_);
+  for (const auto keep :
+       {full_size - 1, full_size / 2, static_cast<uintmax_t>(10)}) {
+    std::filesystem::resize_file(path_, keep);
+    NDArray r(Shape{64});
+    std::vector<Param> restored{{"a", &r, &g}};
+    EXPECT_THROW(load_checkpoint(path_.string(), restored), CheckpointError)
+        << "truncated to " << keep << " of " << full_size << " bytes";
+    save_checkpoint(path_.string(), params);  // restore for next round
+  }
+}
+
+TEST_F(CheckpointTest, BitFlipThrowsTypedError) {
+  NDArray w(Shape{32});
+  NDArray g(Shape{32});
+  for (int64_t i = 0; i < w.numel(); ++i) w[i] = static_cast<float>(i);
+  std::vector<Param> params{{"a", &w, &g}};
+  save_checkpoint(path_.string(), params);
+
+  // Flip one byte in the middle of the payload.
+  std::fstream fs(path_, std::ios::binary | std::ios::in | std::ios::out);
+  fs.seekp(static_cast<std::streamoff>(
+      std::filesystem::file_size(path_) / 2));
+  char byte = 0;
+  fs.seekg(fs.tellp());
+  fs.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  fs.seekp(fs.tellg() - std::streamoff{1});
+  fs.write(&byte, 1);
+  fs.close();
+
+  NDArray r(Shape{32});
+  std::vector<Param> restored{{"a", &r, &g}};
+  EXPECT_THROW(load_checkpoint(path_.string(), restored), CheckpointError);
+  // Typed error still matches generic I/O handling.
+  EXPECT_THROW(load_checkpoint(path_.string(), restored), IoError);
+}
+
+TEST_F(CheckpointTest, CrashMidWritePreservesOldCheckpoint) {
+  NDArray w(Shape{16}, 1.0F);
+  NDArray g(Shape{16});
+  std::vector<Param> params{{"a", &w, &g}};
+  save_checkpoint(path_.string(), params);  // the "old" good checkpoint
+
+  // Kill the next save mid-stream; the destination must be untouched.
+  auto& faults = common::FaultInjector::instance();
+  faults.arm_nth_call("checkpoint.save.write", 1);
+  w.fill(2.0F);
+  EXPECT_THROW(save_checkpoint(path_.string(), params),
+               common::FaultInjected);
+
+  NDArray r(Shape{16});
+  std::vector<Param> restored{{"a", &r, &g}};
+  load_checkpoint(path_.string(), restored);  // old file loads cleanly
+  EXPECT_FLOAT_EQ(r[0], 1.0F);
+  // And the torn temp file was cleaned up, not left to be mistaken for
+  // a checkpoint later.
+  EXPECT_FALSE(std::filesystem::exists(path_.string() + ".tmp"));
+}
+
+TEST_F(CheckpointTest, CrashBeforeRenamePreservesOldCheckpoint) {
+  NDArray w(Shape{8}, 3.0F);
+  NDArray g(Shape{8});
+  std::vector<Param> params{{"a", &w, &g}};
+  save_checkpoint(path_.string(), params);
+
+  auto& faults = common::FaultInjector::instance();
+  faults.arm_nth_call("checkpoint.save.rename", 1);
+  w.fill(4.0F);
+  EXPECT_THROW(save_checkpoint(path_.string(), params),
+               common::FaultInjected);
+
+  NDArray r(Shape{8});
+  std::vector<Param> restored{{"a", &r, &g}};
+  load_checkpoint(path_.string(), restored);
+  EXPECT_FLOAT_EQ(r[0], 3.0F);
+
+  // The retry (fault budget spent) completes and replaces the file.
+  save_checkpoint(path_.string(), params);
+  load_checkpoint(path_.string(), restored);
+  EXPECT_FLOAT_EQ(r[0], 4.0F);
 }
 
 }  // namespace

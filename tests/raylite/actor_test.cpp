@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/fault_injector.hpp"
 
 namespace dmis::ray {
 namespace {
@@ -125,6 +126,58 @@ TEST(TypedActorTest, TypedInterface) {
   Future f3 = acc.call([](Accumulator& a) { return a.total; });
   EXPECT_DOUBLE_EQ(std::any_cast<double>(f3.get()), 16.0);
   acc.kill();
+}
+
+class ActorFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { common::FaultInjector::instance().reset(); }
+  void TearDown() override { common::FaultInjector::instance().reset(); }
+};
+
+TEST_F(ActorFaultTest, InjectedCrashPropagatesWithoutWedgingQueue) {
+  auto& faults = common::FaultInjector::instance();
+  RayLite cluster(Resources{0, 1}, 1);
+  ActorHandle actor = spawn_actor(cluster, Resources{0, 0},
+                                  [] { return std::any(int{0}); });
+  // Queue three increments, then arm the injector to kill the second.
+  faults.arm_nth_call("raylite.actor.method", 2);
+  std::vector<Future> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(actor.call([](std::any& s) {
+      return std::any(++std::any_cast<int&>(s));
+    }));
+  }
+  EXPECT_EQ(std::any_cast<int>(futures[0].get()), 1);
+  EXPECT_THROW(futures[1].get(), common::FaultInjected);
+  // The crashed call never mutated state and the queue kept draining.
+  EXPECT_EQ(std::any_cast<int>(futures[2].get()), 2);
+}
+
+TEST_F(ActorFaultTest, KilledActorReturnsResourcesAfterCrashes) {
+  auto& faults = common::FaultInjector::instance();
+  RayLite cluster(Resources{2, 4}, 2);
+  ActorHandle actor = spawn_actor(cluster, Resources{1, 2},
+                                  [] { return std::any(int{0}); });
+  EXPECT_EQ(cluster.available_resources().gpus, 1);
+  EXPECT_EQ(cluster.available_resources().cpus, 2);
+
+  faults.arm_every_n("raylite.actor.method", 1);  // every call crashes
+  for (int i = 0; i < 3; ++i) {
+    Future f = actor.call([](std::any&) { return std::any{}; });
+    EXPECT_THROW(f.get(), common::FaultInjected);
+  }
+  actor.kill();
+  // The full reservation returns to the pool despite the crash storm.
+  EXPECT_EQ(cluster.available_resources().gpus, 2);
+  EXPECT_EQ(cluster.available_resources().cpus, 4);
+  // And the pool is reusable for a fresh actor.
+  faults.reset();
+  ActorHandle next = spawn_actor(cluster, Resources{2, 4},
+                                 [] { return std::any(int{7}); });
+  Future ok = next.call(
+      [](std::any& s) { return std::any(std::any_cast<int&>(s)); });
+  EXPECT_EQ(std::any_cast<int>(ok.get()), 7);
+  next.kill();
 }
 
 // The Ray.SGD shape: N replica-trainer actors stepping in lockstep,

@@ -2,10 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/fault_injector.hpp"
 
 namespace dmis::ray {
 namespace {
@@ -187,6 +196,164 @@ TEST(TrialStatusTest, Names) {
   EXPECT_STREQ(trial_status_name(TrialStatus::kTerminated), "TERMINATED");
   EXPECT_STREQ(trial_status_name(TrialStatus::kStopped), "STOPPED");
   EXPECT_STREQ(trial_status_name(TrialStatus::kError), "ERROR");
+  EXPECT_STREQ(trial_status_name(TrialStatus::kFailed), "FAILED");
+}
+
+class TuneRetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { common::FaultInjector::instance().reset(); }
+  void TearDown() override { common::FaultInjector::instance().reset(); }
+};
+
+TEST_F(TuneRetryTest, TransientFailureIsRetriedToSuccess) {
+  // Each trial throws on its first attempt, succeeds on the second.
+  std::mutex mu;
+  std::map<double, int> attempts_by_lr;
+  const auto flaky_once = [&](const ParamSet& params, Reporter& reporter) {
+    const double lr = param_double(params, "lr");
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (++attempts_by_lr[lr] == 1) throw IoError("transient NaN");
+    }
+    reporter.report(0, {{"val_dice", lr}});
+  };
+  TuneOptions opts;
+  opts.num_gpus = 2;
+  opts.retry.max_retries = 2;
+  opts.retry.backoff_base = 0.001;
+  opts.retry.backoff_cap = 0.01;
+  const TuneResult result = tune_run(flaky_once, lr_grid(), opts);
+  EXPECT_EQ(result.count(TrialStatus::kTerminated), 4);
+  EXPECT_EQ(result.count(TrialStatus::kError), 0);
+  EXPECT_EQ(result.count(TrialStatus::kFailed), 0);
+  EXPECT_EQ(result.transient_failures(), 4);
+  for (const Trial& t : result.trials) {
+    EXPECT_EQ(t.attempts, 2);
+    ASSERT_EQ(t.transient_errors.size(), 1U);
+    EXPECT_NE(t.transient_errors[0].find("NaN"), std::string::npos);
+    EXPECT_TRUE(t.error.empty());
+  }
+}
+
+TEST_F(TuneRetryTest, ExhaustedRetriesLandInFailedNotError) {
+  const auto always_broken = [](const ParamSet& params, Reporter& reporter) {
+    if (param_double(params, "lr") > 5e-4) throw IoError("persistent crash");
+    reporter.report(0, {{"val_dice", 0.5}});
+  };
+  TuneOptions opts;
+  opts.num_gpus = 2;
+  opts.retry.max_retries = 2;
+  opts.retry.backoff_base = 0.001;
+  opts.retry.backoff_cap = 0.01;
+  const TuneResult result = tune_run(always_broken, lr_grid(), opts);
+  EXPECT_EQ(result.count(TrialStatus::kFailed), 1);
+  EXPECT_EQ(result.count(TrialStatus::kError), 0);
+  EXPECT_EQ(result.count(TrialStatus::kTerminated), 3);
+  for (const Trial& t : result.trials) {
+    if (t.status != TrialStatus::kFailed) continue;
+    EXPECT_EQ(t.attempts, 3);  // 1 initial + 2 retries
+    EXPECT_EQ(t.transient_errors.size(), 2U);
+    EXPECT_NE(t.error.find("persistent"), std::string::npos);
+  }
+  // The sweep still selects a best among the healthy trials.
+  EXPECT_NO_THROW(result.best("val_dice"));
+}
+
+TEST_F(TuneRetryTest, WorkerLevelCrashIsRetriedToo) {
+  // Kill the task at the RayLite worker layer (before the trainable
+  // even runs) — the injected preemption case.
+  common::FaultInjector::instance().arm_nth_call("raylite.task", 2);
+  TuneOptions opts;
+  opts.num_gpus = 1;  // serial: deterministic victim
+  opts.retry.max_retries = 1;
+  opts.retry.backoff_base = 0.001;
+  opts.retry.backoff_cap = 0.01;
+  const TuneResult result = tune_run(synthetic_trainable, lr_grid(), opts);
+  EXPECT_EQ(result.count(TrialStatus::kTerminated), 4);
+  EXPECT_EQ(result.transient_failures(), 1);
+  bool saw_injected = false;
+  for (const Trial& t : result.trials) {
+    for (const std::string& e : t.transient_errors) {
+      saw_injected = saw_injected ||
+                     e.find("injected fault") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(saw_injected);
+}
+
+TEST_F(TuneRetryTest, RetryAttemptSeesPriorProgress) {
+  // A trial that dies mid-training must see, on retry, the iteration it
+  // had durably reported — the hook the checkpoint-resume path uses.
+  std::mutex mu;
+  std::map<double, std::vector<int64_t>> starts_by_lr;
+  const auto dies_midway = [&](const ParamSet& params, Reporter& reporter) {
+    const double lr = param_double(params, "lr");
+    bool first_attempt = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      auto& starts = starts_by_lr[lr];
+      first_attempt = starts.empty();
+      starts.push_back(reporter.start_iteration());
+    }
+    for (int64_t it = reporter.start_iteration(); it < 4; ++it) {
+      reporter.report(it, {{"val_dice", 0.1 * static_cast<double>(it + 1)}});
+      if (first_attempt && it == 1) throw IoError("died after iteration 1");
+    }
+  };
+  TuneOptions opts;
+  opts.num_gpus = 2;
+  opts.retry.max_retries = 1;
+  opts.retry.backoff_base = 0.001;
+  opts.retry.backoff_cap = 0.01;
+  const TuneResult result = tune_run(dies_midway, lr_grid(), opts);
+  EXPECT_EQ(result.count(TrialStatus::kTerminated), 4);
+  for (const auto& [lr, starts] : starts_by_lr) {
+    ASSERT_EQ(starts.size(), 2U) << "lr=" << lr;
+    EXPECT_EQ(starts[0], 0);
+    EXPECT_EQ(starts[1], 2);  // resumed after the last reported iteration
+  }
+  for (const Trial& t : result.trials) EXPECT_EQ(t.iterations, 4);
+}
+
+TEST_F(TuneRetryTest, CheckpointDirsAreCreatedPerTrial) {
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("dmis_tune_ckpt_" + std::to_string(::getpid())))
+          .string();
+  std::mutex mu;
+  std::vector<std::string> seen_dirs;
+  const auto trainable = [&](const ParamSet&, Reporter& reporter) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      seen_dirs.push_back(reporter.checkpoint_dir());
+    }
+    EXPECT_TRUE(std::filesystem::is_directory(reporter.checkpoint_dir()));
+    reporter.report(0, {{"val_dice", 0.5}});
+  };
+  TuneOptions opts;
+  opts.num_gpus = 2;
+  opts.checkpoint_root = root;
+  const TuneResult result = tune_run(trainable, lr_grid(), opts);
+  EXPECT_EQ(result.count(TrialStatus::kTerminated), 4);
+  std::sort(seen_dirs.begin(), seen_dirs.end());
+  EXPECT_EQ(seen_dirs.size(), 4U);
+  EXPECT_EQ(std::unique(seen_dirs.begin(), seen_dirs.end()),
+            seen_dirs.end());  // one distinct dir per trial
+  for (const Trial& t : result.trials) {
+    EXPECT_EQ(t.checkpoint_dir, root + "/trial_" + std::to_string(t.id));
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST_F(TuneRetryTest, RejectsBadRetryPolicy) {
+  TuneOptions opts;
+  opts.retry.max_retries = -1;
+  EXPECT_THROW(tune_run(synthetic_trainable, lr_grid(), opts),
+               InvalidArgument);
+  opts.retry.max_retries = 0;
+  opts.retry.backoff_base = -0.1;
+  EXPECT_THROW(tune_run(synthetic_trainable, lr_grid(), opts),
+               InvalidArgument);
 }
 
 }  // namespace

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 build + full test suite, then a
+# ThreadSanitizer pass over the concurrency-heavy suites (raylite tasks/
+# actors/tune retries, comm ring collectives, the fault injector, and
+# the chaos integration sweep), where data races would live.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"${JOBS}"
+(cd build && ctest --output-on-failure -j"${JOBS}")
+
+echo "== tsan: raylite + comm suites =="
+cmake -B build-tsan -S . -DDMIS_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"${JOBS}" \
+  --target raylite_test comm_test common_test chaos_test
+for t in raylite_test comm_test common_test chaos_test; do
+  echo "-- tsan: ${t}"
+  ./build-tsan/tests/"${t}"
+done
+
+echo "verify OK"
