@@ -5,6 +5,8 @@
 
 #include "common/check.hpp"
 #include "common/fault_injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dmis::comm {
 namespace {
@@ -17,6 +19,24 @@ namespace {
 void inject(const char* point) {
   common::FaultInjector::instance().maybe_fail(point);
 }
+
+struct CommMetrics {
+  obs::Counter& allreduce_calls;
+  obs::Counter& allreduce_bytes;
+  obs::Counter& broadcast_bytes;
+  obs::Counter& all_gather_bytes;
+  obs::Histogram& barrier_wait_us;
+
+  static CommMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static CommMetrics m{reg.counter("comm.allreduce_calls"),
+                         reg.counter("comm.allreduce_bytes"),
+                         reg.counter("comm.broadcast_bytes"),
+                         reg.counter("comm.all_gather_bytes"),
+                         reg.histogram("comm.barrier_wait_us")};
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -37,10 +57,22 @@ Communicator::Communicator(std::shared_ptr<CollectiveContext> ctx, int rank)
                      << ctx_->size());
 }
 
-void Communicator::barrier() { ctx_->sync(); }
+void Communicator::barrier() {
+  DMIS_TRACE_SPAN("comm.barrier");
+  const int64_t t0 = obs::Tracer::now_us();
+  ctx_->sync();
+  CommMetrics::get().barrier_wait_us.observe(
+      static_cast<double>(obs::Tracer::now_us() - t0));
+}
 
 void Communicator::broadcast(std::span<float> data, int root) {
   inject("comm.broadcast");
+  DMIS_TRACE_SPAN("comm.broadcast",
+                  {{"bytes", static_cast<int64_t>(data.size() *
+                                                  sizeof(float))},
+                   {"root", root}});
+  CommMetrics::get().broadcast_bytes.add(
+      static_cast<int64_t>(data.size() * sizeof(float)));
   DMIS_CHECK(root >= 0 && root < size(), "bad broadcast root " << root);
   auto& ctx = *ctx_;
   ctx.ptrs_[static_cast<size_t>(rank_)] = data.data();
@@ -60,6 +92,14 @@ void Communicator::broadcast(std::span<float> data, int root) {
 void Communicator::all_reduce_sum(std::span<float> data) {
   inject("comm.all_reduce");
   const int n = size();
+  DMIS_TRACE_SPAN("comm.allreduce",
+                  {{"bytes", static_cast<int64_t>(data.size() *
+                                                  sizeof(float))},
+                   {"ranks", n}});
+  CommMetrics& metrics = CommMetrics::get();
+  metrics.allreduce_calls.add(1);
+  metrics.allreduce_bytes.add(
+      static_cast<int64_t>(data.size() * sizeof(float)));
   if (n == 1) return;
   auto& ctx = *ctx_;
   ctx.ptrs_[static_cast<size_t>(rank_)] = data.data();
@@ -87,20 +127,26 @@ void Communicator::all_reduce_sum(std::span<float> data) {
   // Phase 1 — reduce-scatter: at step s, rank i accumulates chunk
   // (i - 1 - s) mod n from its left neighbor. After n-1 steps rank i
   // holds the complete chunk (i + 1) mod n.
-  for (int s = 0; s < n - 1; ++s) {
-    const int c = ((rank_ - 1 - s) % n + n) % n;
-    const size_t b = chunk_begin(c), e = chunk_end(c);
-    for (size_t k = b; k < e; ++k) mine[k] += theirs[k];
-    ctx.sync();
+  {
+    DMIS_TRACE_SPAN("comm.allreduce.reduce_scatter", {{"steps", n - 1}});
+    for (int s = 0; s < n - 1; ++s) {
+      const int c = ((rank_ - 1 - s) % n + n) % n;
+      const size_t b = chunk_begin(c), e = chunk_end(c);
+      for (size_t k = b; k < e; ++k) mine[k] += theirs[k];
+      ctx.sync();
+    }
   }
 
   // Phase 2 — all-gather: at step s, rank i copies chunk (i - s) mod n
   // (the one its left neighbor just completed or received).
-  for (int s = 0; s < n - 1; ++s) {
-    const int c = ((rank_ - s) % n + n) % n;
-    const size_t b = chunk_begin(c), e = chunk_end(c);
-    if (e > b) std::memcpy(mine + b, theirs + b, (e - b) * sizeof(float));
-    ctx.sync();
+  {
+    DMIS_TRACE_SPAN("comm.allreduce.all_gather", {{"steps", n - 1}});
+    for (int s = 0; s < n - 1; ++s) {
+      const int c = ((rank_ - s) % n + n) % n;
+      const size_t b = chunk_begin(c), e = chunk_end(c);
+      if (e > b) std::memcpy(mine + b, theirs + b, (e - b) * sizeof(float));
+      ctx.sync();
+    }
   }
 }
 
@@ -112,6 +158,10 @@ void Communicator::all_reduce_mean(std::span<float> data) {
 
 void Communicator::reduce_sum(std::span<float> data, int root) {
   inject("comm.reduce");
+  DMIS_TRACE_SPAN("comm.reduce",
+                  {{"bytes", static_cast<int64_t>(data.size() *
+                                                  sizeof(float))},
+                   {"root", root}});
   DMIS_CHECK(root >= 0 && root < size(), "bad reduce root " << root);
   auto& ctx = *ctx_;
   ctx.ptrs_[static_cast<size_t>(rank_)] = data.data();
@@ -131,6 +181,11 @@ void Communicator::reduce_sum(std::span<float> data, int root) {
 
 std::vector<float> Communicator::all_gather(std::span<const float> data) {
   inject("comm.all_gather");
+  DMIS_TRACE_SPAN("comm.all_gather",
+                  {{"bytes", static_cast<int64_t>(data.size() *
+                                                  sizeof(float))}});
+  CommMetrics::get().all_gather_bytes.add(
+      static_cast<int64_t>(data.size() * sizeof(float)));
   auto& ctx = *ctx_;
   ctx.cptrs_[static_cast<size_t>(rank_)] = data.data();
   ctx.sizes_[static_cast<size_t>(rank_)] = data.size();

@@ -24,6 +24,8 @@ LogLevel level_from_env() {
 
 std::atomic<int> g_level{static_cast<int>(level_from_env())};
 std::mutex g_emit_mutex;
+LogSink g_sink;  // guarded by g_emit_mutex; empty -> stderr
+std::atomic<int> g_next_thread_tag{0};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -47,6 +49,17 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+int thread_tag() {
+  thread_local const int tag =
+      g_next_thread_tag.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  g_sink = std::move(sink);
+}
+
 void log_line(LogLevel level, const std::string& message) {
   using Clock = std::chrono::system_clock;
   const auto now = Clock::now();
@@ -60,9 +73,16 @@ void log_line(LogLevel level, const std::string& message) {
   char stamp[32];
   std::strftime(stamp, sizeof(stamp), "%H:%M:%S", &tm_buf);
 
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%s.%03d %s t%d] ", stamp,
+                static_cast<int>(ms), level_name(level), thread_tag());
+
   const std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%s.%03d %s] %s\n", stamp, static_cast<int>(ms),
-               level_name(level), message.c_str());
+  if (g_sink) {
+    g_sink(level, std::string(prefix) + message);
+  } else {
+    std::fprintf(stderr, "%s%s\n", prefix, message.c_str());
+  }
 }
 
 }  // namespace dmis

@@ -4,8 +4,14 @@
 // level is filtered out, and intentionally free of global configuration
 // files: tools set the level with set_log_level() or the DMIS_LOG_LEVEL
 // environment variable (TRACE|DEBUG|INFO|WARN|ERROR|OFF).
+//
+// Each line carries a compact per-thread tag (t0, t1, ...) assigned in
+// first-log order; thread_tag() exposes the same id so trace events
+// (src/obs) and log lines from one thread correlate. Tests replace the
+// stderr sink with set_log_sink() to capture formatted lines directly.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -26,7 +32,20 @@ void set_log_level(LogLevel level);
 /// Returns the current global minimum level.
 LogLevel log_level();
 
-/// Emits one formatted line (timestamp, level, message) to stderr.
+/// Small dense id for the calling thread (0, 1, 2, ... in the order
+/// threads first ask). Stable for the thread's lifetime.
+int thread_tag();
+
+/// Receives every emitted line, already formatted ("[stamp LEVEL tN]
+/// message", no trailing newline). Called under the emission lock, so
+/// sinks need no synchronization of their own.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the default stderr sink; pass nullptr to restore it.
+void set_log_sink(LogSink sink);
+
+/// Emits one formatted line (timestamp, level, thread tag, message) to
+/// the active sink (stderr by default).
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

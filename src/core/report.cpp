@@ -49,16 +49,19 @@ std::string tune_table(const ray::TuneResult& result,
   }
   std::ostringstream os;
   os << std::left << std::setw(static_cast<int>(config_width) + 2) << "config"
-     << std::setw(12) << "status" << std::setw(7) << "iters" << metric
-     << '\n';
+     << std::setw(12) << "status" << std::setw(7) << "iters" << std::setw(10)
+     << "attempts" << std::setw(11) << "transient" << metric << '\n';
   for (const ray::Trial& t : result.trials) {
     os << std::left << std::setw(static_cast<int>(config_width) + 2)
        << ray::param_set_str(t.params) << std::setw(12)
-       << ray::trial_status_name(t.status) << std::setw(7) << t.iterations;
+       << ray::trial_status_name(t.status) << std::setw(7) << t.iterations
+       << std::setw(10) << t.attempts << std::setw(11)
+       << t.transient_errors.size();
     const auto it = t.last_metrics.find(metric);
     if (it != t.last_metrics.end()) {
       os << std::fixed << std::setprecision(4) << it->second;
-    } else if (t.status == ray::TrialStatus::kError) {
+    } else if (t.status == ray::TrialStatus::kError ||
+               t.status == ray::TrialStatus::kFailed) {
       os << "error: " << t.error;
     } else {
       os << "-";
@@ -72,10 +75,12 @@ void save_tune_csv(const std::string& path, const ray::TuneResult& result,
                    const std::string& metric) {
   std::ofstream os(path, std::ios::trunc);
   DMIS_CHECK_IO(os.good(), "cannot open '" << path << "' for writing");
-  os << "id,config,status,iterations," << metric << '\n';
+  os << "id,config,status,iterations,attempts,transient_errors," << metric
+     << '\n';
   for (const ray::Trial& t : result.trials) {
     os << t.id << ",\"" << ray::param_set_str(t.params) << "\","
-       << ray::trial_status_name(t.status) << ',' << t.iterations << ',';
+       << ray::trial_status_name(t.status) << ',' << t.iterations << ','
+       << t.attempts << ',' << t.transient_errors.size() << ',';
     const auto it = t.last_metrics.find(metric);
     if (it != t.last_metrics.end()) {
       os << std::setprecision(6) << it->second;

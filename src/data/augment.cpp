@@ -1,6 +1,7 @@
 #include "data/augment.hpp"
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "tensor/rng.hpp"
 
 namespace dmis::data {
@@ -29,6 +30,7 @@ void flip_tensor(NDArray& tensor, bool flip_d, bool flip_h, bool flip_w) {
 
 Example augment(Example example, const AugmentOptions& options,
                 uint64_t seed) {
+  DMIS_TRACE_SPAN("data.augment", {{"id", example.id}});
   DMIS_CHECK(options.flip_w_prob >= 0.0 && options.flip_w_prob <= 1.0 &&
                  options.flip_h_prob >= 0.0 && options.flip_h_prob <= 1.0 &&
                  options.flip_d_prob >= 0.0 && options.flip_d_prob <= 1.0,

@@ -8,10 +8,26 @@
 
 #include "common/check.hpp"
 #include "data/record.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/rng.hpp"
 
 namespace dmis::data {
 namespace {
+
+struct DataMetrics {
+  obs::Counter& examples_read;
+  obs::Counter& prefetch_stalls;
+  obs::Histogram& prefetch_stall_us;
+
+  static DataMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static DataMetrics m{reg.counter("data.examples_read"),
+                         reg.counter("data.prefetch_stalls"),
+                         reg.histogram("data.prefetch_stall_us")};
+    return m;
+  }
+};
 
 class VectorStream final : public ExampleStream {
  public:
@@ -39,13 +55,17 @@ class RecordFileStream final : public ExampleStream {
       : paths_(std::move(paths)) {}
 
   std::optional<Example> next() override {
+    DMIS_TRACE_SPAN("data.load");
     for (;;) {
       if (reader_ == nullptr) {
         if (file_idx_ >= paths_.size()) return std::nullopt;
         reader_ = std::make_unique<RecordReader>(paths_[file_idx_]);
       }
       Record r;
-      if (reader_->read(r)) return r.to_example();
+      if (reader_->read(r)) {
+        DataMetrics::get().examples_read.add(1);
+        return r.to_example();
+      }
       reader_.reset();
       ++file_idx_;
     }
@@ -71,6 +91,7 @@ class InterleaveStream final : public ExampleStream {
   }
 
   std::optional<Example> next() override {
+    DMIS_TRACE_SPAN("data.load");
     for (;;) {
       // Keep the cycle topped up with open readers.
       while (readers_.size() < cycle_ && next_file_ < paths_.size()) {
@@ -82,6 +103,7 @@ class InterleaveStream final : public ExampleStream {
       Record r;
       if (readers_[turn_]->read(r)) {
         turn_ = (turn_ + 1) % std::max<size_t>(readers_.size(), 1);
+        DataMetrics::get().examples_read.add(1);
         return r.to_example();
       }
       // This file is drained: drop it and retry without advancing turn_,
@@ -127,6 +149,7 @@ class MapStream final : public ExampleStream {
 
  private:
   void refill() {
+    DMIS_TRACE_SPAN("data.map", {{"workers", workers_}});
     buffer_.clear();
     buffer_pos_ = 0;
     const int chunk = workers_ == 1 ? 1 : workers_ * 2;
@@ -224,9 +247,19 @@ class PrefetchStream final : public ExampleStream {
 
   std::optional<Example> next() override {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_consumer_.wait(lock, [this] {
+    const auto ready = [this] {
       return !queue_.empty() || done_ || error_ != nullptr;
-    });
+    };
+    if (!ready()) {
+      // The consumer outran the producer: stalled on input.
+      DMIS_TRACE_SPAN("data.prefetch_stall");
+      DataMetrics& metrics = DataMetrics::get();
+      const int64_t t0 = obs::Tracer::now_us();
+      cv_consumer_.wait(lock, ready);
+      metrics.prefetch_stalls.add(1);
+      metrics.prefetch_stall_us.observe(
+          static_cast<double>(obs::Tracer::now_us() - t0));
+    }
     if (!queue_.empty()) {
       Example e = std::move(queue_.front());
       queue_.pop_front();

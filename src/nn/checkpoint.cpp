@@ -12,6 +12,8 @@
 
 #include "common/fault_injector.hpp"
 #include "data/crc32c.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dmis::nn {
 namespace {
@@ -96,6 +98,12 @@ void save_checkpoint(const std::string& path,
                      const std::vector<Param>& params) {
   auto& faults = common::FaultInjector::instance();
   const std::string payload = serialize_params(params);
+  DMIS_TRACE_SPAN("nn.checkpoint_save",
+                  {{"bytes", static_cast<int64_t>(payload.size())}});
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("nn.checkpoint_saves").add(1);
+  reg.counter("nn.checkpoint_bytes_written")
+      .add(static_cast<int64_t>(payload.size()));
 
   std::string header;
   header.append(kMagic, sizeof(kMagic));
@@ -144,6 +152,8 @@ void save_checkpoint(const std::string& path,
 }
 
 void load_checkpoint(const std::string& path, std::vector<Param>& params) {
+  DMIS_TRACE_SPAN("nn.checkpoint_load");
+  obs::MetricsRegistry::instance().counter("nn.checkpoint_loads").add(1);
   common::FaultInjector::instance().maybe_fail("checkpoint.load");
   std::ifstream is(path, std::ios::binary);
   DMIS_CHECK_IO(is.good(), "cannot open '" << path << "' for reading");

@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dmis::ray {
 
@@ -67,6 +69,28 @@ class AshaState {
   std::mutex mutex_;
   std::vector<int64_t> milestones_;
   std::vector<std::vector<double>> rung_values_;
+};
+
+struct TuneMetrics {
+  obs::Counter& attempts;
+  obs::Counter& trials_completed;
+  obs::Counter& transient_failures;
+  obs::Counter& trials_failed;
+  obs::Counter& retry_rounds;
+  obs::Histogram& queue_wait_us;
+  obs::Histogram& trial_us;
+
+  static TuneMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static TuneMetrics m{reg.counter("tune.attempts"),
+                         reg.counter("tune.trials_completed"),
+                         reg.counter("tune.transient_failures"),
+                         reg.counter("tune.trials_failed"),
+                         reg.counter("tune.retry_rounds"),
+                         reg.histogram("tune.queue_wait_us"),
+                         reg.histogram("tune.trial_us")};
+    return m;
+  }
 };
 
 class TrialReporter final : public Reporter {
@@ -206,8 +230,13 @@ TuneResult tune_run(const Trainable& trainable,
     // exponentially growing delay. Trials that succeed are never
     // resubmitted, so the loop terminates after at most
     // 1 + max_retries rounds.
+    TuneMetrics& metrics = TuneMetrics::get();
     for (int round = 0; !pending.empty(); ++round) {
       if (round > 0) {
+        DMIS_TRACE_SPAN("tune.retry_backoff",
+                        {{"round", round},
+                         {"trials", static_cast<int64_t>(pending.size())}});
+        metrics.retry_rounds.add(1);
         const double delay_s =
             std::min(options.retry.backoff_cap,
                      options.retry.backoff_base *
@@ -218,12 +247,27 @@ TuneResult tune_run(const Trainable& trainable,
       std::vector<Future> futures;
       futures.reserve(pending.size());
       for (const size_t i : pending) {
+        int attempt;
         {
           const std::lock_guard<std::mutex> lock(trials_mutex);
-          ++result.trials[i].attempts;
+          attempt = ++result.trials[i].attempts;
         }
-        futures.push_back(
-            cluster.submit(options.per_trial, [&, i]() -> std::any {
+        metrics.attempts.add(1);
+        const int64_t submit_us = obs::Tracer::now_us();
+        futures.push_back(cluster.submit(
+            options.per_trial, [&, i, attempt, submit_us]() -> std::any {
+              // The queue-wait span begins at submission on the driver
+              // thread and ends here on the worker, so it is recorded
+              // with explicit timestamps rather than a guard.
+              const int64_t start_us = obs::Tracer::now_us();
+              obs::Tracer::instance().record_span(
+                  "tune.queue_wait", submit_us, start_us - submit_us,
+                  {{"trial", static_cast<int64_t>(i)}});
+              metrics.queue_wait_us.observe(
+                  static_cast<double>(start_us - submit_us));
+              DMIS_TRACE_SPAN("tune.trial",
+                              {{"trial", static_cast<int64_t>(i)},
+                               {"attempt", attempt}});
               Trial& trial = result.trials[i];
               std::string ckpt_dir;
               int64_t start_iteration = 0;
@@ -248,6 +292,8 @@ TuneResult tune_run(const Trainable& trainable,
                 trial.status = TrialStatus::kError;
                 trial.error = e.what();
               }
+              metrics.trial_us.observe(
+                  static_cast<double>(obs::Tracer::now_us() - start_us));
               return {};
             }));
       }
@@ -266,16 +312,23 @@ TuneResult tune_run(const Trainable& trainable,
         }
         const std::lock_guard<std::mutex> lock(trials_mutex);
         Trial& trial = result.trials[i];
-        if (trial.status != TrialStatus::kError) continue;
+        if (trial.status != TrialStatus::kError) {
+          metrics.trials_completed.add(1);
+          continue;
+        }
         if (trial.attempts < max_attempts) {
+          metrics.transient_failures.add(1);
           trial.transient_errors.push_back(std::move(trial.error));
           trial.error.clear();
           trial.status = TrialStatus::kPending;
           failed.push_back(i);
         } else if (options.retry.max_retries > 0) {
           trial.status = TrialStatus::kFailed;
+          metrics.trials_failed.add(1);
+        } else {
+          // max_retries == 0: keep legacy kError accounting.
+          metrics.trials_failed.add(1);
         }
-        // max_retries == 0: keep legacy kError accounting.
       }
       pending = std::move(failed);
     }

@@ -1,0 +1,79 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dmis {
+namespace {
+
+/// Restores the default sink and level even if a test fails.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_level_ = log_level(); }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(saved_level_);
+  }
+  LogLevel saved_level_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, SinkCapturesFormattedLines) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&](LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+  set_log_level(LogLevel::kInfo);
+
+  DMIS_LOG(kInfo) << "hello " << 42;
+  DMIS_LOG(kDebug) << "filtered out";
+  DMIS_LOG(kWarn) << "watch out";
+
+  ASSERT_EQ(captured.size(), 2U);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_NE(captured[0].second.find("hello 42"), std::string::npos);
+  EXPECT_NE(captured[0].second.find("INFO"), std::string::npos);
+  EXPECT_EQ(captured[1].first, LogLevel::kWarn);
+  EXPECT_NE(captured[1].second.find("watch out"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LinesCarryThreadTag) {
+  std::vector<std::string> captured;
+  set_log_sink([&](LogLevel, const std::string& line) {
+    captured.push_back(line);
+  });
+  set_log_level(LogLevel::kInfo);
+
+  DMIS_LOG(kInfo) << "from main";
+
+  ASSERT_EQ(captured.size(), 1U);
+  const std::string expected_tag = " t" + std::to_string(thread_tag()) + "]";
+  EXPECT_NE(captured[0].find(expected_tag), std::string::npos)
+      << captured[0];
+}
+
+TEST_F(LoggingTest, ThreadTagsAreDistinctAcrossThreads) {
+  const int main_tag = thread_tag();
+  EXPECT_EQ(thread_tag(), main_tag);  // stable on one thread
+
+  int other_tag = -1;
+  std::thread t([&] { other_tag = thread_tag(); });
+  t.join();
+  EXPECT_NE(other_tag, main_tag);
+  EXPECT_GE(other_tag, 0);
+}
+
+TEST_F(LoggingTest, NullSinkRestoresStderr) {
+  int calls = 0;
+  set_log_sink([&](LogLevel, const std::string&) { ++calls; });
+  DMIS_LOG(kError) << "captured";
+  set_log_sink(nullptr);
+  DMIS_LOG(kError) << "to stderr (visually ignorable in test output)";
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace dmis

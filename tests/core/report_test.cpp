@@ -95,6 +95,35 @@ TEST(ReportTest, TuneTableRendersStatusesAndMetrics) {
   EXPECT_NE(table.find("ERROR"), std::string::npos);
   EXPECT_NE(table.find("NaN loss"), std::string::npos);
   EXPECT_NE(table.find("lr=0.0001"), std::string::npos);
+  EXPECT_NE(table.find("attempts"), std::string::npos);
+  EXPECT_NE(table.find("transient"), std::string::npos);
+}
+
+TEST(ReportTest, TuneTableShowsRetryAccounting) {
+  ray::TuneResult result;
+  ray::Trial retried;
+  retried.id = 0;
+  retried.params = {{"lr", 1e-4}};
+  retried.status = ray::TrialStatus::kTerminated;
+  retried.iterations = 4;
+  retried.attempts = 3;
+  retried.transient_errors = {"crash A", "crash B"};
+  retried.last_metrics = {{"val_dice", 0.75}};
+  ray::Trial exhausted;
+  exhausted.id = 1;
+  exhausted.params = {{"lr", 1e-3}};
+  exhausted.status = ray::TrialStatus::kFailed;
+  exhausted.attempts = 3;
+  exhausted.transient_errors = {"crash", "crash"};
+  exhausted.error = "crash again";
+  result.trials = {retried, exhausted};
+
+  const std::string table = tune_table(result);
+  // The retried trial shows 3 attempts / 2 transient errors.
+  EXPECT_NE(table.find("3         2"), std::string::npos) << table;
+  // A retry-exhausted trial surfaces its final error.
+  EXPECT_NE(table.find("FAILED"), std::string::npos);
+  EXPECT_NE(table.find("error: crash again"), std::string::npos);
 }
 
 TEST(ReportTest, TuneCsvQuotesConfigs) {
@@ -104,6 +133,8 @@ TEST(ReportTest, TuneCsvQuotesConfigs) {
   t.params = {{"lr", 1e-4}, {"loss", std::string("dice")}};
   t.status = ray::TrialStatus::kTerminated;
   t.iterations = 7;
+  t.attempts = 2;
+  t.transient_errors = {"preempted"};
   t.last_metrics = {{"val_dice", 0.91}};
   result.trials = {t};
   const auto path = std::filesystem::temp_directory_path() /
@@ -112,11 +143,11 @@ TEST(ReportTest, TuneCsvQuotesConfigs) {
   std::ifstream is(path);
   std::string line;
   std::getline(is, line);
-  EXPECT_EQ(line, "id,config,status,iterations,val_dice");
+  EXPECT_EQ(line, "id,config,status,iterations,attempts,transient_errors,val_dice");
   std::getline(is, line);
   // The config contains a comma, so it must be quoted.
   EXPECT_NE(line.find("\"loss=dice, lr=0.0001\""), std::string::npos);
-  EXPECT_NE(line.find("TERMINATED,7,0.91"), std::string::npos);
+  EXPECT_NE(line.find("TERMINATED,7,2,1,0.91"), std::string::npos);
   std::filesystem::remove(path);
 }
 

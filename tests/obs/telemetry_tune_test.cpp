@@ -1,0 +1,146 @@
+// End-to-end telemetry over a real FIFO tune_run: the acceptance check
+// that MetricsRegistry totals agree with the TuneResult and the chrome
+// trace carries trial / queue-wait / retry spans.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "common/fault_injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "raylite/tune.hpp"
+
+namespace dmis::obs {
+namespace {
+
+int64_t counter_value(const char* name) {
+  return MetricsRegistry::instance().counter(name).value();
+}
+
+int64_t span_count(const std::vector<TraceEvent>& evs, const char* name) {
+  return std::count_if(evs.begin(), evs.end(), [&](const TraceEvent& e) {
+    return std::string(e.name) == name;
+  });
+}
+
+class TelemetryTuneTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::instance().reset();
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+    common::FaultInjector::instance().reset();
+  }
+  void TearDown() override {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+    common::FaultInjector::instance().reset();
+    MetricsRegistry::instance().reset();
+  }
+};
+
+TEST_F(TelemetryTuneTest, FifoSweepTraceAndCountersMatchResult) {
+  Tracer::instance().enable();
+
+  // 4 configs, 2 worker slots, 3 iterations each — a miniature of the
+  // paper's FIFO experiment-parallel sweep.
+  std::vector<ray::ParamSet> configs(4);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    configs[i]["lr"] = 1e-4 * static_cast<double>(i + 1);
+  }
+  // Each trial runs a 2-rank ring allreduce per step (a miniature
+  // mirrored trainer), so the trace carries trial, train-step AND
+  // allreduce-phase spans — the acceptance trio.
+  constexpr size_t kGradLen = 64;
+  const auto trainable = [](const ray::ParamSet& params,
+                            ray::Reporter& reporter) {
+    for (int64_t it = 0; it < 3; ++it) {
+      DMIS_TRACE_SPAN("train.step");
+      std::vector<comm::Communicator> group = comm::make_group(2);
+      std::vector<float> grad_a(kGradLen, 1.0F), grad_b(kGradLen, 2.0F);
+      std::thread peer([&] { group[1].all_reduce_sum(grad_b); });
+      group[0].all_reduce_sum(grad_a);
+      peer.join();
+      const double lr = std::get<double>(params.at("lr"));
+      reporter.report(it, {{"val_dice", 0.5 + lr}});
+    }
+  };
+
+  ray::TuneOptions options;
+  options.num_gpus = 2;
+  const ray::TuneResult result = ray::tune_run(trainable, configs, options);
+  Tracer::instance().disable();
+
+  ASSERT_EQ(result.count(ray::TrialStatus::kTerminated), 4);
+
+  // Counters agree with the result object.
+  int64_t result_attempts = 0;
+  for (const ray::Trial& t : result.trials) result_attempts += t.attempts;
+  EXPECT_EQ(counter_value("tune.attempts"), result_attempts);
+  EXPECT_EQ(counter_value("tune.trials_completed"), 4);
+  EXPECT_EQ(counter_value("tune.transient_failures"),
+            result.transient_failures());
+  EXPECT_EQ(counter_value("tune.trials_failed"), 0);
+
+  // Allreduce accounting: 2 ranks x 3 steps x 4 trials, kGradLen floats
+  // each.
+  EXPECT_EQ(counter_value("comm.allreduce_calls"), 2 * 3 * 4);
+  EXPECT_EQ(counter_value("comm.allreduce_bytes"),
+            static_cast<int64_t>(2 * 3 * 4 * kGradLen * sizeof(float)));
+
+  // The trace carries one trial + one queue-wait span per attempt, the
+  // trainable's train-step spans, and the allreduce phase spans.
+  const std::vector<TraceEvent> evs = Tracer::instance().events();
+  EXPECT_EQ(span_count(evs, "tune.trial"), result_attempts);
+  EXPECT_EQ(span_count(evs, "tune.queue_wait"), result_attempts);
+  EXPECT_EQ(span_count(evs, "train.step"), 4 * 3);
+  EXPECT_EQ(span_count(evs, "comm.allreduce"), 2 * 3 * 4);
+  EXPECT_EQ(span_count(evs, "comm.allreduce.reduce_scatter"), 2 * 3 * 4);
+  EXPECT_EQ(span_count(evs, "comm.allreduce.all_gather"), 2 * 3 * 4);
+
+  // And the export is loadable (non-empty traceEvents array).
+  std::ostringstream os;
+  Tracer::instance().write_chrome_trace(os);
+  EXPECT_NE(os.str().find("\"name\":\"tune.trial\""), std::string::npos);
+}
+
+TEST_F(TelemetryTuneTest, RetriedSweepCountsTransientFailures) {
+  Tracer::instance().enable();
+  // Fire on the first two calls of the trial body -> two transient
+  // failures, both retried successfully.
+  common::FaultInjector::instance().arm_nth_call("telemetry.trial", 1, 2);
+
+  std::vector<ray::ParamSet> configs(3);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    configs[i]["id"] = static_cast<int64_t>(i);
+  }
+  const auto trainable = [](const ray::ParamSet&, ray::Reporter& reporter) {
+    common::FaultInjector::instance().maybe_fail("telemetry.trial");
+    reporter.report(0, {{"val_dice", 0.5}});
+  };
+
+  ray::TuneOptions options;
+  options.num_gpus = 1;  // serial: deterministic fire pattern
+  options.retry.max_retries = 3;
+  options.retry.backoff_base = 0.0;
+  const ray::TuneResult result = ray::tune_run(trainable, configs, options);
+  Tracer::instance().disable();
+
+  EXPECT_EQ(result.count(ray::TrialStatus::kTerminated), 3);
+  EXPECT_EQ(result.transient_failures(), 2);
+  EXPECT_EQ(counter_value("tune.transient_failures"), 2);
+  EXPECT_EQ(counter_value("tune.trials_completed"), 3);
+  EXPECT_EQ(counter_value("tune.attempts"), 5);  // 3 trials + 2 retries
+
+  const std::vector<TraceEvent> evs = Tracer::instance().events();
+  EXPECT_EQ(span_count(evs, "tune.trial"), 5);
+  EXPECT_GE(span_count(evs, "tune.retry_backoff"), 1);
+}
+
+}  // namespace
+}  // namespace dmis::obs

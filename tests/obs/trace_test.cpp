@@ -1,0 +1,176 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dmis::obs {
+namespace {
+
+/// Minimal JSON well-formedness check: every brace/bracket balances
+/// (respecting strings and escapes) and the document is one value.
+/// Enough to catch unbalanced output without a full parser.
+bool json_brackets_balance(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+  }
+  void TearDown() override {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  {
+    DMIS_TRACE_SPAN("test.disabled");
+    DMIS_TRACE_SPAN("test.disabled_args", {{"k", 1}});
+  }
+  EXPECT_TRUE(Tracer::instance().events().empty());
+}
+
+TEST_F(TraceTest, NestedSpansBracketAndOrder) {
+  Tracer::instance().enable();
+  {
+    DMIS_TRACE_SPAN("test.outer", {{"depth", 0}});
+    {
+      DMIS_TRACE_SPAN("test.inner", {{"depth", 1}});
+    }
+  }
+  Tracer::instance().disable();
+
+  const std::vector<TraceEvent> evs = Tracer::instance().events();
+  ASSERT_EQ(evs.size(), 2U);
+  // Guards record at destruction: inner closes first.
+  const TraceEvent& inner = evs[0];
+  const TraceEvent& outer = evs[1];
+  EXPECT_STREQ(inner.name, "test.inner");
+  EXPECT_STREQ(outer.name, "test.outer");
+  // The inner span nests inside the outer one.
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us);
+  // Args survive.
+  ASSERT_EQ(inner.n_args, 1);
+  EXPECT_STREQ(inner.args[0].key, "depth");
+  EXPECT_EQ(inner.args[0].value, 1);
+  EXPECT_EQ(inner.tid, outer.tid);
+}
+
+TEST_F(TraceTest, RecordSpanWithExplicitTimestamps) {
+  Tracer::instance().enable();
+  Tracer::instance().record_span("test.queue_wait", 100, 50,
+                                 {{"trial", 7}});
+  Tracer::instance().disable();
+  const auto evs = Tracer::instance().events();
+  ASSERT_EQ(evs.size(), 1U);
+  EXPECT_EQ(evs[0].ts_us, 100);
+  EXPECT_EQ(evs[0].dur_us, 50);
+  ASSERT_EQ(evs[0].n_args, 1);
+  EXPECT_EQ(evs[0].args[0].value, 7);
+}
+
+TEST_F(TraceTest, SpansFromManyThreadsAllLand) {
+  Tracer::instance().enable();
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        DMIS_TRACE_SPAN("test.mt", {{"i", i}});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  Tracer::instance().disable();
+
+  const auto evs = Tracer::instance().events();
+  const auto n = std::count_if(evs.begin(), evs.end(), [](const TraceEvent& e) {
+    return std::string(e.name) == "test.mt";
+  });
+  EXPECT_EQ(n + Tracer::instance().dropped(),
+            int64_t{kThreads} * kSpans);
+  EXPECT_EQ(Tracer::instance().dropped(), 0);
+}
+
+TEST_F(TraceTest, ChromeExportIsBalancedJsonWithEvents) {
+  Tracer::instance().enable();
+  {
+    DMIS_TRACE_SPAN("test.export \"quoted\"",
+                    {{"bytes", int64_t{1} << 40}});
+    std::thread other([] { DMIS_TRACE_SPAN("test.export_other"); });
+    other.join();
+  }
+  Tracer::instance().record_instant("test.instant", {{"mark", 1}});
+  Tracer::instance().disable();
+
+  std::ostringstream os;
+  Tracer::instance().write_chrome_trace(os);
+  const std::string json = os.str();
+
+  EXPECT_TRUE(json_brackets_balance(json)) << json;
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0U);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("test.export_other"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":1099511627776"), std::string::npos);
+  // The quote in the span name is escaped.
+  EXPECT_NE(json.find("test.export \\\"quoted\\\""), std::string::npos);
+}
+
+TEST_F(TraceTest, FullBufferDropsInsteadOfWrapping) {
+  Tracer& tracer = Tracer::instance();
+  tracer.set_buffer_capacity(16);
+  tracer.enable();
+  // A fresh thread gets a fresh (or recycled) buffer; either way the
+  // drop accounting must kick in past capacity.
+  std::thread t([] {
+    for (int i = 0; i < 100; ++i) {
+      DMIS_TRACE_SPAN("test.full");
+    }
+  });
+  t.join();
+  tracer.disable();
+  EXPECT_GT(tracer.dropped(), 0);
+  tracer.set_buffer_capacity(65536);
+}
+
+}  // namespace
+}  // namespace dmis::obs

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Repo verification: the tier-1 build + full test suite, then a
 # ThreadSanitizer pass over the concurrency-heavy suites (raylite tasks/
-# actors/tune retries, comm ring collectives, the fault injector, and
-# the chaos integration sweep), where data races would live.
+# actors/tune retries, comm ring collectives, the fault injector, the
+# telemetry registry/tracer, and the chaos integration sweep), where
+# data races would live, then a traced tune_search smoke that checks the
+# telemetry exports are valid, non-empty JSON.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,13 +15,53 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
 
-echo "== tsan: raylite + comm suites =="
+echo "== tsan: raylite + comm + obs suites =="
 cmake -B build-tsan -S . -DDMIS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}" \
-  --target raylite_test comm_test common_test chaos_test
-for t in raylite_test comm_test common_test chaos_test; do
+  --target raylite_test comm_test common_test obs_test chaos_test
+for t in raylite_test comm_test common_test obs_test chaos_test; do
   echo "-- tsan: ${t}"
   ./build-tsan/tests/"${t}"
 done
+
+echo "== telemetry: traced example smokes =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+DMIS_TRACE="${SMOKE_DIR}/tune_trace.json" \
+  DMIS_METRICS="${SMOKE_DIR}/tune_metrics.jsonl" \
+  ./build/examples/tune_search 2 >/dev/null
+DMIS_TRACE="${SMOKE_DIR}/dp_trace.json" \
+  ./build/examples/data_parallel 2 >/dev/null
+python3 - "${SMOKE_DIR}" <<'EOF'
+import json, sys
+
+smoke_dir = sys.argv[1]
+
+def span_names(path):
+    with open(path) as f:
+        trace = json.load(f)
+    events = trace["traceEvents"]
+    assert events, f"{path}: trace has no events"
+    return len(events), {e["name"] for e in events}
+
+n_tune, tune = span_names(f"{smoke_dir}/tune_trace.json")
+for required in ("tune.trial", "tune.queue_wait", "train.step",
+                 "train.forward", "data.load"):
+    assert required in tune, f"tune trace missing {required!r}: {sorted(tune)}"
+
+n_dp, dp = span_names(f"{smoke_dir}/dp_trace.json")
+for required in ("comm.allreduce", "comm.allreduce.reduce_scatter",
+                 "comm.allreduce.all_gather"):
+    assert required in dp, f"dp trace missing {required!r}: {sorted(dp)}"
+
+with open(f"{smoke_dir}/tune_metrics.jsonl") as f:
+    lines = [json.loads(line) for line in f if line.strip()]
+assert lines, "metrics dump is empty"
+counters = {m["name"]: m["value"] for m in lines if m["type"] == "counter"}
+assert counters.get("tune.trials_completed", 0) > 0, counters
+
+print(f"tune trace OK ({n_tune} events), dp trace OK ({n_dp} events), "
+      f"metrics OK ({len(lines)} instruments)")
+EOF
 
 echo "verify OK"
