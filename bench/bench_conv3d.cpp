@@ -1,8 +1,13 @@
 // K1 — kernel microbenchmarks for the layers dominating U-Net step time:
 // 3x3x3 convolution forward/backward, transposed convolution, pooling
 // and batch norm, at the tile sizes the real (host-scale) backend uses.
+//
+// Conv benchmarks take a backend argument (0 = naive, 1 = gemm) so one run
+// captures both before/after numbers; tools/verify.sh writes them to
+// BENCH_conv3d.json and checks the gemm/naive ratio.
 #include <benchmark/benchmark.h>
 
+#include "nn/kernels.hpp"
 #include "nn/layers/batchnorm.hpp"
 #include "nn/layers/conv3d.hpp"
 #include "nn/layers/conv_transpose3d.hpp"
@@ -12,6 +17,18 @@
 namespace {
 
 using namespace dmis;
+
+nn::KernelBackend backend_arg(const benchmark::State& state) {
+  return state.range(1) == 0 ? nn::KernelBackend::kNaive
+                             : nn::KernelBackend::kGemm;
+}
+
+/// Appends {channels} x {naive, gemm} argument pairs.
+void ConvArgs(benchmark::internal::Benchmark* b) {
+  for (const int64_t c : {4, 8, 16}) {
+    b->Args({c, 0})->Args({c, 1});
+  }
+}
 
 NDArray random_input(const Shape& shape, uint64_t seed) {
   NDArray t(shape);
@@ -26,6 +43,7 @@ void BM_Conv3dForward(benchmark::State& state) {
   const int64_t c = state.range(0);
   Rng rng(1);
   nn::Conv3d conv(c, c, 3, 1, 1, rng);
+  conv.set_backend(backend_arg(state));
   const NDArray in = random_input(Shape{1, c, 16, 16, 16}, 2);
   for (auto _ : state) {
     benchmark::DoNotOptimize(conv.forward1(in, true).data());
@@ -33,12 +51,41 @@ void BM_Conv3dForward(benchmark::State& state) {
   // 2 FLOPs per tap per output voxel.
   state.SetItemsProcessed(state.iterations() * 2 * 27 * c * c * 16 * 16 * 16);
 }
-BENCHMARK(BM_Conv3dForward)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Conv3dForward)->Apply(ConvArgs)->Unit(benchmark::kMillisecond);
+
+void BM_Conv3dForwardStride2(benchmark::State& state) {
+  // Encoder downsampling shape: stride 2 halves each output extent.
+  const int64_t c = state.range(0);
+  Rng rng(1);
+  nn::Conv3d conv(c, c, 3, 2, 1, rng);
+  conv.set_backend(backend_arg(state));
+  const NDArray in = random_input(Shape{1, c, 16, 16, 16}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward1(in, true).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 27 * c * c * 8 * 8 * 8);
+}
+BENCHMARK(BM_Conv3dForwardStride2)->Apply(ConvArgs)->Unit(benchmark::kMillisecond);
+
+void BM_Conv3dForward1x1x1(benchmark::State& state) {
+  // Segmentation-head shape: the gemm path skips im2col entirely here.
+  const int64_t c = state.range(0);
+  Rng rng(1);
+  nn::Conv3d conv(c, 4, 1, 1, 0, rng);
+  conv.set_backend(backend_arg(state));
+  const NDArray in = random_input(Shape{1, c, 16, 16, 16}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward1(in, true).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * c * 4 * 16 * 16 * 16);
+}
+BENCHMARK(BM_Conv3dForward1x1x1)->Apply(ConvArgs)->Unit(benchmark::kMillisecond);
 
 void BM_Conv3dBackward(benchmark::State& state) {
   const int64_t c = state.range(0);
   Rng rng(1);
   nn::Conv3d conv(c, c, 3, 1, 1, rng);
+  conv.set_backend(backend_arg(state));
   const NDArray in = random_input(Shape{1, c, 16, 16, 16}, 2);
   const NDArray out = conv.forward1(in, true);
   const NDArray grad = random_input(out.shape(), 3);
@@ -46,18 +93,23 @@ void BM_Conv3dBackward(benchmark::State& state) {
     benchmark::DoNotOptimize(conv.backward(grad).front().data());
   }
 }
-BENCHMARK(BM_Conv3dBackward)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Conv3dBackward)
+    ->Args({4, 0})->Args({4, 1})->Args({8, 0})->Args({8, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ConvTranspose3dForward(benchmark::State& state) {
   const int64_t c = state.range(0);
   Rng rng(1);
   nn::ConvTranspose3d up(c, c, 2, 2, rng);
+  up.set_backend(backend_arg(state));
   const NDArray in = random_input(Shape{1, c, 8, 8, 8}, 2);
   for (auto _ : state) {
     benchmark::DoNotOptimize(up.forward1(in, true).data());
   }
 }
-BENCHMARK(BM_ConvTranspose3dForward)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConvTranspose3dForward)
+    ->Args({8, 0})->Args({8, 1})->Args({16, 0})->Args({16, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MaxPool3dForward(benchmark::State& state) {
   nn::MaxPool3d pool(2, 2);

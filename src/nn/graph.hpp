@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "nn/module.hpp"
+#include "nn/workspace.hpp"
 
 namespace dmis::nn {
 
@@ -63,6 +64,9 @@ class Graph {
 
   int64_t num_params();
 
+  /// The scratch arena shared by every layer added to this graph.
+  const std::shared_ptr<Workspace>& workspace() const { return workspace_; }
+
  private:
   struct Node {
     std::string name;
@@ -79,6 +83,7 @@ class Graph {
   std::vector<Node> nodes_;
   std::map<std::string, int> by_name_;
   int output_node_ = -1;
+  std::shared_ptr<Workspace> workspace_ = std::make_shared<Workspace>();
 };
 
 }  // namespace dmis::nn

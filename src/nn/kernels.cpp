@@ -1,0 +1,42 @@
+#include "nn/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/check.hpp"
+
+namespace dmis::nn {
+namespace {
+
+KernelBackend parse_env() {
+  const char* env = std::getenv("DMIS_KERNEL");
+  if (env == nullptr || *env == '\0') return KernelBackend::kGemm;
+  const std::string_view v(env);
+  if (v == "gemm") return KernelBackend::kGemm;
+  if (v == "naive") return KernelBackend::kNaive;
+  DMIS_CHECK(false, "DMIS_KERNEL must be 'naive' or 'gemm', got '" << v
+                                                                   << "'");
+  return KernelBackend::kGemm;  // unreachable
+}
+
+std::atomic<KernelBackend>& backend_slot() {
+  static std::atomic<KernelBackend> slot{parse_env()};
+  return slot;
+}
+
+}  // namespace
+
+KernelBackend default_kernel_backend() {
+  return backend_slot().load(std::memory_order_relaxed);
+}
+
+KernelBackend set_default_kernel_backend(KernelBackend backend) {
+  return backend_slot().exchange(backend, std::memory_order_relaxed);
+}
+
+const char* kernel_backend_name(KernelBackend backend) {
+  return backend == KernelBackend::kNaive ? "naive" : "gemm";
+}
+
+}  // namespace dmis::nn

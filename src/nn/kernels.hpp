@@ -1,0 +1,31 @@
+// Compute-kernel backend selection.
+//
+// Convolution layers have two interchangeable implementations: the naive
+// direct loops (the reference: simple, obviously correct, kept forever so
+// the fast path can be differentially tested against it) and the
+// im2col+SGEMM lowering (the default: what training actually runs).
+// `DMIS_KERNEL=naive|gemm` picks the process default; layers capture it at
+// construction and expose set_backend() so tests can flip one instance
+// between backends while keeping its weights.
+#pragma once
+
+#include <string>
+
+namespace dmis::nn {
+
+enum class KernelBackend {
+  kNaive,  ///< Direct 7-deep loop nests (reference implementation).
+  kGemm,   ///< im2col/col2im + blocked SGEMM (fast path, default).
+};
+
+/// Process-wide default, from DMIS_KERNEL (read once; default kGemm).
+/// Throws InvalidArgument if the variable is set to an unknown value.
+KernelBackend default_kernel_backend();
+
+/// Overrides the process default (tests); returns the previous value.
+KernelBackend set_default_kernel_backend(KernelBackend backend);
+
+/// "naive" or "gemm".
+const char* kernel_backend_name(KernelBackend backend);
+
+}  // namespace dmis::nn

@@ -4,6 +4,8 @@
 
 #include "common/check.hpp"
 #include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
 
 namespace dmis::nn {
 
@@ -14,6 +16,7 @@ Conv3d::Conv3d(int64_t in_channels, int64_t out_channels, int kernel,
       kernel_(kernel),
       stride_(stride),
       padding_(padding),
+      backend_(default_kernel_backend()),
       weight_(Shape{out_channels, in_channels, kernel, kernel, kernel}),
       bias_(Shape{out_channels}),
       grad_weight_(weight_.shape()),
@@ -25,6 +28,11 @@ Conv3d::Conv3d(int64_t in_channels, int64_t out_channels, int kernel,
   const int64_t fan_in =
       in_channels * static_cast<int64_t>(kernel) * kernel * kernel;
   he_init(weight_, fan_in, rng);
+}
+
+Workspace& Conv3d::workspace() {
+  if (!workspace_) workspace_ = std::make_shared<Workspace>();
+  return *workspace_;
 }
 
 NDArray Conv3d::forward(std::span<const NDArray* const> inputs,
@@ -42,6 +50,56 @@ NDArray Conv3d::forward(std::span<const NDArray* const> inputs,
   DMIS_CHECK(OD > 0 && OH > 0 && OW > 0,
              "conv output collapsed for input " << s.str());
   NDArray out(Shape{N, cout_, OD, OH, OW});
+
+  if (backend_ == KernelBackend::kGemm) {
+    forward_gemm(in, out);
+  } else {
+    forward_naive(in, out);
+  }
+  return out;
+}
+
+void Conv3d::forward_gemm(const NDArray& in, NDArray& out) {
+  const Shape& s = in.shape();
+  const int64_t N = s.n(), D = s.d(), H = s.dim(3), W = s.dim(4);
+  const Shape& os = out.shape();
+  const int64_t OD = os.d(), OH = os.dim(3), OW = os.dim(4);
+  const int64_t k = kernel_, st = stride_, p = padding_;
+  const int64_t taps = cin_ * k * k * k;  // rows of the column matrix
+  const int64_t cols = OD * OH * OW;      // output positions
+  const float* x = in.data();
+  const float* w = weight_.data();
+  const float* b = bias_.data();
+  float* y = out.data();
+
+  // 1x1x1 stride-1 convolutions (the U-Net head) are already a GEMM on
+  // the raw activation — no lowering needed.
+  const bool identity_cols = (k == 1 && st == 1 && p == 0);
+  std::span<float> col;
+  if (!identity_cols) col = workspace().scratch(taps * cols);
+
+  for (int64_t n = 0; n < N; ++n) {
+    const float* xn = x + n * cin_ * D * H * W;
+    float* yn = y + n * cout_ * cols;
+    const float* colp = xn;
+    if (!identity_cols) {
+      im2col_3d(xn, cin_, D, H, W, k, st, p, OD, OH, OW, col.data());
+      colp = col.data();
+    }
+    for (int64_t co = 0; co < cout_; ++co) {
+      std::fill_n(yn + co * cols, cols, b[co]);
+    }
+    // Y[Cout, P] += W[Cout, taps] * col[taps, P]
+    sgemm(false, false, cout_, cols, taps, w, taps, colp, cols, yn, cols,
+          /*accumulate=*/true);
+  }
+}
+
+void Conv3d::forward_naive(const NDArray& in, NDArray& out) const {
+  const Shape& s = in.shape();
+  const int64_t N = s.n(), D = s.d(), H = s.dim(3), W = s.dim(4);
+  const Shape& os = out.shape();
+  const int64_t OD = os.d(), OH = os.dim(3), OW = os.dim(4);
 
   const int64_t k = kernel_, st = stride_, p = padding_;
   const float* x = in.data();
@@ -94,7 +152,6 @@ NDArray Conv3d::forward(std::span<const NDArray* const> inputs,
       }
     }
   });
-  return out;
 }
 
 std::vector<NDArray> Conv3d::backward(const NDArray& grad_output) {
@@ -104,6 +161,79 @@ std::vector<NDArray> Conv3d::backward(const NDArray& grad_output) {
   DMIS_CHECK(grad_output.shape() == Shape({N, cout_, OD, OH, OW}),
              "Conv3d backward: grad shape " << grad_output.shape().str()
                                             << " mismatch");
+
+  NDArray grad_input(is);
+  if (backend_ == KernelBackend::kGemm) {
+    backward_gemm(grad_output, grad_input);
+  } else {
+    backward_naive(grad_output, grad_input);
+  }
+  std::vector<NDArray> grads;
+  grads.push_back(std::move(grad_input));
+  return grads;
+}
+
+void Conv3d::backward_gemm(const NDArray& grad_output, NDArray& grad_input) {
+  const Shape& is = input_.shape();
+  const int64_t N = is.n(), D = is.d(), H = is.dim(3), W = is.dim(4);
+  const int64_t OD = out_extent(D), OH = out_extent(H), OW = out_extent(W);
+  const int64_t k = kernel_, st = stride_, p = padding_;
+  const int64_t taps = cin_ * k * k * k;
+  const int64_t cols = OD * OH * OW;
+  const float* x = input_.data();
+  const float* w = weight_.data();
+  const float* go = grad_output.data();
+  float* gw = grad_weight_.data();
+  float* gb = grad_bias_.data();
+  float* gi = grad_input.data();
+
+  // Bias gradient: per-channel sum of grad_output.
+  for (int64_t co = 0; co < cout_; ++co) {
+    double acc = 0.0;
+    for (int64_t n = 0; n < N; ++n) {
+      const float* goc = go + (n * cout_ + co) * cols;
+      for (int64_t i = 0; i < cols; ++i) acc += static_cast<double>(goc[i]);
+    }
+    gb[co] += static_cast<float>(acc);
+  }
+
+  const bool identity_cols = (k == 1 && st == 1 && p == 0);
+  std::span<float> col;
+  if (!identity_cols) col = workspace().scratch(taps * cols);
+
+  for (int64_t n = 0; n < N; ++n) {
+    const float* xn = x + n * cin_ * D * H * W;
+    const float* gon = go + n * cout_ * cols;
+    float* gin = gi + n * cin_ * D * H * W;
+
+    // Weight gradient first (it consumes im2col of the input) ...
+    const float* colp = xn;
+    if (!identity_cols) {
+      im2col_3d(xn, cin_, D, H, W, k, st, p, OD, OH, OW, col.data());
+      colp = col.data();
+    }
+    // GW[Cout, taps] += GO[Cout, P] * col[taps, P]^T
+    sgemm(false, true, cout_, taps, cols, gon, cols, colp, cols, gw, taps,
+          /*accumulate=*/true);
+
+    // ... then the input gradient, reusing the same scratch for the
+    // column-gradient before scattering it back with col2im.
+    if (identity_cols) {
+      // GI[Cin, P] = W[Cout, Cin]^T * GO[Cout, P] (grad_input is zeroed).
+      sgemm(true, false, taps, cols, cout_, w, taps, gon, cols, gin, cols,
+            /*accumulate=*/false);
+    } else {
+      sgemm(true, false, taps, cols, cout_, w, taps, gon, cols, col.data(),
+            cols, /*accumulate=*/false);
+      col2im_3d(col.data(), cin_, D, H, W, k, st, p, OD, OH, OW, gin);
+    }
+  }
+}
+
+void Conv3d::backward_naive(const NDArray& grad_output, NDArray& grad_input) {
+  const Shape& is = input_.shape();
+  const int64_t N = is.n(), D = is.d(), H = is.dim(3), W = is.dim(4);
+  const int64_t OD = out_extent(D), OH = out_extent(H), OW = out_extent(W);
 
   const int64_t k = kernel_, st = stride_, p = padding_;
   const float* x = input_.data();
@@ -163,7 +293,6 @@ std::vector<NDArray> Conv3d::backward(const NDArray& grad_output) {
   });
 
   // Pass 2: input gradients, race-free parallel over batch.
-  NDArray grad_input(is);
   float* gi = grad_input.data();
   parallel_for(0, N, [&](int64_t lo, int64_t hi) {
     for (int64_t n = lo; n < hi; ++n) {
@@ -204,10 +333,6 @@ std::vector<NDArray> Conv3d::backward(const NDArray& grad_output) {
       }
     }
   });
-
-  std::vector<NDArray> grads;
-  grads.push_back(std::move(grad_input));
-  return grads;
 }
 
 std::vector<Param> Conv3d::params() {

@@ -1,7 +1,11 @@
 #include "nn/layers/conv_transpose3d.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
 
 namespace dmis::nn {
 
@@ -11,6 +15,7 @@ ConvTranspose3d::ConvTranspose3d(int64_t in_channels, int64_t out_channels,
       cout_(out_channels),
       kernel_(kernel),
       stride_(stride),
+      backend_(default_kernel_backend()),
       weight_(Shape{in_channels, out_channels, kernel, kernel, kernel}),
       bias_(Shape{out_channels}),
       grad_weight_(weight_.shape()),
@@ -21,6 +26,11 @@ ConvTranspose3d::ConvTranspose3d(int64_t in_channels, int64_t out_channels,
   const int64_t fan_in =
       in_channels * static_cast<int64_t>(kernel) * kernel * kernel;
   he_init(weight_, fan_in, rng);
+}
+
+Workspace& ConvTranspose3d::workspace() {
+  if (!workspace_) workspace_ = std::make_shared<Workspace>();
+  return *workspace_;
 }
 
 NDArray ConvTranspose3d::forward(std::span<const NDArray* const> inputs,
@@ -36,6 +46,55 @@ NDArray ConvTranspose3d::forward(std::span<const NDArray* const> inputs,
   const int64_t N = s.n(), D = s.d(), H = s.dim(3), W = s.dim(4);
   const int64_t OD = out_extent(D), OH = out_extent(H), OW = out_extent(W);
   NDArray out(Shape{N, cout_, OD, OH, OW});
+
+  if (backend_ == KernelBackend::kGemm) {
+    forward_gemm(in, out);
+  } else {
+    forward_naive(in, out);
+  }
+  return out;
+}
+
+// The gemm lowering views the transposed conv as the adjoint of an
+// ordinary (pad-0) convolution over its *own output*: that convolution's
+// im2col matrix has rows (co, kz, ky, kx) and columns indexed by this
+// layer's *input* positions, so
+//   forward:      col = W^T * X, then col2im into the output;
+//   input grad:   GI  = W * im2col(GO);
+//   weight grad:  GW += X * im2col(GO)^T.
+void ConvTranspose3d::forward_gemm(const NDArray& in, NDArray& out) {
+  const Shape& s = in.shape();
+  const int64_t N = s.n(), D = s.d(), H = s.dim(3), W = s.dim(4);
+  const Shape& os = out.shape();
+  const int64_t OD = os.d(), OH = os.dim(3), OW = os.dim(4);
+  const int64_t k = kernel_, st = stride_;
+  const int64_t taps = cout_ * k * k * k;
+  const int64_t cols = D * H * W;  // input positions = column count
+  const float* x = in.data();
+  const float* w = weight_.data();
+  const float* b = bias_.data();
+  float* y = out.data();
+  const int64_t out_cs = OD * OH * OW;
+
+  std::span<float> col = workspace().scratch(taps * cols);
+  for (int64_t n = 0; n < N; ++n) {
+    const float* xn = x + n * cin_ * cols;
+    float* yn = y + n * cout_ * out_cs;
+    // col[taps, P] = W[Cin, taps]^T * X[Cin, P]
+    sgemm(true, false, taps, cols, cin_, w, taps, xn, cols, col.data(), cols,
+          /*accumulate=*/false);
+    for (int64_t co = 0; co < cout_; ++co) {
+      std::fill_n(yn + co * out_cs, out_cs, b[co]);
+    }
+    col2im_3d(col.data(), cout_, OD, OH, OW, k, st, /*pad=*/0, D, H, W, yn);
+  }
+}
+
+void ConvTranspose3d::forward_naive(const NDArray& in, NDArray& out) const {
+  const Shape& s = in.shape();
+  const int64_t N = s.n(), D = s.d(), H = s.dim(3), W = s.dim(4);
+  const Shape& os = out.shape();
+  const int64_t OD = os.d(), OH = os.dim(3), OW = os.dim(4);
 
   const int64_t k = kernel_, st = stride_;
   const float* x = in.data();
@@ -83,7 +142,6 @@ NDArray ConvTranspose3d::forward(std::span<const NDArray* const> inputs,
       }
     }
   });
-  return out;
 }
 
 std::vector<NDArray> ConvTranspose3d::backward(const NDArray& grad_output) {
@@ -93,6 +151,63 @@ std::vector<NDArray> ConvTranspose3d::backward(const NDArray& grad_output) {
   DMIS_CHECK(grad_output.shape() == Shape({N, cout_, OD, OH, OW}),
              "ConvTranspose3d backward: grad shape "
                  << grad_output.shape().str() << " mismatch");
+
+  NDArray grad_input(is);
+  if (backend_ == KernelBackend::kGemm) {
+    backward_gemm(grad_output, grad_input);
+  } else {
+    backward_naive(grad_output, grad_input);
+  }
+  std::vector<NDArray> grads;
+  grads.push_back(std::move(grad_input));
+  return grads;
+}
+
+void ConvTranspose3d::backward_gemm(const NDArray& grad_output,
+                                    NDArray& grad_input) {
+  const Shape& is = input_.shape();
+  const int64_t N = is.n(), D = is.d(), H = is.dim(3), W = is.dim(4);
+  const int64_t OD = out_extent(D), OH = out_extent(H), OW = out_extent(W);
+  const int64_t k = kernel_, st = stride_;
+  const int64_t taps = cout_ * k * k * k;
+  const int64_t cols = D * H * W;
+  const int64_t out_cs = OD * OH * OW;
+  const float* x = input_.data();
+  const float* w = weight_.data();
+  const float* go = grad_output.data();
+  float* gw = grad_weight_.data();
+  float* gb = grad_bias_.data();
+  float* gi = grad_input.data();
+
+  for (int64_t co = 0; co < cout_; ++co) {
+    double acc = 0.0;
+    for (int64_t n = 0; n < N; ++n) {
+      const float* goc = go + (n * cout_ + co) * out_cs;
+      for (int64_t i = 0; i < out_cs; ++i) acc += static_cast<double>(goc[i]);
+    }
+    gb[co] += static_cast<float>(acc);
+  }
+
+  std::span<float> col = workspace().scratch(taps * cols);
+  for (int64_t n = 0; n < N; ++n) {
+    const float* xn = x + n * cin_ * cols;
+    const float* gon = go + n * cout_ * out_cs;
+    float* gin = gi + n * cin_ * cols;
+    im2col_3d(gon, cout_, OD, OH, OW, k, st, /*pad=*/0, D, H, W, col.data());
+    // GI[Cin, P] = W[Cin, taps] * im2col(GO)[taps, P] (grad_input zeroed).
+    sgemm(false, false, cin_, cols, taps, w, taps, col.data(), cols, gin,
+          cols, /*accumulate=*/false);
+    // GW[Cin, taps] += X[Cin, P] * im2col(GO)[taps, P]^T
+    sgemm(false, true, cin_, taps, cols, xn, cols, col.data(), cols, gw, taps,
+          /*accumulate=*/true);
+  }
+}
+
+void ConvTranspose3d::backward_naive(const NDArray& grad_output,
+                                     NDArray& grad_input) {
+  const Shape& is = input_.shape();
+  const int64_t N = is.n(), D = is.d(), H = is.dim(3), W = is.dim(4);
+  const int64_t OD = out_extent(D), OH = out_extent(H), OW = out_extent(W);
 
   const int64_t k = kernel_, st = stride_;
   const float* x = input_.data();
@@ -154,7 +269,6 @@ std::vector<NDArray> ConvTranspose3d::backward(const NDArray& grad_output) {
   });
 
   // Input gradient: gather from the output stamp, parallel over batch.
-  NDArray grad_input(is);
   float* gi = grad_input.data();
   parallel_for(0, N, [&](int64_t lo, int64_t hi) {
     for (int64_t n = lo; n < hi; ++n) {
@@ -186,10 +300,6 @@ std::vector<NDArray> ConvTranspose3d::backward(const NDArray& grad_output) {
       }
     }
   });
-
-  std::vector<NDArray> grads;
-  grads.push_back(std::move(grad_input));
-  return grads;
 }
 
 std::vector<Param> ConvTranspose3d::params() {

@@ -1,0 +1,207 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/thread_pool.hpp"
+
+namespace dmis {
+namespace {
+
+// Register tile: MR rows x NR columns of C per microkernel call. NR spans
+// whole vector registers; MR is sized so the accumulator tile fits the
+// register file with room for the A broadcast and B loads.
+constexpr int64_t MR = 6;
+constexpr int64_t NR = 16;
+
+// Cache blocking: an MC x KC panel of A (L2-resident) meets a KC x NC
+// panel of B streamed through NR-wide micro-panels.
+constexpr int64_t MC = 96;
+constexpr int64_t KC = 256;
+constexpr int64_t NC = 2048;
+
+static_assert(MC % MR == 0 && NC % NR == 0);
+
+inline float elem(const float* mat, int64_t ld, bool trans, int64_t row,
+                  int64_t col) {
+  return trans ? mat[col * ld + row] : mat[row * ld + col];
+}
+
+/// Packs an mc x kc block of op(A) (origin i0, p0) into MR-row panels,
+/// panel layout [kk][r], zero-padding the ragged last panel.
+void pack_a(const float* a, int64_t lda, bool trans, int64_t i0, int64_t p0,
+            int64_t mc, int64_t kc, float* ap) {
+  for (int64_t i = 0; i < mc; i += MR) {
+    const int64_t mr = std::min(MR, mc - i);
+    for (int64_t kk = 0; kk < kc; ++kk) {
+      float* dst = ap + kk * MR;
+      for (int64_t r = 0; r < mr; ++r) {
+        dst[r] = elem(a, lda, trans, i0 + i + r, p0 + kk);
+      }
+      for (int64_t r = mr; r < MR; ++r) dst[r] = 0.0F;
+    }
+    ap += kc * MR;
+  }
+}
+
+/// Packs a kc x nc block of op(B) (origin p0, j0) into NR-column panels,
+/// panel layout [kk][c], zero-padding the ragged last panel.
+void pack_b(const float* b, int64_t ldb, bool trans, int64_t p0, int64_t j0,
+            int64_t kc, int64_t nc, float* bp) {
+  for (int64_t j = 0; j < nc; j += NR) {
+    const int64_t nr = std::min(NR, nc - j);
+    if (!trans && nr == NR) {
+      const float* src = b + p0 * ldb + j0 + j;
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        std::memcpy(bp + kk * NR, src + kk * ldb, NR * sizeof(float));
+      }
+    } else {
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        float* dst = bp + kk * NR;
+        for (int64_t c = 0; c < nr; ++c) {
+          dst[c] = elem(b, ldb, trans, p0 + kk, j0 + j + c);
+        }
+        for (int64_t c = nr; c < NR; ++c) dst[c] = 0.0F;
+      }
+    }
+    bp += kc * NR;
+  }
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+
+// 8-wide float vector (lowered to whatever the target ISA offers);
+// aligned(4) keeps loads/stores legal on unaligned panel addresses.
+using v8sf = float __attribute__((vector_size(32), aligned(4)));
+
+inline v8sf splat(float x) { return v8sf{x, x, x, x, x, x, x, x}; }
+
+/// acc[MR][NR] = Apanel(kc x MR) * Bpanel(kc x NR).
+///
+/// The 6x16 tile lives in 12 named vector accumulators so the compiler
+/// register-allocates it across the k loop — the array-indexed form
+/// round-trips the tile through the stack every iteration and runs ~7x
+/// slower.
+void micro_kernel(int64_t kc, const float* ap, const float* bp, float* acc) {
+  v8sf c00{}, c01{}, c10{}, c11{}, c20{}, c21{};
+  v8sf c30{}, c31{}, c40{}, c41{}, c50{}, c51{};
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* ak = ap + kk * MR;
+    const v8sf b0 = *reinterpret_cast<const v8sf*>(bp + kk * NR);
+    const v8sf b1 = *reinterpret_cast<const v8sf*>(bp + kk * NR + 8);
+    v8sf a;
+    a = splat(ak[0]); c00 += a * b0; c01 += a * b1;
+    a = splat(ak[1]); c10 += a * b0; c11 += a * b1;
+    a = splat(ak[2]); c20 += a * b0; c21 += a * b1;
+    a = splat(ak[3]); c30 += a * b0; c31 += a * b1;
+    a = splat(ak[4]); c40 += a * b0; c41 += a * b1;
+    a = splat(ak[5]); c50 += a * b0; c51 += a * b1;
+  }
+  v8sf* out = reinterpret_cast<v8sf*>(acc);
+  out[0] = c00; out[1] = c01; out[2] = c10; out[3] = c11;
+  out[4] = c20; out[5] = c21; out[6] = c30; out[7] = c31;
+  out[8] = c40; out[9] = c41; out[10] = c50; out[11] = c51;
+}
+
+#else
+
+/// Portable scalar fallback of the 6x16 microkernel.
+void micro_kernel(int64_t kc, const float* ap, const float* bp, float* acc) {
+  for (int64_t c = 0; c < MR * NR; ++c) acc[c] = 0.0F;
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* ak = ap + kk * MR;
+    const float* bk = bp + kk * NR;
+    for (int64_t r = 0; r < MR; ++r) {
+      const float av = ak[r];
+      float* accr = acc + r * NR;
+      for (int64_t c = 0; c < NR; ++c) {
+        accr[c] += av * bk[c];
+      }
+    }
+  }
+}
+
+#endif
+
+/// Writes (or accumulates) the valid mr x nr corner of the tile into C.
+void store_tile(const float* acc, float* c, int64_t ldc, int64_t mr,
+                int64_t nr, bool overwrite) {
+  for (int64_t r = 0; r < mr; ++r) {
+    float* crow = c + r * ldc;
+    const float* arow = acc + r * NR;
+    if (overwrite) {
+      for (int64_t j = 0; j < nr; ++j) crow[j] = arow[j];
+    } else {
+      for (int64_t j = 0; j < nr; ++j) crow[j] += arow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+           const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
+           int64_t ldc, bool accumulate, ThreadPool* pool) {
+  DMIS_CHECK(m >= 0 && n >= 0 && k >= 0,
+             "sgemm: bad sizes m=" << m << " n=" << n << " k=" << k);
+  DMIS_CHECK(ldc >= n, "sgemm: ldc=" << ldc << " too small");
+  if (m == 0 || n == 0) return;
+  if (k == 0) {  // A and B are never touched; their strides are irrelevant.
+    if (!accumulate) {
+      for (int64_t r = 0; r < m; ++r) std::fill_n(c + r * ldc, n, 0.0F);
+    }
+    return;
+  }
+  DMIS_CHECK(lda >= (trans_a ? m : k), "sgemm: lda=" << lda << " too small");
+  DMIS_CHECK(ldb >= (trans_b ? k : n), "sgemm: ldb=" << ldb << " too small");
+  ThreadPool& tp = (pool != nullptr) ? *pool : ThreadPool::global();
+
+  // The B panel is packed once per (j0, p0) block by the calling thread
+  // and read (only) inside the parallel region.
+  thread_local std::vector<float> bpack;
+
+  for (int64_t j0 = 0; j0 < n; j0 += NC) {
+    const int64_t nc = std::min(NC, n - j0);
+    const int64_t nc_pad = (nc + NR - 1) / NR * NR;
+    for (int64_t p0 = 0; p0 < k; p0 += KC) {
+      const int64_t kc = std::min(KC, k - p0);
+      if (static_cast<int64_t>(bpack.size()) < nc_pad * kc) {
+        bpack.resize(static_cast<size_t>(nc_pad * kc));
+      }
+      pack_b(b, ldb, trans_b, p0, j0, kc, nc, bpack.data());
+      const float* bp = bpack.data();
+
+      // First k-block overwrites C unless accumulating; later blocks add.
+      const bool overwrite = (p0 == 0) && !accumulate;
+      const int64_t num_mblocks = (m + MC - 1) / MC;
+      parallel_for(tp, 0, num_mblocks, [&](int64_t lo, int64_t hi) {
+        thread_local std::vector<float> apack;
+        for (int64_t blk = lo; blk < hi; ++blk) {
+          const int64_t i0 = blk * MC;
+          const int64_t mc = std::min(MC, m - i0);
+          const int64_t mc_pad = (mc + MR - 1) / MR * MR;
+          if (static_cast<int64_t>(apack.size()) < mc_pad * kc) {
+            apack.resize(static_cast<size_t>(mc_pad * kc));
+          }
+          pack_a(a, lda, trans_a, i0, p0, mc, kc, apack.data());
+          float acc[MR * NR];
+          for (int64_t jr = 0; jr < nc; jr += NR) {
+            const float* bpanel = bp + (jr / NR) * kc * NR;
+            const int64_t nr = std::min(NR, nc - jr);
+            for (int64_t ir = 0; ir < mc; ir += MR) {
+              const int64_t mr = std::min(MR, mc - ir);
+              micro_kernel(kc, apack.data() + (ir / MR) * kc * MR, bpanel,
+                           acc);
+              store_tile(acc, c + (i0 + ir) * ldc + j0 + jr, ldc, mr, nr,
+                         overwrite);
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+}  // namespace dmis

@@ -1,0 +1,36 @@
+// SGEMM: the single-precision matrix multiply backing the fast (im2col)
+// convolution kernels.
+//
+// C = op(A) * op(B) [+ C], row-major, with op(X) = X or X^T per the trans
+// flags. The implementation is a cache-blocked, packed GEMM in the BLIS
+// style: A and B are repacked into panel-contiguous buffers (zero-padded
+// to the register-tile size) and a fixed 6x16 microkernel accumulates one
+// output tile per call, which the compiler vectorizes. Work is split over
+// the thread pool by row blocks of C; every element's accumulation order
+// is fixed by the (serial) k-blocking, so results are bitwise identical
+// for any thread count — asserted in tests/tensor/gemm_test.cpp.
+//
+// Packing scratch lives in thread_local grow-only buffers, so steady-state
+// calls perform no heap allocation.
+#pragma once
+
+#include <cstdint>
+
+namespace dmis {
+
+class ThreadPool;
+
+/// C[m,n] = op(A) * op(B), or += when `accumulate` is true.
+///
+/// Row-major with explicit leading dimensions:
+///   op(A) is m x k; A is stored m x k (lda >= k), or k x m (lda >= m)
+///   when trans_a.
+///   op(B) is k x n; B is stored k x n (ldb >= n), or n x k (ldb >= k)
+///   when trans_b.
+///   C is stored m x n with ldc >= n.
+/// `pool` selects the worker pool (nullptr = the process-global pool).
+void sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+           const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
+           int64_t ldc, bool accumulate = false, ThreadPool* pool = nullptr);
+
+}  // namespace dmis

@@ -8,6 +8,7 @@ namespace dmis::nn {
 namespace {
 
 using testing::expect_gradients_match;
+using testing::for_each_kernel_backend;
 
 TEST(ConvTranspose3dTest, DoublesSpatialExtentWithK2S2) {
   Rng rng(1);
@@ -58,15 +59,19 @@ TEST(ConvTranspose3dTest, RejectsWrongChannels) {
 }
 
 TEST(ConvTranspose3dTest, GradCheckK2S2) {
-  Rng rng(2);
-  ConvTranspose3d up(2, 2, 2, 2, rng);
-  expect_gradients_match(up, {Shape{2, 2, 2, 2, 2}});
+  for_each_kernel_backend([](KernelBackend) {
+    Rng rng(2);
+    ConvTranspose3d up(2, 2, 2, 2, rng);
+    expect_gradients_match(up, {Shape{2, 2, 2, 2, 2}});
+  });
 }
 
 TEST(ConvTranspose3dTest, GradCheckK3S1) {
-  Rng rng(2);
-  ConvTranspose3d up(1, 2, 3, 1, rng);
-  expect_gradients_match(up, {Shape{1, 1, 2, 2, 2}});
+  for_each_kernel_backend([](KernelBackend) {
+    Rng rng(2);
+    ConvTranspose3d up(1, 2, 3, 1, rng);
+    expect_gradients_match(up, {Shape{1, 1, 2, 2, 2}});
+  });
 }
 
 }  // namespace

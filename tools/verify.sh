@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Repo verification: the tier-1 build + full test suite, then a
+# Repo verification: the tier-1 build + full test suite (repeated with
+# DMIS_KERNEL=naive for the conv reference backend), then an
+# AddressSanitizer pass over the kernel-heavy suites (SGEMM/im2col, conv
+# parity and gradchecks — where indexing bugs would scribble), a
 # ThreadSanitizer pass over the concurrency-heavy suites (raylite tasks/
 # actors/tune retries, comm ring collectives, the fault injector, the
 # telemetry registry/tracer, and the chaos integration sweep), where
 # data races would live, then a traced tune_search smoke that checks the
-# telemetry exports are valid, non-empty JSON.
+# telemetry exports are valid, non-empty JSON, and a conv benchmark run
+# that regenerates BENCH_conv3d.json and asserts the gemm backend beats
+# naive by the floor the optimization PR promised.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +19,19 @@ echo "== tier-1: build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
+
+echo "== tier-1 again under the naive conv backend =="
+DMIS_KERNEL=naive ./build/tests/nn_test --gtest_brief=1
+
+echo "== asan: gemm/im2col + conv parity suites =="
+cmake -B build-asan -S . -DDMIS_SANITIZE=address >/dev/null
+cmake --build build-asan -j"${JOBS}" --target tensor_test nn_test
+./build-asan/tests/tensor_test --gtest_filter='Shapes/*:Sgemm*:Geometries/*:Im2col*'
+for backend in gemm naive; do
+  echo "-- asan: nn_test conv suites (DMIS_KERNEL=${backend})"
+  DMIS_KERNEL="${backend}" ./build-asan/tests/nn_test \
+    --gtest_filter='ConvParity*:Grid/*:Conv3d*:ConvTranspose3d*:Sweep/*'
+done
 
 echo "== tsan: raylite + comm + obs suites =="
 cmake -B build-tsan -S . -DDMIS_SANITIZE=thread >/dev/null
@@ -62,6 +80,36 @@ assert counters.get("tune.trials_completed", 0) > 0, counters
 
 print(f"tune trace OK ({n_tune} events), dp trace OK ({n_dp} events), "
       f"metrics OK ({len(lines)} instruments)")
+EOF
+
+echo "== bench: conv kernels, gemm vs naive =="
+./build/bench/bench_conv3d --benchmark_filter='Conv' \
+  --benchmark_min_time=0.1 \
+  --benchmark_out=BENCH_conv3d.json --benchmark_out_format=json \
+  >/dev/null
+python3 - BENCH_conv3d.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+times = {b["name"]: b["real_time"] for b in bench["benchmarks"]}
+
+# Benchmark names are <case>/<channels>/<backend> with backend 0=naive,
+# 1=gemm. The gemm path must hold a conservative floor of its measured
+# (5-30x) advantage; 3x catches a real regression without flaking.
+checked = 0
+for name, naive in sorted(times.items()):
+    if not name.endswith("/0"):
+        continue
+    gemm = times[name[:-2] + "/1"]
+    ratio = naive / gemm
+    status = "OK" if ratio >= 3.0 else "TOO SLOW"
+    print(f"{name[:-2]}: naive {naive:.3f}ms / gemm {gemm:.3f}ms "
+          f"= {ratio:.1f}x [{status}]")
+    assert ratio >= 3.0, f"{name[:-2]}: gemm only {ratio:.1f}x vs naive"
+    checked += 1
+assert checked >= 8, f"expected >= 8 naive/gemm pairs, saw {checked}"
+print(f"conv bench OK ({checked} pairs, gemm >= 3x naive on all)")
 EOF
 
 echo "verify OK"
