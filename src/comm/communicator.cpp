@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <exception>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/fault_injector.hpp"
@@ -16,6 +18,8 @@ namespace {
 // operation is issued. Like the real thing, a rank that dies mid-group
 // leaves its peers blocked, so chaos tests arm these points so that
 // every rank of the group fails the same call (e.g. probability 1.0).
+// On the async path the point fires inside the comm worker, and the
+// error surfaces from AsyncRequest::wait().
 void inject(const char* point) {
   common::FaultInjector::instance().maybe_fail(point);
 }
@@ -25,6 +29,8 @@ struct CommMetrics {
   obs::Counter& allreduce_bytes;
   obs::Counter& broadcast_bytes;
   obs::Counter& all_gather_bytes;
+  obs::Counter& async_submissions;
+  obs::Gauge& async_inflight;
   obs::Histogram& barrier_wait_us;
 
   static CommMetrics& get() {
@@ -33,12 +39,73 @@ struct CommMetrics {
                          reg.counter("comm.allreduce_bytes"),
                          reg.counter("comm.broadcast_bytes"),
                          reg.counter("comm.all_gather_bytes"),
+                         reg.counter("comm.async.submissions"),
+                         reg.gauge("comm.async.inflight"),
                          reg.histogram("comm.barrier_wait_us")};
     return m;
   }
 };
 
+// Global in-flight async-collective count behind the comm.async.inflight
+// gauge. A last-write-wins gauge fed from racing fetch_add/fetch_sub
+// pairs could publish a stale value after the queues drain, so the
+// count-and-set runs under one process-wide mutex (submission rate is
+// per-bucket, not per-element — the lock is cold).
+void note_async_inflight(int64_t delta) {
+  static std::mutex mutex;
+  static int64_t inflight = 0;
+  std::lock_guard<std::mutex> lock(mutex);
+  inflight += delta;
+  CommMetrics::get().async_inflight.set(static_cast<double>(inflight));
+}
+
 }  // namespace
+
+struct AsyncRequest::State {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;
+
+  void complete(std::exception_ptr err) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      done = true;
+      error = std::move(err);
+    }
+    cv.notify_all();
+  }
+};
+
+AsyncRequest::AsyncRequest(std::shared_ptr<State> state)
+    : state_(std::move(state)) {}
+
+AsyncRequest::~AsyncRequest() = default;
+
+bool AsyncRequest::done() const {
+  DMIS_CHECK(state_ != nullptr, "done() on an empty AsyncRequest");
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+void AsyncRequest::wait() {
+  DMIS_CHECK(state_ != nullptr, "wait() on an empty AsyncRequest");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  if (state_->error) std::rethrow_exception(state_->error);
+}
+
+void wait_all(std::vector<AsyncRequest>& requests) {
+  std::exception_ptr first;
+  for (AsyncRequest& req : requests) {
+    try {
+      req.wait();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
 
 CollectiveContext::CollectiveContext(int size)
     : size_(size),
@@ -47,6 +114,67 @@ CollectiveContext::CollectiveContext(int size)
       cptrs_(static_cast<size_t>(size), nullptr),
       sizes_(static_cast<size_t>(size), 0) {
   DMIS_CHECK(size >= 1, "communicator group needs >= 1 rank, got " << size);
+  queues_.reserve(static_cast<size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    queues_.push_back(std::make_unique<RankQueue>());
+  }
+}
+
+CollectiveContext::~CollectiveContext() {
+  if (!workers_active_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  for (auto& q : queues_) q->cv.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void CollectiveContext::ensure_workers() {
+  std::call_once(workers_once_, [&] {
+    workers_.reserve(static_cast<size_t>(size_));
+    for (int r = 0; r < size_; ++r) {
+      workers_.emplace_back([this, r] { worker_loop(r); });
+    }
+    workers_active_.store(true, std::memory_order_release);
+  });
+}
+
+AsyncRequest CollectiveContext::submit(int rank, std::function<void()> fn) {
+  ensure_workers();
+  auto state = std::make_shared<AsyncRequest::State>();
+  CommMetrics::get().async_submissions.add(1);
+  note_async_inflight(+1);
+  auto& q = *queues_[static_cast<size_t>(rank)];
+  {
+    std::lock_guard<std::mutex> lock(q.mutex);
+    q.tasks.push_back(Task{std::move(fn), state});
+  }
+  q.cv.notify_one();
+  return AsyncRequest(state);
+}
+
+void CollectiveContext::worker_loop(int rank) {
+  auto& q = *queues_[static_cast<size_t>(rank)];
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(q.mutex);
+      q.cv.wait(lock, [&] {
+        return !q.tasks.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      // Drain everything already submitted before honoring a stop, so a
+      // group torn down right after its last wait() completes cleanly.
+      if (q.tasks.empty()) return;
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+    }
+    std::exception_ptr err;
+    try {
+      task.fn();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    note_async_inflight(-1);
+    task.state->complete(std::move(err));
+  }
 }
 
 Communicator::Communicator(std::shared_ptr<CollectiveContext> ctx, int rank)
@@ -57,15 +185,33 @@ Communicator::Communicator(std::shared_ptr<CollectiveContext> ctx, int rank)
                      << ctx_->size());
 }
 
+void Communicator::run_ordered(std::function<void()> fn) {
+  // Once comm workers exist, every collective of this rank must pass
+  // through its FIFO queue: per-rank barrier arrivals then follow
+  // submission order, which keeps rendezvous matched even when async
+  // and blocking collectives interleave.
+  if (ctx_->workers_active()) {
+    ctx_->submit(rank_, std::move(fn)).wait();
+  } else {
+    fn();
+  }
+}
+
 void Communicator::barrier() {
-  DMIS_TRACE_SPAN("comm.barrier");
-  const int64_t t0 = obs::Tracer::now_us();
-  ctx_->sync();
-  CommMetrics::get().barrier_wait_us.observe(
-      static_cast<double>(obs::Tracer::now_us() - t0));
+  run_ordered([this] {
+    DMIS_TRACE_SPAN("comm.barrier");
+    const int64_t t0 = obs::Tracer::now_us();
+    ctx_->sync();
+    CommMetrics::get().barrier_wait_us.observe(
+        static_cast<double>(obs::Tracer::now_us() - t0));
+  });
 }
 
 void Communicator::broadcast(std::span<float> data, int root) {
+  run_ordered([this, data, root] { broadcast_impl(data, root); });
+}
+
+void Communicator::broadcast_impl(std::span<float> data, int root) {
   inject("comm.broadcast");
   DMIS_TRACE_SPAN("comm.broadcast",
                   {{"bytes", static_cast<int64_t>(data.size() *
@@ -90,6 +236,28 @@ void Communicator::broadcast(std::span<float> data, int root) {
 }
 
 void Communicator::all_reduce_sum(std::span<float> data) {
+  run_ordered([this, data] { ring_all_reduce(data, 1.0F); });
+}
+
+void Communicator::all_reduce_mean(std::span<float> data) {
+  const float inv = 1.0F / static_cast<float>(size());
+  run_ordered([this, data, inv] { ring_all_reduce(data, inv); });
+}
+
+AsyncRequest Communicator::all_reduce_sum_async(std::span<float> data,
+                                                float scale) {
+  return ctx_->submit(rank_,
+                      [this, data, scale] { ring_all_reduce(data, scale); });
+}
+
+AsyncRequest Communicator::all_reduce_sum_async(
+    std::vector<std::span<float>> buffers, float scale) {
+  return ctx_->submit(rank_, [this, buffers = std::move(buffers), scale] {
+    for (const std::span<float> data : buffers) ring_all_reduce(data, scale);
+  });
+}
+
+void Communicator::ring_all_reduce(std::span<float> data, float scale) {
   inject("comm.all_reduce");
   const int n = size();
   DMIS_TRACE_SPAN("comm.allreduce",
@@ -100,7 +268,12 @@ void Communicator::all_reduce_sum(std::span<float> data) {
   metrics.allreduce_calls.add(1);
   metrics.allreduce_bytes.add(
       static_cast<int64_t>(data.size() * sizeof(float)));
-  if (n == 1) return;
+  if (n == 1) {
+    if (scale != 1.0F) {
+      for (float& v : data) v *= scale;
+    }
+    return;
+  }
   auto& ctx = *ctx_;
   ctx.ptrs_[static_cast<size_t>(rank_)] = data.data();
   ctx.sizes_[static_cast<size_t>(rank_)] = data.size();
@@ -126,13 +299,20 @@ void Communicator::all_reduce_sum(std::span<float> data) {
 
   // Phase 1 — reduce-scatter: at step s, rank i accumulates chunk
   // (i - 1 - s) mod n from its left neighbor. After n-1 steps rank i
-  // holds the complete chunk (i + 1) mod n.
+  // holds the complete chunk (i + 1) mod n. The final step completes
+  // that owned chunk, so a mean's 1/n lands there fused with the last
+  // accumulation — every element is scaled exactly once, by its owner,
+  // before the all-gather phase propagates it.
   {
     DMIS_TRACE_SPAN("comm.allreduce.reduce_scatter", {{"steps", n - 1}});
     for (int s = 0; s < n - 1; ++s) {
       const int c = ((rank_ - 1 - s) % n + n) % n;
       const size_t b = chunk_begin(c), e = chunk_end(c);
-      for (size_t k = b; k < e; ++k) mine[k] += theirs[k];
+      if (s == n - 2 && scale != 1.0F) {
+        for (size_t k = b; k < e; ++k) mine[k] = (mine[k] + theirs[k]) * scale;
+      } else {
+        for (size_t k = b; k < e; ++k) mine[k] += theirs[k];
+      }
       ctx.sync();
     }
   }
@@ -150,13 +330,11 @@ void Communicator::all_reduce_sum(std::span<float> data) {
   }
 }
 
-void Communicator::all_reduce_mean(std::span<float> data) {
-  all_reduce_sum(data);
-  const float inv = 1.0F / static_cast<float>(size());
-  for (float& v : data) v *= inv;
+void Communicator::reduce_sum(std::span<float> data, int root) {
+  run_ordered([this, data, root] { reduce_sum_impl(data, root); });
 }
 
-void Communicator::reduce_sum(std::span<float> data, int root) {
+void Communicator::reduce_sum_impl(std::span<float> data, int root) {
   inject("comm.reduce");
   DMIS_TRACE_SPAN("comm.reduce",
                   {{"bytes", static_cast<int64_t>(data.size() *
@@ -180,6 +358,13 @@ void Communicator::reduce_sum(std::span<float> data, int root) {
 }
 
 std::vector<float> Communicator::all_gather(std::span<const float> data) {
+  std::vector<float> out;
+  run_ordered([this, data, &out] { out = all_gather_impl(data); });
+  return out;
+}
+
+std::vector<float> Communicator::all_gather_impl(
+    std::span<const float> data) {
   inject("comm.all_gather");
   DMIS_TRACE_SPAN("comm.all_gather",
                   {{"bytes", static_cast<int64_t>(data.size() *

@@ -14,34 +14,122 @@
 // 2*(n-1)/n traffic factor modeled by the cluster simulator) is real.
 //
 // Usage is SPMD: every rank must call the same collectives in the same
-// order. Collectives block until the whole group participates.
+// order. Blocking collectives block until the whole group participates.
+//
+// Nonblocking path: all_reduce_sum_async hands the operation to this
+// rank's *comm worker* — one thread per rank, owned by the context,
+// started lazily on the first async submission — and returns an
+// AsyncRequest immediately, so the issuing thread can keep computing
+// (backward) while the ring runs. Per-rank submission order is the
+// execution order; the SPMD contract extends unchanged: every rank must
+// submit the same collectives in the same order. Once the workers are
+// live, blocking collectives are routed through the same per-rank FIFO
+// queue (submit + wait), which keeps barrier rendezvous matched when
+// async and sync calls interleave. Buffers passed to an async collective
+// must stay alive and untouched until wait() returns.
 #pragma once
 
+#include <atomic>
 #include <barrier>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 namespace dmis::comm {
+
+class CollectiveContext;
+class Communicator;
+
+/// Completion handle for a nonblocking collective. Copyable (shared
+/// state); wait() may be called from any thread, any number of times,
+/// and in any order relative to other requests.
+class AsyncRequest {
+ public:
+  AsyncRequest() = default;
+  ~AsyncRequest();
+  AsyncRequest(const AsyncRequest&) = default;
+  AsyncRequest& operator=(const AsyncRequest&) = default;
+  AsyncRequest(AsyncRequest&&) noexcept = default;
+  AsyncRequest& operator=(AsyncRequest&&) noexcept = default;
+
+  /// True if this handle refers to a submitted operation.
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the operation has completed (successfully or not).
+  bool done() const;
+
+  /// Blocks until the operation completes; rethrows any error the comm
+  /// worker hit while executing it (e.g. common::FaultInjected).
+  void wait();
+
+  struct State;  // defined in communicator.cpp
+
+ private:
+  friend class CollectiveContext;
+  explicit AsyncRequest(std::shared_ptr<State> state);
+
+  std::shared_ptr<State> state_;
+};
+
+/// Waits on every request (even after one fails, so no operation is
+/// still touching caller buffers on return), then rethrows the first
+/// error encountered in request order.
+void wait_all(std::vector<AsyncRequest>& requests);
 
 /// Shared rendezvous state for one group of ranks.
 class CollectiveContext {
  public:
   explicit CollectiveContext(int size);
+  ~CollectiveContext();
+
+  CollectiveContext(const CollectiveContext&) = delete;
+  CollectiveContext& operator=(const CollectiveContext&) = delete;
 
   int size() const { return size_; }
 
  private:
   friend class Communicator;
 
+  struct Task {
+    std::function<void()> fn;
+    std::shared_ptr<AsyncRequest::State> state;
+  };
+  struct RankQueue {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Task> tasks;
+  };
+
   void sync() { barrier_.arrive_and_wait(); }
+
+  /// Starts the per-rank comm workers (idempotent, thread-safe).
+  void ensure_workers();
+  /// True once workers have started; acquire pairs with the release in
+  /// ensure_workers so a rank that observes true also sees the queues.
+  bool workers_active() const {
+    return workers_active_.load(std::memory_order_acquire);
+  }
+  /// Enqueues `fn` on `rank`'s worker; returns the completion handle.
+  AsyncRequest submit(int rank, std::function<void()> fn);
+  void worker_loop(int rank);
 
   int size_;
   std::barrier<> barrier_;
   std::vector<float*> ptrs_;          // per-rank buffer registration
   std::vector<const float*> cptrs_;   // per-rank const registration
   std::vector<size_t> sizes_;
+
+  std::once_flag workers_once_;
+  std::atomic<bool> workers_active_{false};
+  std::atomic<bool> stopping_{false};
+  std::vector<std::unique_ptr<RankQueue>> queues_;
+  std::vector<std::thread> workers_;
 };
 
 /// One rank's handle onto the group.
@@ -63,8 +151,25 @@ class Communicator {
   void all_reduce_sum(std::span<float> data);
 
   /// all_reduce_sum followed by division by the group size — the
-  /// gradient-averaging form used by data-parallel training.
+  /// gradient-averaging form used by data-parallel training. The
+  /// division is fused into the final reduce-scatter step (each chunk
+  /// is scaled once by its owning rank before the all-gather phase
+  /// propagates it), so no extra pass over the buffer is made.
   void all_reduce_mean(std::span<float> data);
+
+  /// Nonblocking all_reduce_sum: enqueues the ring on this rank's comm
+  /// worker and returns immediately. `data` must stay alive and
+  /// untouched until wait() returns. `scale` is folded into the ring
+  /// exactly as in all_reduce_mean (every element of the result is the
+  /// group sum times `scale`); all ranks must pass the same value.
+  AsyncRequest all_reduce_sum_async(std::span<float> data,
+                                    float scale = 1.0F);
+
+  /// Group launch: one submission covering several buffers, reduced
+  /// back-to-back by the comm worker in the given order under a single
+  /// completion handle — the fused-bucket form used by GradBucketer.
+  AsyncRequest all_reduce_sum_async(std::vector<std::span<float>> buffers,
+                                    float scale = 1.0F);
 
   /// Sums every rank's buffer into root's buffer (others unchanged).
   void reduce_sum(std::span<float> data, int root);
@@ -74,6 +179,18 @@ class Communicator {
   std::vector<float> all_gather(std::span<const float> data);
 
  private:
+  /// Chunked ring allreduce; `scale` != 1 is folded into the final
+  /// reduce-scatter step (mean fusion).
+  void ring_all_reduce(std::span<float> data, float scale);
+  void broadcast_impl(std::span<float> data, int root);
+  void reduce_sum_impl(std::span<float> data, int root);
+  std::vector<float> all_gather_impl(std::span<const float> data);
+
+  /// Runs a collective body in per-rank program order: directly while
+  /// the context has no comm workers, through this rank's worker queue
+  /// (submit + wait) once it does.
+  void run_ordered(std::function<void()> fn);
+
   std::shared_ptr<CollectiveContext> ctx_;
   int rank_;
 };

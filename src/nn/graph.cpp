@@ -100,6 +100,11 @@ void Graph::backward_multi(
     Node& node = *it;
     if (!node.has_grad || node.module == nullptr) continue;
     std::vector<NDArray> input_grads = node.module->backward(node.grad);
+    if (grad_ready_hook_) {
+      for (Param& p : node.module->params()) {
+        grad_ready_hook_(Param{node.name + "." + p.name, p.value, p.grad});
+      }
+    }
     DMIS_ASSERT(input_grads.size() == node.inputs.size(),
                 "node '" << node.name << "' returned "
                          << input_grads.size() << " grads for "

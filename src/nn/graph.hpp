@@ -7,6 +7,7 @@
 // incoming gradients are accumulated before that node's own backward runs.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -46,6 +47,21 @@ class Graph {
   /// each receive a gradient from the downstream stage.
   void backward_multi(const std::map<std::string, const NDArray*>& seeds);
 
+  /// Per-parameter readiness callback for gradient-synchronization
+  /// overlap. Invoked during backward_multi() immediately after a
+  /// node's backward() returns — at that point the node's parameter
+  /// gradients are fully accumulated for the pass (each module's
+  /// backward runs at most once per pass) — once per learnable
+  /// parameter, with names matching params(). Nodes that do not run
+  /// backward (off the seed-to-input path, or an idle replica) never
+  /// fire; consumers must flush those themselves.
+  using GradReadyHook = std::function<void(const Param&)>;
+
+  /// Installs (or, with nullptr, removes) the readiness hook.
+  void set_grad_ready_hook(GradReadyHook hook) {
+    grad_ready_hook_ = std::move(hook);
+  }
+
   /// Gradient w.r.t. an input placeholder (valid after backward()).
   const NDArray& input_grad(const std::string& name) const;
 
@@ -82,6 +98,7 @@ class Graph {
 
   std::vector<Node> nodes_;
   std::map<std::string, int> by_name_;
+  GradReadyHook grad_ready_hook_;
   int output_node_ = -1;
   std::shared_ptr<Workspace> workspace_ = std::make_shared<Workspace>();
 };

@@ -5,13 +5,42 @@
 
 #include "comm/communicator.hpp"
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "train/grad_bucketer.hpp"
 
 namespace dmis::train {
+namespace {
+
+// Emits the train.grad_sync.overlap / train.grad_sync.tail span pair
+// plus the overlap histogram for one replica step: `overlap` covers
+// first-bucket-launch -> backward-end (comm hidden under compute),
+// `tail` covers backward-end -> wait-end (comm left exposed).
+void record_overlap(const GradBucketer& bucketer, int64_t backward_end_us) {
+  const int64_t first = bucketer.first_fire_us();
+  if (first < 0) return;
+  const int64_t wait_end = obs::Tracer::now_us();
+  const int64_t overlap_end =
+      backward_end_us < first ? first : std::min(backward_end_us, wait_end);
+  static obs::Histogram& overlap_ms =
+      obs::MetricsRegistry::instance().histogram("train.grad_sync.overlap_ms");
+  overlap_ms.observe(static_cast<double>(overlap_end - first) / 1000.0);
+  if (obs::trace_enabled()) {
+    auto& tracer = obs::Tracer::instance();
+    tracer.record_span("train.grad_sync.overlap", first,
+                       overlap_end - first);
+    tracer.record_span("train.grad_sync.tail", overlap_end,
+                       wait_end - overlap_end);
+  }
+}
+
+}  // namespace
 
 struct MirroredStrategy::Impl {
   std::vector<comm::Communicator> comms;
   std::vector<std::unique_ptr<nn::Loss>> losses;
   std::vector<std::unique_ptr<nn::Optimizer>> optimizers;
+  std::vector<std::unique_ptr<GradBucketer>> bucketers;  // empty: per-tensor
   std::unique_ptr<nn::LrSchedule> schedule;
 };
 
@@ -33,6 +62,22 @@ MirroredStrategy::MirroredStrategy(const nn::UNet3dOptions& model_options,
     impl_->optimizers.push_back(nn::make_optimizer(
         options.train.optimizer, replicas_[static_cast<size_t>(i)]->params(),
         lr));
+  }
+  const size_t bucket_bytes =
+      GradBucketer::effective_bucket_bytes(options.bucket_bytes);
+  if (bucket_bytes > 0) {
+    for (int i = 0; i < r; ++i) {
+      nn::UNet3d& model = *replicas_[static_cast<size_t>(i)];
+      impl_->bucketers.push_back(std::make_unique<GradBucketer>(
+          model.params(), impl_->comms[static_cast<size_t>(i)],
+          bucket_bytes));
+      // Fires each bucket's allreduce mid-backward; disarmed outside
+      // begin_step()/wait_all(), so forward-only use stays free.
+      model.graph().set_grad_ready_hook(
+          [b = impl_->bucketers.back().get()](const nn::Param& p) {
+            b->on_grad_ready(p);
+          });
+    }
   }
   if (options.train.cyclic.has_value()) {
     const auto& c = *options.train.cyclic;
@@ -94,7 +139,20 @@ TrainReport MirroredStrategy::fit(data::BatchStream& train,
           const int64_t hi = offsets[static_cast<size_t>(i) + 1];
           const int64_t count = hi - lo;
 
+          // Weight local mean-gradients by sample count, sum across the
+          // ring, then renormalize by the global batch — exact even for
+          // ragged final batches and idle replicas. On the bucketed
+          // path both scalings are folded into the pack/unpack copies.
+          const float weight = static_cast<float>(count);
+          const float inv_total = 1.0F / static_cast<float>(total);
+          GradBucketer* bucketer =
+              impl_->bucketers.empty()
+                  ? nullptr
+                  : impl_->bucketers[static_cast<size_t>(i)].get();
+
           opt.zero_grad();
+          if (bucketer != nullptr) bucketer->begin_step(weight, inv_total);
+          int64_t backward_end_us = -1;
           if (count > 0) {
             Shape local_img = img_shape.with_dim(0, count);
             Shape local_lbl = lbl_shape.with_dim(0, count);
@@ -111,18 +169,26 @@ TrainReport MirroredStrategy::fit(data::BatchStream& train,
                 impl_->losses[static_cast<size_t>(i)]->compute(pred, labels);
             replica_loss[static_cast<size_t>(i)] =
                 res.value * static_cast<double>(count);
-            model.backward(res.grad);
+            {
+              DMIS_TRACE_SPAN("train.backward");
+              model.backward(res.grad);
+            }
+            backward_end_us = obs::Tracer::now_us();
           }
 
-          // Weight local mean-gradients by sample count, sum across the
-          // ring, then renormalize by the global batch — exact even for
-          // ragged final batches and idle replicas.
-          const float weight = static_cast<float>(count);
-          const float inv_total = 1.0F / static_cast<float>(total);
-          for (nn::Param& p : model.params()) {
-            p.grad->scale_(weight);
-            comm.all_reduce_sum(p.grad->span());
-            p.grad->scale_(inv_total);
+          if (bucketer != nullptr) {
+            // Buckets whose last gradient arrived mid-backward are
+            // already in flight; flush the stragglers (all of them for
+            // an idle replica), then drain and unpack.
+            bucketer->flush();
+            bucketer->wait_all();
+            record_overlap(*bucketer, backward_end_us);
+          } else {
+            for (nn::Param& p : model.params()) {
+              p.grad->scale_(weight);
+              comm.all_reduce_sum(p.grad->span());
+              p.grad->scale_(inv_total);
+            }
           }
           opt.set_lr(current_lr);
           opt.step();

@@ -5,8 +5,11 @@
 // each global batch across replicas, synchronizing gradients with an
 // allreduce every step. Here replicas are threads: each owns a full
 // model copy (identical initialization via a shared seed) and its own
-// optimizer; after backward, gradients are combined with the chunked
-// ring allreduce from dmis_comm, weighted by per-replica sample counts
+// optimizer; gradients are combined with the chunked ring allreduce
+// from dmis_comm — by default through GradBucketer, which packs them
+// into flat buckets and launches each bucket's allreduce asynchronously
+// as soon as backward finishes producing it (bucket_bytes = 0 restores
+// the blocking per-tensor path) — weighted by per-replica sample counts
 // so ragged final batches remain exact. Because every replica then
 // applies the same averaged gradient to the same parameters with the
 // same optimizer state, the replicas stay bit-identical — exactly the
@@ -32,6 +35,11 @@ struct MirroredOptions {
   /// Scale the learning rate linearly with the replica count (the
   /// paper's 1e-4 x #GPUs rule).
   bool scale_lr = true;
+  /// Gradient-bucket size cap for the fused, compute-overlapped
+  /// allreduce (see train/grad_bucketer.hpp). 0 selects the legacy
+  /// blocking per-tensor allreduce. Overridable at run time with
+  /// DMIS_BUCKET_BYTES.
+  size_t bucket_bytes = size_t{1} << 20;
 };
 
 class MirroredStrategy {

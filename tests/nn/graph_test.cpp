@@ -228,5 +228,44 @@ TEST(GraphTest, NodeOutputAccessible) {
   EXPECT_FLOAT_EQ(g.node_output("d")[0], 10.0F);
 }
 
+TEST(GraphTest, GradReadyHookFiresOncePerParamInBackwardOrder) {
+  Rng rng(3);
+  Graph g;
+  g.add_input("x");
+  g.add("c1", std::make_unique<Conv3d>(1, 2, 1, 1, 0, rng), {"x"});
+  g.add("c2", std::make_unique<Conv3d>(2, 1, 1, 1, 0, rng), {"c1"});
+  g.set_output("c2");
+
+  std::vector<std::string> ready;
+  g.set_grad_ready_hook([&](const Param& p) {
+    EXPECT_NE(p.value, nullptr);
+    EXPECT_NE(p.grad, nullptr);
+    EXPECT_EQ(p.value->shape(), p.grad->shape());
+    ready.push_back(p.name);
+  });
+
+  NDArray x(Shape{1, 1, 2, 2, 2}, 1.0F);
+  (void)g.forward({{"x", &x}}, true);
+  NDArray go(Shape{1, 1, 2, 2, 2}, 1.0F);
+  g.backward(go);
+
+  // Reverse node order (c2 before c1), names matching Graph::params(),
+  // each parameter exactly once.
+  ASSERT_EQ(ready.size(), 4U);
+  EXPECT_EQ(ready[0], "c2.weight");
+  EXPECT_EQ(ready[1], "c2.bias");
+  EXPECT_EQ(ready[2], "c1.weight");
+  EXPECT_EQ(ready[3], "c1.bias");
+
+  // A second pass fires again; removing the hook silences it.
+  (void)g.forward({{"x", &x}}, true);
+  g.backward(go);
+  EXPECT_EQ(ready.size(), 8U);
+  g.set_grad_ready_hook(nullptr);
+  (void)g.forward({{"x", &x}}, true);
+  g.backward(go);
+  EXPECT_EQ(ready.size(), 8U);
+}
+
 }  // namespace
 }  // namespace dmis::nn

@@ -4,12 +4,15 @@
 # AddressSanitizer pass over the kernel-heavy suites (SGEMM/im2col, conv
 # parity and gradchecks — where indexing bugs would scribble), a
 # ThreadSanitizer pass over the concurrency-heavy suites (raylite tasks/
-# actors/tune retries, comm ring collectives, the fault injector, the
+# actors/tune retries, comm ring collectives + async comm workers, the
+# gradient bucketer and mirrored strategy, the fault injector, the
 # telemetry registry/tracer, and the chaos integration sweep), where
-# data races would live, then a traced tune_search smoke that checks the
-# telemetry exports are valid, non-empty JSON, and a conv benchmark run
-# that regenerates BENCH_conv3d.json and asserts the gemm backend beats
-# naive by the floor the optimization PR promised.
+# data races would live, then traced example smokes that check the
+# telemetry exports are valid, non-empty JSON — including that the
+# bucketed gradient sync genuinely overlaps allreduce with backward —
+# and benchmark runs that regenerate BENCH_conv3d.json /
+# BENCH_allreduce.json and assert the floors the optimization PRs
+# promised (gemm vs naive conv; bucketed vs per-tensor gradient sync).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,11 +36,11 @@ for backend in gemm naive; do
     --gtest_filter='ConvParity*:Grid/*:Conv3d*:ConvTranspose3d*:Sweep/*'
 done
 
-echo "== tsan: raylite + comm + obs suites =="
+echo "== tsan: raylite + comm + train + obs suites =="
 cmake -B build-tsan -S . -DDMIS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}" \
-  --target raylite_test comm_test common_test obs_test chaos_test
-for t in raylite_test comm_test common_test obs_test chaos_test; do
+  --target raylite_test comm_test train_test common_test obs_test chaos_test
+for t in raylite_test comm_test train_test common_test obs_test chaos_test; do
   echo "-- tsan: ${t}"
   ./build-tsan/tests/"${t}"
 done
@@ -48,18 +51,26 @@ trap 'rm -rf "${SMOKE_DIR}"' EXIT
 DMIS_TRACE="${SMOKE_DIR}/tune_trace.json" \
   DMIS_METRICS="${SMOKE_DIR}/tune_metrics.jsonl" \
   ./build/examples/tune_search 2 >/dev/null
+# A small bucket cap makes the smoke's toy model span several buckets,
+# so allreduces genuinely launch mid-backward (the overlap assertion
+# below); the default 1 MiB cap would fit the whole model in one.
 DMIS_TRACE="${SMOKE_DIR}/dp_trace.json" \
+  DMIS_BUCKET_BYTES=16384 \
   ./build/examples/data_parallel 2 >/dev/null
 python3 - "${SMOKE_DIR}" <<'EOF'
 import json, sys
 
 smoke_dir = sys.argv[1]
 
-def span_names(path):
+def load_events(path):
     with open(path) as f:
         trace = json.load(f)
     events = trace["traceEvents"]
     assert events, f"{path}: trace has no events"
+    return events
+
+def span_names(path):
+    events = load_events(path)
     return len(events), {e["name"] for e in events}
 
 n_tune, tune = span_names(f"{smoke_dir}/tune_trace.json")
@@ -67,10 +78,28 @@ for required in ("tune.trial", "tune.queue_wait", "train.step",
                  "train.forward", "data.load"):
     assert required in tune, f"tune trace missing {required!r}: {sorted(tune)}"
 
-n_dp, dp = span_names(f"{smoke_dir}/dp_trace.json")
+dp_events = load_events(f"{smoke_dir}/dp_trace.json")
+n_dp, dp = len(dp_events), {e["name"] for e in dp_events}
 for required in ("comm.allreduce", "comm.allreduce.reduce_scatter",
-                 "comm.allreduce.all_gather"):
+                 "comm.allreduce.all_gather", "train.backward",
+                 "train.grad_sync.overlap", "train.grad_sync.wait"):
     assert required in dp, f"dp trace missing {required!r}: {sorted(dp)}"
+
+# The point of the bucketed path: gradient allreduce overlaps backward.
+# (a) the bucketer's own overlap span must cover real time — the first
+# bucket launched before backward finished;
+overlaps = [e for e in dp_events if e["name"] == "train.grad_sync.overlap"]
+assert any(e["dur"] > 0 for e in overlaps), \
+    f"no overlap between allreduce launch and backward: {overlaps}"
+# (b) some ring allreduce span must intersect a backward span in wall
+# time (the rings run on comm workers while replicas back-propagate).
+backwards = [(e["ts"], e["ts"] + e["dur"]) for e in dp_events
+             if e["name"] == "train.backward"]
+rings = [(e["ts"], e["ts"] + e["dur"]) for e in dp_events
+         if e["name"] == "comm.allreduce"]
+assert any(r0 < b1 and b0 < r1
+           for (r0, r1) in rings for (b0, b1) in backwards), \
+    "no comm.allreduce span overlaps any train.backward span"
 
 with open(f"{smoke_dir}/tune_metrics.jsonl") as f:
     lines = [json.loads(line) for line in f if line.strip()]
@@ -110,6 +139,34 @@ for name, naive in sorted(times.items()):
     checked += 1
 assert checked >= 8, f"expected >= 8 naive/gemm pairs, saw {checked}"
 print(f"conv bench OK ({checked} pairs, gemm >= 3x naive on all)")
+EOF
+
+echo "== bench: gradient sync, bucketed vs per-tensor =="
+./build/bench/bench_allreduce \
+  --benchmark_filter='GradSync|RingAllreduce|NaiveReduceBroadcast' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out=BENCH_allreduce.json --benchmark_out_format=json \
+  >/dev/null
+python3 - BENCH_allreduce.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+times = {b["name"]: b["real_time"] for b in bench["benchmarks"]}
+
+# The bucketed overlapped gradient sync must beat the legacy blocking
+# per-tensor path by >= 1.5x on the U-Net gradient payload (measured
+# 1.7-2.4x; the floor catches a real regression without flaking).
+for ranks in (2, 4):
+    per_tensor = times[f"BM_GradSyncPerTensor/{ranks}"]
+    bucketed = times[f"BM_GradSyncBucketed/{ranks}"]
+    ratio = per_tensor / bucketed
+    status = "OK" if ratio >= 1.5 else "TOO SLOW"
+    print(f"ranks={ranks}: per-tensor {per_tensor:.3f}ms / bucketed "
+          f"{bucketed:.3f}ms = {ratio:.2f}x [{status}]")
+    assert ratio >= 1.5, \
+        f"ranks={ranks}: bucketed only {ratio:.2f}x vs per-tensor"
+print("gradient sync bench OK (bucketed >= 1.5x per-tensor at 2 and 4 ranks)")
 EOF
 
 echo "verify OK"
