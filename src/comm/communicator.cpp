@@ -1,8 +1,10 @@
 #include "comm/communicator.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <sstream>
 #include <utility>
 
 #include "common/check.hpp"
@@ -16,12 +18,15 @@ namespace {
 // Failure points sit at collective *entry*, before the rank touches the
 // rendezvous barrier — mirroring a NIC/NCCL fault detected when the
 // operation is issued. Like the real thing, a rank that dies mid-group
-// leaves its peers blocked, so chaos tests arm these points so that
-// every rank of the group fails the same call (e.g. probability 1.0).
-// On the async path the point fires inside the comm worker, and the
-// error surfaces from AsyncRequest::wait().
-void inject(const char* point) {
-  common::FaultInjector::instance().maybe_fail(point);
+// leaves its peers blocked (until a deadline fires, with
+// DMIS_COMM_TIMEOUT_MS set), so lockstep chaos tests arm these points so
+// that every rank of the group fails the same call (e.g. probability
+// 1.0), while rank-scoped points (`comm.all_reduce.r<k>`) kill exactly
+// one rank to exercise timeout/abort propagation. On the async path the
+// point fires inside the comm worker, and the error surfaces from
+// AsyncRequest::wait().
+void inject(const char* point, int rank) {
+  common::FaultInjector::instance().maybe_fail(point, rank);
 }
 
 struct CommMetrics {
@@ -30,6 +35,9 @@ struct CommMetrics {
   obs::Counter& broadcast_bytes;
   obs::Counter& all_gather_bytes;
   obs::Counter& async_submissions;
+  obs::Counter& timeouts;
+  obs::Counter& aborts;
+  obs::Counter& fenced;
   obs::Gauge& async_inflight;
   obs::Histogram& barrier_wait_us;
 
@@ -40,6 +48,9 @@ struct CommMetrics {
                          reg.counter("comm.broadcast_bytes"),
                          reg.counter("comm.all_gather_bytes"),
                          reg.counter("comm.async.submissions"),
+                         reg.counter("comm.timeouts"),
+                         reg.counter("comm.aborts"),
+                         reg.counter("comm.fenced"),
                          reg.gauge("comm.async.inflight"),
                          reg.histogram("comm.barrier_wait_us")};
     return m;
@@ -59,7 +70,27 @@ void note_async_inflight(int64_t delta) {
   CommMetrics::get().async_inflight.set(static_cast<double>(inflight));
 }
 
+int64_t env_timeout_ms() {
+  const char* env = std::getenv("DMIS_COMM_TIMEOUT_MS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  DMIS_CHECK(end != env && *end == '\0' && v >= 0,
+             "DMIS_COMM_TIMEOUT_MS must be a non-negative millisecond "
+             "count, got '" << env << "'");
+  return static_cast<int64_t>(v);
+}
+
 }  // namespace
+
+const char* comm_error_kind_name(CommErrorKind kind) {
+  switch (kind) {
+    case CommErrorKind::kTimeout: return "timeout";
+    case CommErrorKind::kPeerFailed: return "peer_failed";
+    case CommErrorKind::kAborted: return "aborted";
+  }
+  return "?";
+}
 
 struct AsyncRequest::State {
   std::mutex mutex;
@@ -107,12 +138,14 @@ void wait_all(std::vector<AsyncRequest>& requests) {
   if (first) std::rethrow_exception(first);
 }
 
-CollectiveContext::CollectiveContext(int size)
+CollectiveContext::CollectiveContext(int size, int64_t timeout_ms)
     : size_(size),
-      barrier_(size),
+      timeout_ms_(timeout_ms < 0 ? env_timeout_ms() : timeout_ms),
       ptrs_(static_cast<size_t>(size), nullptr),
       cptrs_(static_cast<size_t>(size), nullptr),
-      sizes_(static_cast<size_t>(size), 0) {
+      sizes_(static_cast<size_t>(size), 0),
+      rank_state_(static_cast<size_t>(size)),
+      agree_joined_(static_cast<size_t>(size), false) {
   DMIS_CHECK(size >= 1, "communicator group needs >= 1 rank, got " << size);
   queues_.reserve(static_cast<size_t>(size));
   for (int r = 0; r < size; ++r) {
@@ -125,6 +158,218 @@ CollectiveContext::~CollectiveContext() {
   stopping_.store(true, std::memory_order_release);
   for (auto& q : queues_) q->cv.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+RankHealth CollectiveContext::health(int rank) const {
+  DMIS_CHECK(rank >= 0 && rank < size_, "bad rank " << rank);
+  return static_cast<RankHealth>(
+      rank_state_[static_cast<size_t>(rank)].health.load(
+          std::memory_order_acquire));
+}
+
+CollectiveContext::Deadline CollectiveContext::collective_deadline() const {
+  Deadline d;
+  if (timeout_ms_ > 0) {
+    d.at = std::chrono::steady_clock::now() +
+           std::chrono::milliseconds(timeout_ms_);
+    d.armed = true;
+  }
+  return d;
+}
+
+void CollectiveContext::beat(int rank) {
+  RankState& rs = rank_state_[static_cast<size_t>(rank)];
+  rs.last_beat_us.store(obs::Tracer::now_us(), std::memory_order_relaxed);
+  rs.ops.fetch_add(1, std::memory_order_release);
+}
+
+void CollectiveContext::throw_poisoned_locked() const {
+  throw CommError(abort_kind_, "collective group poisoned (" +
+                                   std::string(comm_error_kind_name(
+                                       abort_kind_)) +
+                                   "): " + abort_reason_);
+}
+
+void CollectiveContext::sync(const Deadline& deadline, int rank) {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  if (aborted_.load(std::memory_order_relaxed)) throw_poisoned_locked();
+  // The heartbeat op counter doubles as a collective sequence number:
+  // every rank of one rendezvous must be on the same collective. A rank
+  // that failed a collective at entry (never beat) and went on to the
+  // next one would otherwise complete a rendezvous its peers are still
+  // holding for the *previous* collective — with mismatched buffers.
+  // Detect the desync here and poison the group instead of corrupting.
+  const int64_t my_ops =
+      rank_state_[static_cast<size_t>(rank)].ops.load(
+          std::memory_order_relaxed);
+  if (arrived_ == 0) {
+    sync_ops_ = my_ops;
+  } else if (my_ops != sync_ops_) {
+    const std::string reason =
+        "collective sequence mismatch: rank " + std::to_string(rank) +
+        " is at op " + std::to_string(my_ops) +
+        " while the rendezvous is for op " + std::to_string(sync_ops_) +
+        " (a rank lost a collective)";
+    abort_kind_ = CommErrorKind::kPeerFailed;
+    abort_reason_ = reason;
+    aborted_.store(true, std::memory_order_release);
+    CommMetrics::get().aborts.add(1);
+    lock.unlock();
+    barrier_cv_.notify_all();
+    agree_cv_.notify_all();
+    throw CommError(CommErrorKind::kPeerFailed, reason);
+  }
+  const uint64_t gen = generation_;
+  if (++arrived_ == size_) {
+    arrived_ = 0;
+    ++generation_;
+    lock.unlock();
+    barrier_cv_.notify_all();
+    return;
+  }
+  for (;;) {
+    if (!deadline.armed) {
+      barrier_cv_.wait(lock);
+    } else if (barrier_cv_.wait_until(lock, deadline.at) ==
+               std::cv_status::timeout) {
+      if (generation_ != gen) return;  // released at the buzzer
+      if (!aborted_.load(std::memory_order_relaxed)) {
+        // This rank's deadline expired first: condemn the laggards —
+        // every rank whose heartbeat op-count is behind ours never even
+        // entered this collective — and poison the group.
+        CommMetrics::get().timeouts.add(1);
+        const int64_t my_ops =
+            rank_state_[static_cast<size_t>(rank)].ops.load(
+                std::memory_order_acquire);
+        std::ostringstream suspects;
+        for (int r = 0; r < size_; ++r) {
+          if (r == rank) continue;
+          RankState& rs = rank_state_[static_cast<size_t>(r)];
+          if (rs.ops.load(std::memory_order_acquire) < my_ops) {
+            uint8_t healthy =
+                static_cast<uint8_t>(RankHealth::kHealthy);
+            rs.health.compare_exchange_strong(
+                healthy, static_cast<uint8_t>(RankHealth::kSuspect),
+                std::memory_order_acq_rel);
+            suspects << ' ' << r;
+          }
+        }
+        const std::string who = suspects.str();
+        abort_kind_ = CommErrorKind::kPeerFailed;
+        abort_reason_ = "rank " + std::to_string(rank) +
+                        " timed out after " + std::to_string(timeout_ms_) +
+                        " ms in a collective rendezvous" +
+                        (who.empty() ? std::string(
+                                           " (no laggard identified)")
+                                     : "; suspect rank(s):" + who);
+        aborted_.store(true, std::memory_order_release);
+        CommMetrics::get().aborts.add(1);
+        lock.unlock();
+        barrier_cv_.notify_all();
+        throw CommError(CommErrorKind::kTimeout,
+                        "collective deadline of " +
+                            std::to_string(timeout_ms_) +
+                            " ms expired on rank " + std::to_string(rank) +
+                            (who.empty() ? "" : "; suspect rank(s):" + who));
+      }
+    }
+    if (generation_ != gen) return;
+    if (aborted_.load(std::memory_order_relaxed)) throw_poisoned_locked();
+  }
+}
+
+void CollectiveContext::abort(CommErrorKind kind, const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    if (aborted_.load(std::memory_order_relaxed)) return;  // first wins
+    abort_kind_ = kind;
+    abort_reason_ = reason;
+    aborted_.store(true, std::memory_order_release);
+    CommMetrics::get().aborts.add(1);
+  }
+  barrier_cv_.notify_all();
+  agree_cv_.notify_all();
+}
+
+void CollectiveContext::mark_failed(int rank, const std::string& why) {
+  rank_state_[static_cast<size_t>(rank)].health.store(
+      static_cast<uint8_t>(RankHealth::kDead), std::memory_order_release);
+  abort(CommErrorKind::kPeerFailed,
+        "rank " + std::to_string(rank) + " failed: " + why);
+}
+
+std::vector<int> CollectiveContext::agree_on_failures(int rank,
+                                                      int64_t grace_ms) {
+  DMIS_CHECK(aborted(), "agree_on_failures() before the group was "
+                        "poisoned — survivors only agree after an abort");
+  std::unique_lock<std::mutex> lock(agree_mutex_);
+  RankState& self = rank_state_[static_cast<size_t>(rank)];
+  if (agree_sealed_ || self.health.load(std::memory_order_acquire) ==
+                           static_cast<uint8_t>(RankHealth::kDead)) {
+    // Arrived after the seal (or already condemned): fenced out.
+    if (!agree_sealed_ ||
+        std::find(agreed_dead_.begin(), agreed_dead_.end(), rank) !=
+            agreed_dead_.end()) {
+      CommMetrics::get().fenced.add(1);
+      throw CommError(CommErrorKind::kAborted,
+                      "rank " + std::to_string(rank) +
+                          " fenced out of the group (arrived after the "
+                          "failure agreement sealed)");
+    }
+    return agreed_dead_;  // sealed as a survivor before we re-asked
+  }
+  // Register alive; a suspect that makes it here in time is exonerated.
+  agree_joined_[static_cast<size_t>(rank)] = true;
+  uint8_t suspect = static_cast<uint8_t>(RankHealth::kSuspect);
+  self.health.compare_exchange_strong(
+      suspect, static_cast<uint8_t>(RankHealth::kHealthy),
+      std::memory_order_acq_rel);
+  agree_cv_.notify_all();
+
+  const auto covered = [&] {
+    for (int r = 0; r < size_; ++r) {
+      if (agree_joined_[static_cast<size_t>(r)]) continue;
+      if (rank_state_[static_cast<size_t>(r)].health.load(
+              std::memory_order_acquire) ==
+          static_cast<uint8_t>(RankHealth::kHealthy)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  const auto grace_deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(grace_ms);
+  while (!agree_sealed_) {
+    if (covered()) {
+      // Seal: everyone not registered by now is dead — suspects and
+      // self-reported failures alike.
+      agreed_dead_.clear();
+      for (int r = 0; r < size_; ++r) {
+        if (agree_joined_[static_cast<size_t>(r)]) continue;
+        rank_state_[static_cast<size_t>(r)].health.store(
+            static_cast<uint8_t>(RankHealth::kDead),
+            std::memory_order_release);
+        agreed_dead_.push_back(r);
+      }
+      agree_sealed_ = true;
+      agree_cv_.notify_all();
+      break;
+    }
+    if (agree_cv_.wait_until(lock, grace_deadline) ==
+        std::cv_status::timeout) {
+      if (agree_sealed_) break;
+      // Grace expired: condemn everyone still missing, healthy or not.
+      for (int r = 0; r < size_; ++r) {
+        if (agree_joined_[static_cast<size_t>(r)]) continue;
+        rank_state_[static_cast<size_t>(r)].health.store(
+            static_cast<uint8_t>(RankHealth::kDead),
+            std::memory_order_release);
+      }
+      // Loop re-evaluates covered() — now true — and seals.
+    }
+  }
+  return agreed_dead_;
 }
 
 void CollectiveContext::ensure_workers() {
@@ -185,6 +430,14 @@ Communicator::Communicator(std::shared_ptr<CollectiveContext> ctx, int rank)
                      << ctx_->size());
 }
 
+void Communicator::abort(const std::string& reason) {
+  ctx_->mark_failed(rank_, reason);
+}
+
+std::vector<int> Communicator::agree_on_failures(int64_t grace_ms) {
+  return ctx_->agree_on_failures(rank_, grace_ms);
+}
+
 void Communicator::run_ordered(std::function<void()> fn) {
   // Once comm workers exist, every collective of this rank must pass
   // through its FIFO queue: per-rank barrier arrivals then follow
@@ -200,8 +453,9 @@ void Communicator::run_ordered(std::function<void()> fn) {
 void Communicator::barrier() {
   run_ordered([this] {
     DMIS_TRACE_SPAN("comm.barrier");
+    ctx_->beat(rank_);
     const int64_t t0 = obs::Tracer::now_us();
-    ctx_->sync();
+    ctx_->sync(ctx_->collective_deadline(), rank_);
     CommMetrics::get().barrier_wait_us.observe(
         static_cast<double>(obs::Tracer::now_us() - t0));
   });
@@ -212,7 +466,7 @@ void Communicator::broadcast(std::span<float> data, int root) {
 }
 
 void Communicator::broadcast_impl(std::span<float> data, int root) {
-  inject("comm.broadcast");
+  inject("comm.broadcast", rank_);
   DMIS_TRACE_SPAN("comm.broadcast",
                   {{"bytes", static_cast<int64_t>(data.size() *
                                                   sizeof(float))},
@@ -221,9 +475,11 @@ void Communicator::broadcast_impl(std::span<float> data, int root) {
       static_cast<int64_t>(data.size() * sizeof(float)));
   DMIS_CHECK(root >= 0 && root < size(), "bad broadcast root " << root);
   auto& ctx = *ctx_;
+  ctx.beat(rank_);
+  const auto deadline = ctx.collective_deadline();
   ctx.ptrs_[static_cast<size_t>(rank_)] = data.data();
   ctx.sizes_[static_cast<size_t>(rank_)] = data.size();
-  ctx.sync();
+  ctx.sync(deadline, rank_);
   DMIS_CHECK(ctx.sizes_[static_cast<size_t>(root)] == data.size(),
              "broadcast size mismatch: root has "
                  << ctx.sizes_[static_cast<size_t>(root)] << ", rank "
@@ -232,7 +488,7 @@ void Communicator::broadcast_impl(std::span<float> data, int root) {
     const float* src = ctx.ptrs_[static_cast<size_t>(root)];
     std::memcpy(data.data(), src, data.size() * sizeof(float));
   }
-  ctx.sync();
+  ctx.sync(deadline, rank_);
 }
 
 void Communicator::all_reduce_sum(std::span<float> data) {
@@ -258,7 +514,7 @@ AsyncRequest Communicator::all_reduce_sum_async(
 }
 
 void Communicator::ring_all_reduce(std::span<float> data, float scale) {
-  inject("comm.all_reduce");
+  inject("comm.all_reduce", rank_);
   const int n = size();
   DMIS_TRACE_SPAN("comm.allreduce",
                   {{"bytes", static_cast<int64_t>(data.size() *
@@ -275,9 +531,11 @@ void Communicator::ring_all_reduce(std::span<float> data, float scale) {
     return;
   }
   auto& ctx = *ctx_;
+  ctx.beat(rank_);
+  const auto deadline = ctx.collective_deadline();
   ctx.ptrs_[static_cast<size_t>(rank_)] = data.data();
   ctx.sizes_[static_cast<size_t>(rank_)] = data.size();
-  ctx.sync();
+  ctx.sync(deadline, rank_);
   DMIS_CHECK(ctx.sizes_[0] == data.size(),
              "all_reduce size mismatch: rank 0 has " << ctx.sizes_[0]
                                                      << ", rank " << rank_
@@ -313,7 +571,7 @@ void Communicator::ring_all_reduce(std::span<float> data, float scale) {
       } else {
         for (size_t k = b; k < e; ++k) mine[k] += theirs[k];
       }
-      ctx.sync();
+      ctx.sync(deadline, rank_);
     }
   }
 
@@ -325,7 +583,7 @@ void Communicator::ring_all_reduce(std::span<float> data, float scale) {
       const int c = ((rank_ - s) % n + n) % n;
       const size_t b = chunk_begin(c), e = chunk_end(c);
       if (e > b) std::memcpy(mine + b, theirs + b, (e - b) * sizeof(float));
-      ctx.sync();
+      ctx.sync(deadline, rank_);
     }
   }
 }
@@ -335,16 +593,18 @@ void Communicator::reduce_sum(std::span<float> data, int root) {
 }
 
 void Communicator::reduce_sum_impl(std::span<float> data, int root) {
-  inject("comm.reduce");
+  inject("comm.reduce", rank_);
   DMIS_TRACE_SPAN("comm.reduce",
                   {{"bytes", static_cast<int64_t>(data.size() *
                                                   sizeof(float))},
                    {"root", root}});
   DMIS_CHECK(root >= 0 && root < size(), "bad reduce root " << root);
   auto& ctx = *ctx_;
+  ctx.beat(rank_);
+  const auto deadline = ctx.collective_deadline();
   ctx.ptrs_[static_cast<size_t>(rank_)] = data.data();
   ctx.sizes_[static_cast<size_t>(rank_)] = data.size();
-  ctx.sync();
+  ctx.sync(deadline, rank_);
   if (rank_ == root) {
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
@@ -354,7 +614,7 @@ void Communicator::reduce_sum_impl(std::span<float> data, int root) {
       for (size_t k = 0; k < data.size(); ++k) data[k] += src[k];
     }
   }
-  ctx.sync();
+  ctx.sync(deadline, rank_);
 }
 
 std::vector<float> Communicator::all_gather(std::span<const float> data) {
@@ -365,16 +625,18 @@ std::vector<float> Communicator::all_gather(std::span<const float> data) {
 
 std::vector<float> Communicator::all_gather_impl(
     std::span<const float> data) {
-  inject("comm.all_gather");
+  inject("comm.all_gather", rank_);
   DMIS_TRACE_SPAN("comm.all_gather",
                   {{"bytes", static_cast<int64_t>(data.size() *
                                                   sizeof(float))}});
   CommMetrics::get().all_gather_bytes.add(
       static_cast<int64_t>(data.size() * sizeof(float)));
   auto& ctx = *ctx_;
+  ctx.beat(rank_);
+  const auto deadline = ctx.collective_deadline();
   ctx.cptrs_[static_cast<size_t>(rank_)] = data.data();
   ctx.sizes_[static_cast<size_t>(rank_)] = data.size();
-  ctx.sync();
+  ctx.sync(deadline, rank_);
   size_t total = 0;
   for (int r = 0; r < size(); ++r) total += ctx.sizes_[static_cast<size_t>(r)];
   std::vector<float> out;
@@ -383,12 +645,12 @@ std::vector<float> Communicator::all_gather_impl(
     const float* src = ctx.cptrs_[static_cast<size_t>(r)];
     out.insert(out.end(), src, src + ctx.sizes_[static_cast<size_t>(r)]);
   }
-  ctx.sync();
+  ctx.sync(deadline, rank_);
   return out;
 }
 
-std::vector<Communicator> make_group(int size) {
-  auto ctx = std::make_shared<CollectiveContext>(size);
+std::vector<Communicator> make_group(int size, int64_t timeout_ms) {
+  auto ctx = std::make_shared<CollectiveContext>(size, timeout_ms);
   std::vector<Communicator> comms;
   comms.reserve(static_cast<size_t>(size));
   for (int r = 0; r < size; ++r) comms.emplace_back(ctx, r);

@@ -27,10 +27,34 @@
 // queue (submit + wait), which keeps barrier rendezvous matched when
 // async and sync calls interleave. Buffers passed to an async collective
 // must stay alive and untouched until wait() returns.
+//
+// Failure semantics (the part NCCL gets from its watchdog):
+//  * Deadlines. Every collective — blocking or async — observes a
+//    per-collective deadline (DMIS_COMM_TIMEOUT_MS, or the explicit
+//    timeout handed to the context; 0 = wait forever, the pre-failure-
+//    semantics behavior). A rank whose rendezvous wait exceeds the
+//    deadline throws CommError{kTimeout}, marks the ranks that never
+//    arrived as suspects in the health table, and poisons the group.
+//  * Poison pill. abort() (or an internal timeout) marks the context
+//    aborted — *sticky* — and wakes every rank blocked in any
+//    rendezvous; they throw CommError{kPeerFailed or kAborted} instead
+//    of deadlocking. Every later collective on the context fails fast
+//    the same way. An aborted group is dead; recovery means building a
+//    new (smaller) group — see train::MirroredStrategy's elastic mode.
+//  * Health table. Each rank heartbeats at collective entry (timestamp
+//    + op count). Timeouts turn laggards into suspects; abort() and
+//    fencing turn ranks into kDead.
+//  * Agreement. After an abort, survivors call agree_on_failures():
+//    each registers itself alive and folds in its suspicions; the round
+//    *seals* once every rank is either registered or suspected/dead (or
+//    a grace deadline passes, condemning the missing). Every registered
+//    caller returns the same sealed dead-set; a rank arriving after the
+//    seal finds itself condemned and is fenced out with kAborted. This
+//    is what lets all survivors rebuild the same shrunken group.
 #pragma once
 
 #include <atomic>
-#include <barrier>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -38,13 +62,44 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace dmis::comm {
 
 class CollectiveContext;
 class Communicator;
+
+/// Why a collective failed.
+enum class CommErrorKind {
+  kTimeout,     ///< This rank's own per-collective deadline expired.
+  kPeerFailed,  ///< A peer was reported dead / timed out; group poisoned.
+  kAborted,     ///< Explicit abort(), or fenced out after the agreement.
+};
+
+const char* comm_error_kind_name(CommErrorKind kind);
+
+/// Typed failure of a collective. Ranks blocked in a rendezvous when the
+/// group is poisoned throw this instead of deadlocking.
+class CommError : public Error {
+ public:
+  CommError(CommErrorKind kind, const std::string& what)
+      : Error(what), kind_(kind) {}
+  CommErrorKind kind() const { return kind_; }
+
+ private:
+  CommErrorKind kind_;
+};
+
+/// Per-rank liveness as observed through collective heartbeats.
+enum class RankHealth : uint8_t {
+  kHealthy,  ///< Beating normally.
+  kSuspect,  ///< Missed a rendezvous deadline somebody else hit.
+  kDead,     ///< Aborted itself, or condemned by the agreement round.
+};
 
 /// Completion handle for a nonblocking collective. Copyable (shared
 /// state); wait() may be called from any thread, any number of times,
@@ -65,7 +120,8 @@ class AsyncRequest {
   bool done() const;
 
   /// Blocks until the operation completes; rethrows any error the comm
-  /// worker hit while executing it (e.g. common::FaultInjected).
+  /// worker hit while executing it (e.g. common::FaultInjected, or
+  /// CommError once the group is poisoned).
   void wait();
 
   struct State;  // defined in communicator.cpp
@@ -85,13 +141,24 @@ void wait_all(std::vector<AsyncRequest>& requests);
 /// Shared rendezvous state for one group of ranks.
 class CollectiveContext {
  public:
-  explicit CollectiveContext(int size);
+  /// `timeout_ms` is the per-collective deadline: < 0 resolves
+  /// DMIS_COMM_TIMEOUT_MS (unset/empty -> 0), 0 waits forever.
+  explicit CollectiveContext(int size, int64_t timeout_ms = -1);
   ~CollectiveContext();
 
   CollectiveContext(const CollectiveContext&) = delete;
   CollectiveContext& operator=(const CollectiveContext&) = delete;
 
   int size() const { return size_; }
+
+  /// Effective per-collective deadline in ms (0 = none).
+  int64_t timeout_ms() const { return timeout_ms_; }
+
+  /// True once the group has been poisoned (sticky).
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// Health of `rank` as currently recorded.
+  RankHealth health(int rank) const;
 
  private:
   friend class Communicator;
@@ -105,8 +172,43 @@ class CollectiveContext {
     std::condition_variable cv;
     std::deque<Task> tasks;
   };
+  struct RankState {
+    std::atomic<int64_t> last_beat_us{0};
+    std::atomic<int64_t> ops{0};
+    std::atomic<uint8_t> health{
+        static_cast<uint8_t>(RankHealth::kHealthy)};
+  };
+  /// Per-collective deadline, computed once at collective entry and
+  /// shared by every rendezvous of that collective.
+  struct Deadline {
+    std::chrono::steady_clock::time_point at;
+    bool armed = false;
+  };
 
-  void sync() { barrier_.arrive_and_wait(); }
+  Deadline collective_deadline() const;
+
+  /// Heartbeat: `rank` entered a collective.
+  void beat(int rank);
+
+  /// Abortable, deadline-aware barrier replacing std::barrier. Throws
+  /// CommError on timeout (after poisoning the group) or when woken by
+  /// a poison pill.
+  void sync(const Deadline& deadline, int rank);
+
+  /// Poisons the group: records kind/reason for ranks that wake out of
+  /// a rendezvous, wakes them all, and makes every later collective
+  /// fail fast. Idempotent — the first cause wins.
+  void abort(CommErrorKind kind, const std::string& reason);
+
+  /// Marks `rank` dead and poisons the group with kPeerFailed.
+  void mark_failed(int rank, const std::string& why);
+
+  /// Post-abort agreement round (see file comment). Returns the sealed
+  /// dead-set (sorted rank ids); throws CommError{kAborted} if this
+  /// rank was condemned before it arrived (fenced out).
+  std::vector<int> agree_on_failures(int rank, int64_t grace_ms);
+
+  [[noreturn]] void throw_poisoned_locked() const;
 
   /// Starts the per-rank comm workers (idempotent, thread-safe).
   void ensure_workers();
@@ -120,10 +222,31 @@ class CollectiveContext {
   void worker_loop(int rank);
 
   int size_;
-  std::barrier<> barrier_;
+  int64_t timeout_ms_ = 0;
   std::vector<float*> ptrs_;          // per-rank buffer registration
   std::vector<const float*> cptrs_;   // per-rank const registration
   std::vector<size_t> sizes_;
+
+  // Rendezvous state (the abortable barrier).
+  mutable std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+  int64_t sync_ops_ = 0;  // op-seq of the current rendezvous (see sync())
+  std::atomic<bool> aborted_{false};
+  CommErrorKind abort_kind_ = CommErrorKind::kAborted;  // barrier_mutex_
+  std::string abort_reason_;                            // barrier_mutex_
+
+  // Health table; entries are written under barrier_mutex_ or by the
+  // owning rank (beat), read lock-free.
+  std::vector<RankState> rank_state_;
+
+  // Agreement round state.
+  std::mutex agree_mutex_;
+  std::condition_variable agree_cv_;
+  std::vector<bool> agree_joined_;
+  bool agree_sealed_ = false;
+  std::vector<int> agreed_dead_;
 
   std::once_flag workers_once_;
   std::atomic<bool> workers_active_{false};
@@ -139,6 +262,29 @@ class Communicator {
 
   int rank() const { return rank_; }
   int size() const { return ctx_->size(); }
+
+  /// Per-collective deadline in ms (0 = none).
+  int64_t timeout_ms() const { return ctx_->timeout_ms(); }
+
+  /// True once the group has been poisoned.
+  bool aborted() const { return ctx_->aborted(); }
+
+  /// Health of `rank` as observed through collective heartbeats.
+  RankHealth health(int rank) const { return ctx_->health(rank); }
+
+  /// Poison pill: marks this rank dead, wakes every rank blocked in a
+  /// collective (they throw CommError{kPeerFailed}) and makes all later
+  /// collectives on this group fail fast. Call when this rank is about
+  /// to die so failure propagates instead of deadlocking the ring.
+  void abort(const std::string& reason);
+
+  /// After the group is poisoned: joins the survivor agreement round
+  /// and returns the sealed set of dead ranks (identical on every
+  /// surviving caller). Waits at most `grace_ms` for peers to register
+  /// before condemning them. Throws CommError{kAborted} if this rank
+  /// was itself condemned (fenced out) — the caller must treat itself
+  /// as dead.
+  std::vector<int> agree_on_failures(int64_t grace_ms = 250);
 
   /// Blocks until every rank has arrived.
   void barrier();
@@ -196,6 +342,7 @@ class Communicator {
 };
 
 /// Creates one communicator per rank over a fresh shared context.
-std::vector<Communicator> make_group(int size);
+/// `timeout_ms` < 0 resolves DMIS_COMM_TIMEOUT_MS (unset -> no deadline).
+std::vector<Communicator> make_group(int size, int64_t timeout_ms = -1);
 
 }  // namespace dmis::comm

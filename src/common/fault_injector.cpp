@@ -1,5 +1,8 @@
 #include "common/fault_injector.hpp"
 
+#include <chrono>
+#include <thread>
+
 namespace dmis::common {
 namespace {
 
@@ -32,11 +35,14 @@ FaultInjector& FaultInjector::instance() {
 }
 
 void FaultInjector::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  points_.clear();
-  seed_ = 0;
-  total_fires_ = 0;
-  active_.store(false, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    points_.clear();
+    seed_ = 0;
+    total_fires_ = 0;
+    active_.store(false, std::memory_order_relaxed);
+  }
+  release_hangs();
 }
 
 void FaultInjector::seed(uint64_t s) {
@@ -121,11 +127,79 @@ bool FaultInjector::should_fail(const std::string& point) {
   return fire;
 }
 
-void FaultInjector::maybe_fail(const std::string& point) {
-  if (should_fail(point)) {
-    throw FaultInjected("injected fault at '" + point + "' (call #" +
-                        std::to_string(calls(point)) + ")");
+void FaultInjector::set_action_delay(const std::string& point, int64_t ms) {
+  DMIS_CHECK(ms >= 0, "delay must be >= 0 ms, got " << ms);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Point& p = point_locked(point);
+  p.action = Action::kDelay;
+  p.delay_ms = ms;
+}
+
+void FaultInjector::set_action_hang(const std::string& point,
+                                    int64_t auto_release_ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Point& p = point_locked(point);
+  p.action = Action::kHang;
+  p.auto_release_ms = auto_release_ms;
+}
+
+void FaultInjector::release_hangs() {
+  {
+    const std::lock_guard<std::mutex> lock(hang_mutex_);
+    ++hang_epoch_;
   }
+  hang_cv_.notify_all();
+}
+
+int64_t FaultInjector::hung_now() const {
+  const std::lock_guard<std::mutex> lock(hang_mutex_);
+  return hung_now_;
+}
+
+void FaultInjector::hang_until_released(int64_t auto_release_ms) {
+  std::unique_lock<std::mutex> lock(hang_mutex_);
+  const uint64_t epoch = hang_epoch_;
+  ++hung_now_;
+  if (auto_release_ms >= 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(auto_release_ms);
+    hang_cv_.wait_until(lock, deadline,
+                        [&] { return hang_epoch_ != epoch; });
+  } else {
+    hang_cv_.wait(lock, [&] { return hang_epoch_ != epoch; });
+  }
+  --hung_now_;
+}
+
+void FaultInjector::maybe_fail(const std::string& point) {
+  if (!should_fail(point)) return;
+  Action action;
+  int64_t delay_ms;
+  int64_t auto_release_ms;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Point& p = point_locked(point);
+    action = p.action;
+    delay_ms = p.delay_ms;
+    auto_release_ms = p.auto_release_ms;
+  }
+  switch (action) {
+    case Action::kThrow:
+      throw FaultInjected("injected fault at '" + point + "' (call #" +
+                          std::to_string(calls(point)) + ")");
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return;
+    case Action::kHang:
+      hang_until_released(auto_release_ms);
+      return;
+  }
+}
+
+void FaultInjector::maybe_fail(const std::string& point, int rank) {
+  if (!active()) return;
+  maybe_fail(point);
+  maybe_fail(point + ".r" + std::to_string(rank));
 }
 
 int64_t FaultInjector::calls(const std::string& point) const {

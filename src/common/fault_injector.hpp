@@ -15,12 +15,25 @@
 // fixed seed reproduces the same fire pattern per point regardless of
 // how calls to *other* points interleave across threads.
 //
-// A fired point throws `FaultInjected`, which propagates like any other
-// error (through `Future::get()`, actor calls, trial execution) and is
-// what the tune layer classifies as a transient, retryable failure.
+// A fired point performs its configured *action*. The default action —
+// and the only one before the failure-semantics work — is to throw
+// `FaultInjected`, which propagates like any other error (through
+// `Future::get()`, actor calls, trial execution) and is what the tune
+// layer classifies as a transient, retryable failure. Two more actions
+// model the failures a crash cannot: `delay(ms)` makes the fired call
+// sleep and then proceed (a slow rank / stalled NIC), and `hang` parks
+// the fired call until `release_hangs()` (or an optional auto-release
+// timeout) — the dead-but-not-crashed rank that deadline-aware
+// collectives exist to detect.
+//
+// Rank scoping: the two-argument `maybe_fail(point, rank)` checks both
+// the bare point and `<point>.r<rank>`, so a test can target exactly one
+// rank of a collective group (`comm.all_reduce.r2`) while other ranks
+// sail through.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -66,12 +79,37 @@ class FaultInjector {
   /// Disarms one point (its counters are kept).
   void disarm(const std::string& point);
 
+  /// Replaces `point`'s fire action: sleep `ms` milliseconds, then
+  /// return normally (a slow rank, not a dead one).
+  void set_action_delay(const std::string& point, int64_t ms);
+
+  /// Replaces `point`'s fire action: block until release_hangs() — or
+  /// until `auto_release_ms` elapses when >= 0 — then return normally.
+  /// Models a hung rank; armed alongside any trigger.
+  void set_action_hang(const std::string& point, int64_t auto_release_ms = -1);
+
+  /// Wakes every thread currently parked in a hang action (also done by
+  /// reset(), so test teardown can never deadlock on a forgotten hang).
+  void release_hangs();
+
+  /// Threads currently parked in a hang action.
+  int64_t hung_now() const;
+
+  /// True while at least one point is armed (the hot-path gate).
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
   /// Registers a call to `point`; returns true if the fault fires.
   /// No-op (and not counted) while nothing at all is armed.
   bool should_fail(const std::string& point);
 
-  /// should_fail, but throws FaultInjected when the fault fires.
+  /// should_fail, then performs the point's action when it fires: throw
+  /// FaultInjected (default), sleep (delay), or park (hang).
   void maybe_fail(const std::string& point);
+
+  /// Rank-scoped maybe_fail: checks `point` and then `<point>.r<rank>`,
+  /// so faults can target a single rank of a group. The scoped name is
+  /// only materialized while the injector is active.
+  void maybe_fail(const std::string& point, int rank);
 
   /// Calls observed at `point` since the last reset (only counted while
   /// the injector has at least one armed point).
@@ -87,6 +125,7 @@ class FaultInjector {
   FaultInjector() = default;
 
   enum class Mode { kOff, kNthCall, kEveryN, kProbability };
+  enum class Action { kThrow, kDelay, kHang };
 
   struct Point {
     Mode mode = Mode::kOff;
@@ -96,9 +135,13 @@ class FaultInjector {
     int64_t calls = 0;
     int64_t fires = 0;
     uint64_t rng_state = 0;   // splitmix64 stream for kProbability
+    Action action = Action::kThrow;
+    int64_t delay_ms = 0;           // kDelay sleep
+    int64_t auto_release_ms = -1;   // kHang bound; -1 = explicit release
   };
 
   Point& point_locked(const std::string& name);
+  void hang_until_released(int64_t auto_release_ms);
 
   mutable std::mutex mutex_;
   std::map<std::string, Point> points_;
@@ -107,6 +150,13 @@ class FaultInjector {
   // Fast-path gate: true while >= 1 point is armed. Relaxed is fine —
   // tests arm points before starting the threads they want to disturb.
   std::atomic<bool> active_{false};
+
+  // Hang parking lot, separate from mutex_ so parked threads never hold
+  // the registry lock.
+  mutable std::mutex hang_mutex_;
+  std::condition_variable hang_cv_;
+  uint64_t hang_epoch_ = 0;  // bumped by release_hangs()
+  int64_t hung_now_ = 0;
 };
 
 }  // namespace dmis::common

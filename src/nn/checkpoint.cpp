@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -219,6 +220,24 @@ void load_checkpoint(const std::string& path, std::vector<Param>& params) {
     std::copy(it->second.data.begin(), it->second.data.end(),
               p.value->data());
   }
+}
+
+int sweep_stale_checkpoints(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return 0;  // missing or unreadable directory: nothing to sweep
+  int removed = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    if (entry.path().extension() != ".tmp") continue;
+    if (std::filesystem::remove(entry.path(), ec) && !ec) ++removed;
+  }
+  if (removed > 0) {
+    obs::MetricsRegistry::instance()
+        .counter("nn.checkpoint_tmp_swept")
+        .add(removed);
+  }
+  return removed;
 }
 
 }  // namespace dmis::nn

@@ -46,4 +46,12 @@ void save_checkpoint(const std::string& path,
 /// truncated, IoError for other failures.
 void load_checkpoint(const std::string& path, std::vector<Param>& params);
 
+/// Deletes leftover `*.tmp` files in `dir` — the droppings of saves
+/// that crashed between open and rename (completed saves never leave
+/// one behind, so anything matching is garbage). Call it when a
+/// checkpoint directory is (re)opened, *before* new saves start, so a
+/// crashed process's temp files don't accumulate. Returns the number of
+/// files removed; a missing directory counts as clean (0).
+int sweep_stale_checkpoints(const std::string& dir);
+
 }  // namespace dmis::nn

@@ -46,6 +46,16 @@ void Sgd::apply() {
   }
 }
 
+std::vector<Param> Sgd::state_params() {
+  std::vector<Param> out;
+  out.reserve(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    out.push_back(Param{"opt.velocity." + params_[i].name, &velocity_[i],
+                        &velocity_[i]});
+  }
+  return out;
+}
+
 Adam::Adam(std::vector<Param> params, double lr, double beta1, double beta2,
            double eps)
     : Optimizer(std::move(params), lr),
@@ -80,6 +90,16 @@ void Adam::apply() {
       w[j] -= static_cast<float>(lr_ * m_hat / (std::sqrt(v_hat) + eps_));
     }
   }
+}
+
+std::vector<Param> Adam::state_params() {
+  std::vector<Param> out;
+  out.reserve(params_.size() * 2);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    out.push_back(Param{"opt.m." + params_[i].name, &m_[i], &m_[i]});
+    out.push_back(Param{"opt.v." + params_[i].name, &v_[i], &v_[i]});
+  }
+  return out;
 }
 
 std::unique_ptr<Optimizer> make_optimizer(const std::string& name,

@@ -29,8 +29,18 @@ class Optimizer {
   void set_lr(double lr) { lr_ = lr; }
   double lr() const { return lr_; }
   int64_t step_count() const { return step_count_; }
+  /// Restores the step counter from a checkpoint (Adam's bias
+  /// correction depends on it; checkpoint it alongside state_params()).
+  void set_step_count(int64_t n) { step_count_ = n; }
   const std::vector<Param>& params() const { return params_; }
   virtual std::string name() const = 0;
+
+  /// Named views of the optimizer's slot state (momentum / moment
+  /// estimates), for step-consistent checkpointing. Names are derived
+  /// from the parameter names ("opt.<slot>.<param>"), so they are
+  /// stable across graph and optimizer reconstruction. The grad field
+  /// aliases the state tensor — checkpoint I/O only touches `value`.
+  virtual std::vector<Param> state_params() = 0;
 
  protected:
   virtual void apply() = 0;
@@ -45,6 +55,7 @@ class Sgd final : public Optimizer {
  public:
   Sgd(std::vector<Param> params, double lr, double momentum = 0.0);
   std::string name() const override { return "sgd"; }
+  std::vector<Param> state_params() override;
 
  private:
   void apply() override;
@@ -58,6 +69,7 @@ class Adam final : public Optimizer {
   Adam(std::vector<Param> params, double lr, double beta1 = 0.9,
        double beta2 = 0.999, double eps = 1e-8);
   std::string name() const override { return "adam"; }
+  std::vector<Param> state_params() override;
 
  private:
   void apply() override;

@@ -4,9 +4,12 @@
 #include <chrono>
 #include <cmath>
 #include <filesystem>
+#include <random>
 #include <thread>
 
+#include "comm/communicator.hpp"
 #include "common/check.hpp"
+#include "nn/checkpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -25,6 +28,17 @@ const char* trial_status_name(TrialStatus s) {
 }
 
 namespace {
+
+// Retry classification (see RetryPolicy): a permanent error will fail
+// the same way on every attempt, so retrying it only burns cluster
+// time. Everything else — injected faults, I/O errors, comm timeouts
+// and peer failures — is presumed transient.
+bool is_permanent_failure(const std::exception& e) {
+  if (const auto* ce = dynamic_cast<const comm::CommError*>(&e)) {
+    return ce->kind() == comm::CommErrorKind::kAborted;
+  }
+  return dynamic_cast<const InvalidArgument*>(&e) != nullptr;
+}
 
 /// Shared ASHA bracket state: per-rung metric history.
 class AshaState {
@@ -75,6 +89,7 @@ struct TuneMetrics {
   obs::Counter& attempts;
   obs::Counter& trials_completed;
   obs::Counter& transient_failures;
+  obs::Counter& permanent_failures;
   obs::Counter& trials_failed;
   obs::Counter& retry_rounds;
   obs::Histogram& queue_wait_us;
@@ -85,6 +100,7 @@ struct TuneMetrics {
     static TuneMetrics m{reg.counter("tune.attempts"),
                          reg.counter("tune.trials_completed"),
                          reg.counter("tune.transient_failures"),
+                         reg.counter("tune.permanent_failures"),
                          reg.counter("tune.trials_failed"),
                          reg.counter("tune.retry_rounds"),
                          reg.histogram("tune.queue_wait_us"),
@@ -186,6 +202,8 @@ TuneResult tune_run(const Trainable& trainable,
   DMIS_CHECK(options.retry.backoff_base >= 0.0 &&
                  options.retry.backoff_cap >= 0.0,
              "negative retry backoff");
+  DMIS_CHECK(options.retry.jitter >= 0.0 && options.retry.jitter <= 1.0,
+             "retry jitter must be in [0, 1], got " << options.retry.jitter);
 
   const int cpus =
       options.num_cpus > 0 ? options.num_cpus : options.num_gpus;
@@ -210,6 +228,10 @@ TuneResult tune_run(const Trainable& trainable,
       trial.checkpoint_dir =
           options.checkpoint_root + "/trial_" + std::to_string(i);
       std::filesystem::create_directories(trial.checkpoint_dir);
+      // A previous process that crashed mid-save leaves *.tmp files
+      // behind (the destination file itself is always intact); sweep
+      // them before this run starts writing its own.
+      nn::sweep_stale_checkpoints(trial.checkpoint_dir);
     }
   }
 
@@ -231,6 +253,11 @@ TuneResult tune_run(const Trainable& trainable,
     // resubmitted, so the loop terminates after at most
     // 1 + max_retries rounds.
     TuneMetrics& metrics = TuneMetrics::get();
+    // Jitter source for the retry backoff: many drivers that failed on
+    // the same shared-resource hiccup must not wake in lockstep, so
+    // each delay is shaved by a random fraction of up to `jitter`.
+    std::mt19937_64 jitter_rng{std::random_device{}()};
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
     for (int round = 0; !pending.empty(); ++round) {
       if (round > 0) {
         DMIS_TRACE_SPAN("tune.retry_backoff",
@@ -240,7 +267,8 @@ TuneResult tune_run(const Trainable& trainable,
         const double delay_s =
             std::min(options.retry.backoff_cap,
                      options.retry.backoff_base *
-                         std::pow(2.0, static_cast<double>(round - 1)));
+                         std::pow(2.0, static_cast<double>(round - 1))) *
+            (1.0 - unit(jitter_rng) * options.retry.jitter);
         std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
       }
 
@@ -291,6 +319,7 @@ TuneResult tune_run(const Trainable& trainable,
                 const std::lock_guard<std::mutex> lock(trials_mutex);
                 trial.status = TrialStatus::kError;
                 trial.error = e.what();
+                trial.permanent_error = is_permanent_failure(e);
               }
               metrics.trial_us.observe(
                   static_cast<double>(obs::Tracer::now_us() - start_us));
@@ -309,6 +338,7 @@ TuneResult tune_run(const Trainable& trainable,
           const std::lock_guard<std::mutex> lock(trials_mutex);
           result.trials[i].status = TrialStatus::kError;
           result.trials[i].error = e.what();
+          result.trials[i].permanent_error = is_permanent_failure(e);
         }
         const std::lock_guard<std::mutex> lock(trials_mutex);
         Trial& trial = result.trials[i];
@@ -316,7 +346,13 @@ TuneResult tune_run(const Trainable& trainable,
           metrics.trials_completed.add(1);
           continue;
         }
-        if (trial.attempts < max_attempts) {
+        if (trial.permanent_error && options.retry.max_retries > 0) {
+          // Retrying a permanent error reproduces it; fail now and
+          // leave the retry budget to failures that can heal.
+          trial.status = TrialStatus::kFailed;
+          metrics.permanent_failures.add(1);
+          metrics.trials_failed.add(1);
+        } else if (trial.attempts < max_attempts) {
           metrics.transient_failures.add(1);
           trial.transient_errors.push_back(std::move(trial.error));
           trial.error.clear();

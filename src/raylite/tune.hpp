@@ -11,12 +11,14 @@
 // as the extension the paper's future work points toward.
 //
 // Fault tolerance (Ray Tune's checkpoint-based trial recovery):
-// a trial that throws is a *transient* failure. With a RetryPolicy the
-// scheduler reschedules it with exponential backoff, handing the new
-// attempt the trial's checkpoint directory and the iteration the last
-// attempt durably reached, so the trainable resumes instead of
-// restarting. A trial whose retry budget runs dry lands in kFailed;
-// kError is reserved for failures with retries disabled.
+// a trial that throws a *transient* error (injected fault, I/O error,
+// comm timeout / peer failure) is rescheduled with jittered exponential
+// backoff under the RetryPolicy, handing the new attempt the trial's
+// checkpoint directory and the iteration the last attempt durably
+// reached, so the trainable resumes instead of restarting. *Permanent*
+// errors (invalid configuration, deliberately aborted comm group) land
+// in kFailed immediately. A trial whose retry budget runs dry lands in
+// kFailed; kError is reserved for failures with retries disabled.
 #pragma once
 
 #include <functional>
@@ -82,6 +84,9 @@ struct Trial {
 
   /// Execution attempts so far (1 = never retried).
   int attempts = 0;
+  /// The last error was classified permanent (see RetryPolicy): the
+  /// trial went straight to kFailed without consuming retries.
+  bool permanent_error = false;
   /// Error messages of attempts that failed and were rescheduled.
   std::vector<std::string> transient_errors;
   /// Per-trial checkpoint directory ("" when checkpointing is off).
@@ -100,11 +105,24 @@ struct AshaOptions {
 };
 
 /// How failed trials are rescheduled. The delay before retry round k is
-/// min(backoff_cap, backoff_base * 2^(k-1)) seconds.
+/// min(backoff_cap, backoff_base * 2^(k-1)) seconds, shrunk by a random
+/// fraction of up to `jitter` so independent drivers that failed
+/// together don't retry in lockstep (the classic retry-storm fix).
+///
+/// Not every failure is worth retrying: errors are *classified*.
+/// Transient failures — injected faults, I/O errors, and
+/// comm::CommError{kTimeout, kPeerFailed} (a slow or dead rank inside
+/// the trial's data-parallel group) — are rescheduled with backoff.
+/// Permanent failures — InvalidArgument (a bad configuration stays bad)
+/// and comm::CommError{kAborted} (the group was deliberately killed) —
+/// land in kFailed immediately without consuming the retry budget.
 struct RetryPolicy {
   int max_retries = 0;        ///< Extra attempts per trial; 0 = fail fast.
   double backoff_base = 0.05; ///< Seconds before the first retry round.
   double backoff_cap = 2.0;   ///< Upper bound on any single delay.
+  /// Max random fraction shaved off each delay: the actual wait is
+  /// delay * (1 - u * jitter) with u uniform in [0, 1). 0 = none.
+  double jitter = 0.25;
 };
 
 struct TuneOptions {

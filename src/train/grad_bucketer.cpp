@@ -219,6 +219,21 @@ void GradBucketer::wait_all() {
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void GradBucketer::abandon() {
+  if (!armed_) return;
+  for (Bucket& bucket : buckets_) {
+    if (!bucket.fired || !bucket.request.valid()) continue;
+    try {
+      bucket.request.wait();
+    } catch (...) {
+      // Expected: the group is poisoned. The wait is only here so the
+      // comm worker has let go of the buffers before the caller frees
+      // or rebuilds them.
+    }
+  }
+  armed_ = false;
+}
+
 size_t GradBucketer::num_direct() const {
   size_t n = 0;
   for (const Bucket& bucket : buckets_) n += bucket.direct ? 1 : 0;

@@ -105,6 +105,14 @@ class GradBucketer {
   /// the bucketer.
   void wait_all();
 
+  /// Abandons the in-flight step after a collective failure: waits for
+  /// every *fired* request to settle (swallowing their errors — on a
+  /// poisoned group they all fail fast) so no comm worker is still
+  /// touching bucket buffers or gradients, then disarms without
+  /// unpacking. Safe to call whether or not the step was armed; the
+  /// elastic recovery path calls this before tearing the group down.
+  void abandon();
+
   size_t num_buckets() const { return buckets_.size(); }
   /// Direct (in-place, zero-copy) buckets in the layout.
   size_t num_direct() const;

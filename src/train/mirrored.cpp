@@ -1,10 +1,16 @@
 #include "train/mirrored.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <mutex>
 #include <thread>
 
 #include "comm/communicator.hpp"
 #include "common/check.hpp"
+#include "nn/checkpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "train/grad_bucketer.hpp"
@@ -34,6 +40,36 @@ void record_overlap(const GradBucketer& bucketer, int64_t backward_end_us) {
   }
 }
 
+bool elastic_enabled(bool configured) {
+  const char* env = std::getenv("DMIS_ELASTIC");
+  if (env == nullptr || *env == '\0') return configured;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+           std::strcmp(env, "off") == 0);
+}
+
+// Everything one failed step leaves behind for the driver: which
+// replicas reported themselves dead, the dead-set the survivor
+// agreement round sealed (identical on every survivor, recorded once),
+// and the first error for fail-fast rethrow.
+struct StepFailure {
+  explicit StepFailure(int world) : self_dead(static_cast<size_t>(world), 0) {}
+
+  bool happened() const { return failed; }
+
+  void record(std::exception_ptr err) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    failed = true;
+    if (!first) first = std::move(err);
+  }
+
+  std::mutex mutex;
+  bool failed = false;
+  std::exception_ptr first;
+  std::vector<char> self_dead;   // replica crashed or was fenced out
+  std::vector<int> agreed_dead;  // sealed by the agreement round
+  bool agreed = false;
+};
+
 }  // namespace
 
 struct MirroredStrategy::Impl {
@@ -42,6 +78,9 @@ struct MirroredStrategy::Impl {
   std::vector<std::unique_ptr<nn::Optimizer>> optimizers;
   std::vector<std::unique_ptr<GradBucketer>> bucketers;  // empty: per-tensor
   std::unique_ptr<nn::LrSchedule> schedule;
+  bool elastic = false;
+  std::string ckpt_path;  // elastic_dir + "/elastic.ckpt"
+  int64_t recoveries = 0;
 };
 
 MirroredStrategy::MirroredStrategy(const nn::UNet3dOptions& model_options,
@@ -55,16 +94,50 @@ MirroredStrategy::MirroredStrategy(const nn::UNet3dOptions& model_options,
     // Same seed in model_options -> bit-identical initial weights.
     replicas_.push_back(std::make_unique<nn::UNet3d>(model_options));
   }
-  impl_->comms = comm::make_group(r);
+  impl_->elastic = elastic_enabled(options.elastic);
+  if (impl_->elastic) {
+    DMIS_CHECK(!options_.elastic_dir.empty(),
+               "elastic mode needs MirroredOptions::elastic_dir for the "
+               "step-consistent checkpoint");
+    impl_->ckpt_path = options_.elastic_dir + "/elastic.ckpt";
+  }
+  build_group();
+}
+
+MirroredStrategy::~MirroredStrategy() = default;
+
+bool MirroredStrategy::elastic() const { return impl_->elastic; }
+
+int64_t MirroredStrategy::recoveries() const { return impl_->recoveries; }
+
+double MirroredStrategy::effective_lr() const {
+  const int world =
+      replicas_.empty() ? options_.num_replicas : world_size();
+  return options_.scale_lr ? options_.train.lr * static_cast<double>(world)
+                           : options_.train.lr;
+}
+
+void MirroredStrategy::build_group() {
+  const int r = world_size();
+  // Teardown order matters: hooks and bucketers reference the old
+  // communicators; the old context's destructor joins its comm workers.
+  for (auto& model : replicas_) {
+    model->graph().set_grad_ready_hook(nullptr);
+  }
+  impl_->bucketers.clear();
+  impl_->optimizers.clear();
+  impl_->losses.clear();
+  impl_->comms.clear();
+  impl_->comms = comm::make_group(r, options_.comm_timeout_ms);
   const double lr = effective_lr();
   for (int i = 0; i < r; ++i) {
-    impl_->losses.push_back(nn::make_loss(options.train.loss));
+    impl_->losses.push_back(nn::make_loss(options_.train.loss));
     impl_->optimizers.push_back(nn::make_optimizer(
-        options.train.optimizer, replicas_[static_cast<size_t>(i)]->params(),
+        options_.train.optimizer, replicas_[static_cast<size_t>(i)]->params(),
         lr));
   }
   const size_t bucket_bytes =
-      GradBucketer::effective_bucket_bytes(options.bucket_bytes);
+      GradBucketer::effective_bucket_bytes(options_.bucket_bytes);
   if (bucket_bytes > 0) {
     for (int i = 0; i < r; ++i) {
       nn::UNet3d& model = *replicas_[static_cast<size_t>(i)];
@@ -79,8 +152,8 @@ MirroredStrategy::MirroredStrategy(const nn::UNet3dOptions& model_options,
           });
     }
   }
-  if (options.train.cyclic.has_value()) {
-    const auto& c = *options.train.cyclic;
+  if (options_.train.cyclic.has_value()) {
+    const auto& c = *options_.train.cyclic;
     impl_->schedule =
         std::make_unique<nn::CyclicLr>(c.base_lr, c.max_lr, c.step_size);
   } else {
@@ -88,26 +161,102 @@ MirroredStrategy::MirroredStrategy(const nn::UNet3dOptions& model_options,
   }
 }
 
-MirroredStrategy::~MirroredStrategy() = default;
-
-double MirroredStrategy::effective_lr() const {
-  return options_.scale_lr
-             ? options_.train.lr * static_cast<double>(options_.num_replicas)
-             : options_.train.lr;
-}
-
 TrainReport MirroredStrategy::fit(data::BatchStream& train,
                                   data::BatchStream* val,
                                   const EpochCallback& callback) {
-  const int r = options_.num_replicas;
   TrainReport report;
+  const bool elastic = impl_->elastic;
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Gauge& world_gauge = reg.gauge("train.elastic.world_size");
+  obs::Counter& recovery_counter = reg.counter("train.elastic.recoveries");
+  world_gauge.set(static_cast<double>(world_size()));
 
-  for (int64_t epoch = 0; epoch < options_.train.epochs; ++epoch) {
-    double loss_sum = 0.0;
-    int64_t steps = 0;
+  // The __progress__ rider checkpointed with the weights: epoch, steps
+  // completed in that epoch, optimizer step count, and the epoch's
+  // running loss sum (float-rounded; only the reported mean is
+  // affected, never the weights).
+  NDArray progress(Shape({4}));
+
+  const auto save_state = [&](int64_t epoch, int64_t step_in_epoch,
+                              double loss_sum) {
+    progress[0] = static_cast<float>(epoch);
+    progress[1] = static_cast<float>(step_in_epoch);
+    progress[2] =
+        static_cast<float>(impl_->optimizers.front()->step_count());
+    progress[3] = static_cast<float>(loss_sum);
+    std::vector<nn::Param> params = replicas_.front()->checkpoint_params();
+    for (nn::Param& sp : impl_->optimizers.front()->state_params()) {
+      params.push_back(sp);
+    }
+    params.push_back(nn::Param{"__progress__", &progress, &progress});
+    nn::save_checkpoint(impl_->ckpt_path, params);
+  };
+
+  if (elastic) {
+    std::filesystem::create_directories(options_.elastic_dir);
+    nn::sweep_stale_checkpoints(options_.elastic_dir);
+    save_state(0, 0, 0.0);  // step-0 snapshot: a failure in the very
+                            // first step restores to initial weights
+  }
+
+  // Set by elastic recovery to resume a partially completed epoch.
+  int64_t epoch = 0;
+  int64_t resume_steps = 0;
+  double resume_loss_sum = 0.0;
+
+  // Shrinks to the survivors of a failed step and restores the last
+  // step-consistent checkpoint into every one of them. Rethrows when
+  // nobody survived.
+  const auto recover = [&](StepFailure& failure) {
+    DMIS_TRACE_SPAN("train.elastic.recovery");
+    std::vector<char> dead(static_cast<size_t>(world_size()), 0);
+    for (const int d : failure.agreed_dead) {
+      dead[static_cast<size_t>(d)] = 1;
+    }
+    for (size_t i = 0; i < failure.self_dead.size(); ++i) {
+      if (failure.self_dead[i] != 0) dead[i] = 1;
+    }
+    std::vector<std::unique_ptr<nn::UNet3d>> survivors;
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (dead[i] == 0) survivors.push_back(std::move(replicas_[i]));
+    }
+    if (survivors.empty()) std::rethrow_exception(failure.first);
+    replicas_ = std::move(survivors);
+    ++impl_->recoveries;
+    recovery_counter.add(1);
+    build_group();
+    world_gauge.set(static_cast<double>(world_size()));
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      std::vector<nn::Param> params = replicas_[i]->checkpoint_params();
+      for (nn::Param& sp : impl_->optimizers[i]->state_params()) {
+        params.push_back(sp);
+      }
+      params.push_back(nn::Param{"__progress__", &progress, &progress});
+      nn::load_checkpoint(impl_->ckpt_path, params);
+      impl_->optimizers[i]->set_step_count(
+          static_cast<int64_t>(progress[2]));
+    }
+    epoch = static_cast<int64_t>(progress[0]);
+    resume_steps = static_cast<int64_t>(progress[1]);
+    resume_loss_sum = static_cast<double>(progress[3]);
+  };
+
+  bool stop_requested = false;
+  while (epoch < options_.train.epochs && !stop_requested) {
+    double loss_sum = resume_loss_sum;
+    int64_t steps = resume_steps;
+    int64_t skip = resume_steps;  // fast-forward after a mid-epoch restore
+    resume_steps = 0;
+    resume_loss_sum = 0.0;
     double current_lr = effective_lr();
+    bool failed_this_epoch = false;
 
     while (auto batch = train.next()) {
+      if (skip > 0) {
+        --skip;
+        continue;
+      }
+      const int r = world_size();
       const int64_t total = batch->size();
       current_lr = impl_->schedule->lr(impl_->optimizers[0]->step_count());
 
@@ -128,80 +277,131 @@ TrainReport MirroredStrategy::fit(data::BatchStream& train,
       const int64_t lbl_per = lbl_shape.numel() / total;
 
       std::vector<double> replica_loss(static_cast<size_t>(r), 0.0);
+      StepFailure failure(r);
       std::vector<std::thread> threads;
       threads.reserve(static_cast<size_t>(r));
       for (int i = 0; i < r; ++i) {
         threads.emplace_back([&, i] {
           nn::UNet3d& model = *replicas_[static_cast<size_t>(i)];
-          nn::Optimizer& opt = *impl_->optimizers[static_cast<size_t>(i)];
           comm::Communicator& comm = impl_->comms[static_cast<size_t>(i)];
-          const int64_t lo = offsets[static_cast<size_t>(i)];
-          const int64_t hi = offsets[static_cast<size_t>(i) + 1];
-          const int64_t count = hi - lo;
-
-          // Weight local mean-gradients by sample count, sum across the
-          // ring, then renormalize by the global batch — exact even for
-          // ragged final batches and idle replicas. On the bucketed
-          // path both scalings are folded into the pack/unpack copies.
-          const float weight = static_cast<float>(count);
-          const float inv_total = 1.0F / static_cast<float>(total);
           GradBucketer* bucketer =
               impl_->bucketers.empty()
                   ? nullptr
                   : impl_->bucketers[static_cast<size_t>(i)].get();
+          try {
+            nn::Optimizer& opt = *impl_->optimizers[static_cast<size_t>(i)];
+            const int64_t lo = offsets[static_cast<size_t>(i)];
+            const int64_t hi = offsets[static_cast<size_t>(i) + 1];
+            const int64_t count = hi - lo;
 
-          opt.zero_grad();
-          if (bucketer != nullptr) bucketer->begin_step(weight, inv_total);
-          int64_t backward_end_us = -1;
-          if (count > 0) {
-            Shape local_img = img_shape.with_dim(0, count);
-            Shape local_lbl = lbl_shape.with_dim(0, count);
-            NDArray images(local_img,
-                           std::span<const float>(
-                               batch->images.data() + lo * img_per,
-                               static_cast<size_t>(count * img_per)));
-            NDArray labels(local_lbl,
-                           std::span<const float>(
-                               batch->labels.data() + lo * lbl_per,
-                               static_cast<size_t>(count * lbl_per)));
-            const NDArray& pred = model.forward(images, /*training=*/true);
-            const nn::LossResult res =
-                impl_->losses[static_cast<size_t>(i)]->compute(pred, labels);
-            replica_loss[static_cast<size_t>(i)] =
-                res.value * static_cast<double>(count);
+            // Weight local mean-gradients by sample count, sum across
+            // the ring, then renormalize by the global batch — exact
+            // even for ragged final batches and idle replicas. On the
+            // bucketed path both scalings are folded into the
+            // pack/unpack copies.
+            const float weight = static_cast<float>(count);
+            const float inv_total = 1.0F / static_cast<float>(total);
+
+            opt.zero_grad();
+            if (bucketer != nullptr) bucketer->begin_step(weight, inv_total);
+            int64_t backward_end_us = -1;
+            if (count > 0) {
+              Shape local_img = img_shape.with_dim(0, count);
+              Shape local_lbl = lbl_shape.with_dim(0, count);
+              NDArray images(local_img,
+                             std::span<const float>(
+                                 batch->images.data() + lo * img_per,
+                                 static_cast<size_t>(count * img_per)));
+              NDArray labels(local_lbl,
+                             std::span<const float>(
+                                 batch->labels.data() + lo * lbl_per,
+                                 static_cast<size_t>(count * lbl_per)));
+              const NDArray& pred =
+                  model.forward(images, /*training=*/true);
+              const nn::LossResult res =
+                  impl_->losses[static_cast<size_t>(i)]->compute(pred,
+                                                                 labels);
+              replica_loss[static_cast<size_t>(i)] =
+                  res.value * static_cast<double>(count);
+              {
+                DMIS_TRACE_SPAN("train.backward");
+                model.backward(res.grad);
+              }
+              backward_end_us = obs::Tracer::now_us();
+            }
+
+            if (bucketer != nullptr) {
+              // Buckets whose last gradient arrived mid-backward are
+              // already in flight; flush the stragglers (all of them
+              // for an idle replica), then drain and unpack.
+              bucketer->flush();
+              bucketer->wait_all();
+              record_overlap(*bucketer, backward_end_us);
+            } else {
+              for (nn::Param& p : model.params()) {
+                p.grad->scale_(weight);
+                comm.all_reduce_sum(p.grad->span());
+                p.grad->scale_(inv_total);
+              }
+            }
+            opt.set_lr(current_lr);
+            opt.step();
+          } catch (const comm::CommError&) {
+            // A peer failed (or our own deadline fired): the group is
+            // poisoned. Let go of the bucket buffers, then — in elastic
+            // mode — join the survivor agreement so every survivor
+            // leaves with the same dead-set.
+            if (bucketer != nullptr) bucketer->abandon();
+            failure.record(std::current_exception());
+            if (elastic) {
+              try {
+                std::vector<int> sealed =
+                    comm.agree_on_failures(options_.agree_grace_ms);
+                const std::lock_guard<std::mutex> lock(failure.mutex);
+                if (!failure.agreed) {
+                  failure.agreed_dead = std::move(sealed);
+                  failure.agreed = true;
+                }
+              } catch (const comm::CommError&) {
+                // Fenced out: the survivors sealed without us.
+                const std::lock_guard<std::mutex> lock(failure.mutex);
+                failure.self_dead[static_cast<size_t>(i)] = 1;
+              }
+            }
+          } catch (const std::exception& e) {
+            // This replica itself crashed: poison the group so peers
+            // blocked in the ring wake with kPeerFailed instead of
+            // deadlocking, and report ourselves dead.
+            comm.abort(e.what());
+            if (bucketer != nullptr) bucketer->abandon();
             {
-              DMIS_TRACE_SPAN("train.backward");
-              model.backward(res.grad);
+              const std::lock_guard<std::mutex> lock(failure.mutex);
+              failure.self_dead[static_cast<size_t>(i)] = 1;
             }
-            backward_end_us = obs::Tracer::now_us();
+            failure.record(std::current_exception());
           }
-
-          if (bucketer != nullptr) {
-            // Buckets whose last gradient arrived mid-backward are
-            // already in flight; flush the stragglers (all of them for
-            // an idle replica), then drain and unpack.
-            bucketer->flush();
-            bucketer->wait_all();
-            record_overlap(*bucketer, backward_end_us);
-          } else {
-            for (nn::Param& p : model.params()) {
-              p.grad->scale_(weight);
-              comm.all_reduce_sum(p.grad->span());
-              p.grad->scale_(inv_total);
-            }
-          }
-          opt.set_lr(current_lr);
-          opt.step();
         });
       }
       for (auto& t : threads) t.join();
+
+      if (failure.happened()) {
+        if (!elastic) std::rethrow_exception(failure.first);
+        recover(failure);
+        failed_this_epoch = true;
+        break;  // replay this epoch from the restored position
+      }
 
       double batch_loss = 0.0;
       for (double l : replica_loss) batch_loss += l;
       loss_sum += batch_loss / static_cast<double>(total);
       ++steps;
+      if (elastic && options_.checkpoint_every_steps > 0 &&
+          steps % options_.checkpoint_every_steps == 0) {
+        save_state(epoch, steps, loss_sum);
+      }
     }
     train.reset();
+    if (failed_this_epoch) continue;
     DMIS_CHECK(steps > 0, "training stream produced no batches");
 
     EpochStats stats;
@@ -215,7 +415,9 @@ TrainReport MirroredStrategy::fit(data::BatchStream& train,
       report.best_val_dice = std::max(report.best_val_dice, *stats.val_dice);
     }
     report.history.push_back(stats);
-    if (callback && !callback(stats)) break;
+    if (callback && !callback(stats)) stop_requested = true;
+    ++epoch;
+    if (elastic) save_state(epoch, 0, 0.0);  // epoch-boundary snapshot
   }
   return report;
 }

@@ -15,6 +15,33 @@
 // same optimizer state, the replicas stay bit-identical — exactly the
 // mirrored-variable invariant of the TF strategy.
 //
+// Failure semantics. A replica that dies mid-step poisons the comm
+// group (see comm/communicator.hpp), so every other replica surfaces a
+// typed comm::CommError instead of deadlocking in the ring. What
+// happens next depends on the mode:
+//  * fail-fast (default): fit() rethrows the first error — the whole
+//    strategy is one unit of failure, and the tune layer's trial retry
+//    owns recovery.
+//  * elastic (MirroredOptions::elastic or DMIS_ELASTIC=1): survivors
+//    run the comm agreement round to seal an identical dead-rank set,
+//    abandon in-flight gradient buckets, rebuild the group over the
+//    survivors (rescaling the linear-scaled learning rate to the new
+//    world size), restore model + optimizer state from the last
+//    step-consistent checkpoint in `elastic_dir`, fast-forward the
+//    batch stream to the checkpointed position, and keep training at
+//    the reduced world size. Recovery replays from the latest
+//    checkpoint, so with the default every-step cadence at most one
+//    step of work is lost per failure.
+//
+// The step-consistent checkpoint piggybacks on nn::save_checkpoint
+// (temp file + fsync + atomic rename, CRC-protected): it stores replica
+// 0's checkpoint_params(), the optimizer slot state, and a __progress__
+// rider (epoch / step / optimizer step count / running loss sum), and
+// is written by the driver thread between steps — never mid-collective
+// — which is what makes it step-consistent. Mid-epoch restores assume
+// the batch stream replays the same batch sequence after reset()
+// (true for the deterministic pipelines used here).
+//
 // Batch-norm note: like the TF strategy (without SyncBatchNorm), batch
 // statistics are computed per replica on its local shard; running stats
 // therefore diverge slightly across replicas, and evaluation uses
@@ -23,6 +50,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "train/trainer.hpp"
@@ -33,13 +61,33 @@ struct MirroredOptions {
   int num_replicas = 2;
   TrainOptions train;
   /// Scale the learning rate linearly with the replica count (the
-  /// paper's 1e-4 x #GPUs rule).
+  /// paper's 1e-4 x #GPUs rule). In elastic mode the rate is rescaled
+  /// to the surviving world size after a shrink.
   bool scale_lr = true;
   /// Gradient-bucket size cap for the fused, compute-overlapped
   /// allreduce (see train/grad_bucketer.hpp). 0 selects the legacy
   /// blocking per-tensor allreduce. Overridable at run time with
   /// DMIS_BUCKET_BYTES.
   size_t bucket_bytes = size_t{1} << 20;
+  /// Survive replica failure by shrinking to the survivors and
+  /// restoring from the last step-consistent checkpoint, instead of
+  /// failing the whole fit(). DMIS_ELASTIC=1/0 overrides. Requires
+  /// `elastic_dir`.
+  bool elastic = false;
+  /// Directory for the elastic step-consistent checkpoint (created if
+  /// missing; stale *.tmp files from crashed saves are swept on fit()
+  /// entry).
+  std::string elastic_dir;
+  /// Per-collective deadline handed to the comm group, in milliseconds:
+  /// < 0 resolves DMIS_COMM_TIMEOUT_MS, 0 = no deadline. A deadline is
+  /// what turns a *hung* (not crashed) rank into a typed failure.
+  int64_t comm_timeout_ms = -1;
+  /// Optimizer steps between step-consistent checkpoints in elastic
+  /// mode (epoch boundaries always checkpoint). 1 = every step.
+  int64_t checkpoint_every_steps = 1;
+  /// Grace (ms) survivors wait in the post-abort agreement round for
+  /// peers to register before condemning them.
+  int64_t agree_grace_ms = 250;
 };
 
 class MirroredStrategy {
@@ -53,20 +101,39 @@ class MirroredStrategy {
   MirroredStrategy& operator=(const MirroredStrategy&) = delete;
 
   /// Trains on `train` (its batch size is the GLOBAL batch, split across
-  /// replicas each step); validates on `val` with replica 0.
+  /// replicas each step); validates on `val` with replica 0. In elastic
+  /// mode a replica failure shrinks the group and training continues;
+  /// otherwise (or when no survivor remains) the first error rethrows.
   TrainReport fit(data::BatchStream& train, data::BatchStream* val,
                   const EpochCallback& callback = nullptr);
 
-  /// Replica 0's model (the canonical trained weights).
+  /// Replica 0's model (the canonical trained weights; after an elastic
+  /// shrink, the first surviving replica).
   nn::UNet3d& model() { return *replicas_.front(); }
 
+  /// The replica count fit() was configured with.
   int num_replicas() const { return options_.num_replicas; }
 
-  /// Effective learning rate after the linear scaling rule.
+  /// Replicas currently alive (shrinks on elastic recovery).
+  int world_size() const { return static_cast<int>(replicas_.size()); }
+
+  /// True when elastic recovery is enabled (option or DMIS_ELASTIC).
+  bool elastic() const;
+
+  /// Elastic recoveries performed so far by this strategy.
+  int64_t recoveries() const;
+
+  /// Effective learning rate after the linear scaling rule, for the
+  /// *current* world size.
   double effective_lr() const;
 
  private:
   struct Impl;
+
+  /// (Re)creates comms / losses / optimizers / bucketers / schedule for
+  /// the replicas currently in `replicas_` — at construction and after
+  /// an elastic shrink.
+  void build_group();
 
   MirroredOptions options_;
   std::vector<std::unique_ptr<nn::UNet3d>> replicas_;

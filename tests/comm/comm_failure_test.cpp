@@ -1,0 +1,282 @@
+// Failure semantics of the collective group: per-collective deadlines,
+// the poison pill, the health table, and the survivor agreement round.
+#include "comm/communicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/fault_injector.hpp"
+
+namespace dmis::comm {
+namespace {
+
+class CommFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override { common::FaultInjector::instance().reset(); }
+  void TearDown() override { common::FaultInjector::instance().reset(); }
+};
+
+TEST_F(CommFailureTest, KindNames) {
+  EXPECT_STREQ(comm_error_kind_name(CommErrorKind::kTimeout), "timeout");
+  EXPECT_STREQ(comm_error_kind_name(CommErrorKind::kPeerFailed),
+               "peer_failed");
+  EXPECT_STREQ(comm_error_kind_name(CommErrorKind::kAborted), "aborted");
+}
+
+TEST_F(CommFailureTest, FreshGroupIsHealthyAndUnpoisoned) {
+  auto comms = make_group(3, /*timeout_ms=*/250);
+  EXPECT_EQ(comms[0].timeout_ms(), 250);
+  EXPECT_FALSE(comms[0].aborted());
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(comms[1].health(r), RankHealth::kHealthy);
+  }
+}
+
+// A rank whose peers never show up must not block forever: its own
+// deadline fires, it throws the typed kTimeout, and the missing peer is
+// recorded as a suspect in the health table.
+TEST_F(CommFailureTest, DeadlineTurnsMissingPeerIntoTimeout) {
+  auto comms = make_group(2, /*timeout_ms=*/150);
+  std::vector<float> buf(8, 1.0F);
+  bool timed_out = false;
+  try {
+    comms[0].all_reduce_sum(buf);  // rank 1 never calls
+  } catch (const CommError& e) {
+    timed_out = true;
+    EXPECT_EQ(e.kind(), CommErrorKind::kTimeout);
+  }
+  EXPECT_TRUE(timed_out);
+  EXPECT_TRUE(comms[0].aborted());
+  EXPECT_EQ(comms[0].health(1), RankHealth::kSuspect);
+  EXPECT_EQ(comms[0].health(0), RankHealth::kHealthy);
+
+  // The group is poisoned: the late rank fails fast with kPeerFailed
+  // instead of waiting for a rendezvous that can never complete.
+  bool poisoned = false;
+  try {
+    comms[1].all_reduce_sum(buf);
+  } catch (const CommError& e) {
+    poisoned = true;
+    EXPECT_EQ(e.kind(), CommErrorKind::kPeerFailed);
+  }
+  EXPECT_TRUE(poisoned);
+}
+
+// abort() is the poison pill: every rank blocked in a rendezvous wakes
+// with a typed error instead of deadlocking (no deadline needed).
+TEST_F(CommFailureTest, AbortWakesBlockedRanks) {
+  auto comms = make_group(3);  // no deadline: pre-failure-semantics mode
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<float> buf(16, 1.0F);
+      try {
+        comms[static_cast<size_t>(r)].all_reduce_sum(buf);
+      } catch (const CommError& e) {
+        EXPECT_EQ(e.kind(), CommErrorKind::kPeerFailed);
+        errors.fetch_add(1);
+      }
+    });
+  }
+  // Give ranks 0/1 a moment to block in the ring, then kill rank 2.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  comms[2].abort("simulated crash");
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 2);
+  EXPECT_TRUE(comms[0].aborted());
+  EXPECT_EQ(comms[0].health(2), RankHealth::kDead);
+}
+
+// Survivors must leave the agreement round with the *same* dead-set,
+// and the dead rank itself must be fenced out with kAborted.
+TEST_F(CommFailureTest, AgreementSealsIdenticalDeadSet) {
+  auto comms = make_group(4);
+  comms[3].abort("rank 3 going down");
+  std::vector<std::vector<int>> sealed(3);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&, r] {
+      sealed[static_cast<size_t>(r)] =
+          comms[static_cast<size_t>(r)].agree_on_failures(/*grace_ms=*/500);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(sealed[static_cast<size_t>(r)], std::vector<int>{3})
+        << "rank " << r;
+  }
+  // The condemned rank arrives after the seal: fenced out.
+  bool fenced = false;
+  try {
+    comms[3].agree_on_failures(100);
+  } catch (const CommError& e) {
+    fenced = true;
+    EXPECT_EQ(e.kind(), CommErrorKind::kAborted);
+  }
+  EXPECT_TRUE(fenced);
+}
+
+// A healthy rank that never joins the round is condemned once the grace
+// deadline passes, so one silent peer cannot wedge recovery.
+TEST_F(CommFailureTest, AgreementGraceCondemnsSilentRank) {
+  auto comms = make_group(3);
+  comms[0].abort("rank 0 dead");
+  // Rank 2 never calls agree_on_failures; rank 1 waits out the grace.
+  const std::vector<int> dead = comms[1].agree_on_failures(/*grace_ms=*/100);
+  EXPECT_EQ(dead, (std::vector<int>{0, 2}));
+  EXPECT_EQ(comms[1].health(2), RankHealth::kDead);
+}
+
+TEST_F(CommFailureTest, AgreementRequiresPoisonedGroup) {
+  auto comms = make_group(2);
+  EXPECT_THROW(comms[0].agree_on_failures(10), InvalidArgument);
+}
+
+// A rank that loses a collective at entry (injected fault) and moves on
+// desynchronizes from its peers. The rendezvous sequence check must
+// poison the group with kPeerFailed instead of silently pairing
+// mismatched collectives.
+TEST_F(CommFailureTest, CollectiveSequenceMismatchPoisonsGroup) {
+  auto& faults = common::FaultInjector::instance();
+  faults.arm_nth_call("comm.broadcast.r0", 1);
+  auto comms = make_group(2);
+  std::atomic<int> comm_errors{0};
+
+  std::thread peer([&] {
+    std::vector<float> buf(6, 2.0F);
+    try {
+      comms[1].broadcast(buf, /*root=*/1);
+    } catch (const CommError& e) {
+      EXPECT_EQ(e.kind(), CommErrorKind::kPeerFailed);
+      comm_errors.fetch_add(1);
+    }
+  });
+
+  std::vector<float> buf(6, 1.0F);
+  EXPECT_THROW(comms[0].broadcast(buf, 1), common::FaultInjected);
+  // Rank 0 skipped the broadcast and moved on. Its first barrier pairs
+  // up with the broadcast's first rendezvous (same op count), but the
+  // *second* one arrives one op ahead and trips the sequence check.
+  comms[0].barrier();
+  try {
+    comms[0].barrier();
+  } catch (const CommError& e) {
+    EXPECT_EQ(e.kind(), CommErrorKind::kPeerFailed);
+    comm_errors.fetch_add(1);
+  }
+  peer.join();
+  EXPECT_EQ(comm_errors.load(), 2);
+  EXPECT_TRUE(comms[0].aborted());
+}
+
+// A hung (not crashed) rank is exactly what deadlines exist for: the
+// waiting rank times out and poisons the group; the hung rank finds the
+// poison when it finally wakes up.
+TEST_F(CommFailureTest, HungRankDetectedByDeadline) {
+  auto& faults = common::FaultInjector::instance();
+  faults.arm_nth_call("comm.all_reduce.r1", 1);
+  faults.set_action_hang("comm.all_reduce.r1", /*auto_release_ms=*/700);
+
+  auto comms = make_group(2, /*timeout_ms=*/200);
+  std::atomic<bool> hung_rank_failed{false};
+  std::thread hung([&] {
+    std::vector<float> buf(4, 1.0F);
+    try {
+      comms[1].all_reduce_sum(buf);  // parks ~700ms, then finds poison
+    } catch (const CommError&) {
+      hung_rank_failed.store(true);
+    }
+  });
+
+  std::vector<float> buf(4, 1.0F);
+  bool timed_out = false;
+  try {
+    comms[0].all_reduce_sum(buf);
+  } catch (const CommError& e) {
+    timed_out = true;
+    EXPECT_EQ(e.kind(), CommErrorKind::kTimeout);
+  }
+  hung.join();
+  EXPECT_TRUE(timed_out);
+  EXPECT_TRUE(hung_rank_failed.load());
+  EXPECT_NE(comms[0].health(1), RankHealth::kHealthy);
+}
+
+// A slow rank (delay fault) inside the deadline is *not* a failure: the
+// collective completes and the health table stays clean.
+TEST_F(CommFailureTest, DelayedRankWithinDeadlineSucceeds) {
+  auto& faults = common::FaultInjector::instance();
+  faults.arm_nth_call("comm.all_reduce.r1", 1);
+  faults.set_action_delay("comm.all_reduce.r1", 100);
+
+  auto comms = make_group(2, /*timeout_ms=*/5000);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<float> buf(4, static_cast<float>(r + 1));
+      comms[static_cast<size_t>(r)].all_reduce_sum(buf);
+      for (const float v : buf) EXPECT_FLOAT_EQ(v, 3.0F);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(comms[0].aborted());
+  EXPECT_EQ(comms[0].health(0), RankHealth::kHealthy);
+  EXPECT_EQ(comms[0].health(1), RankHealth::kHealthy);
+}
+
+// The async path surfaces the same typed failures from wait(): a rank
+// killed at collective entry leaves its peers' deadlines to fire, and
+// every error comes out of AsyncRequest::wait, not the submitting call.
+TEST_F(CommFailureTest, AsyncCollectivesSurfaceTypedFailures) {
+  auto& faults = common::FaultInjector::instance();
+  faults.arm_nth_call("comm.all_reduce.r2", 1);
+
+  constexpr int kRanks = 3;
+  auto comms = make_group(kRanks, /*timeout_ms=*/300);
+  std::atomic<int> injected{0};
+  std::atomic<int> comm_errors{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<float> buf(32, static_cast<float>(r));
+      AsyncRequest req =
+          comms[static_cast<size_t>(r)].all_reduce_sum_async(buf);
+      try {
+        req.wait();
+      } catch (const common::FaultInjected&) {
+        injected.fetch_add(1);
+      } catch (const CommError&) {
+        comm_errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(injected.load(), 1);      // the killed rank
+  EXPECT_EQ(comm_errors.load(), 2);   // its peers (timeout / poisoned)
+  EXPECT_TRUE(comms[0].aborted());
+  EXPECT_NE(comms[0].health(2), RankHealth::kHealthy);
+
+  // Later async submissions on the poisoned group fail fast.
+  std::vector<float> buf(8, 1.0F);
+  AsyncRequest req = comms[0].all_reduce_sum_async(buf);
+  EXPECT_THROW(req.wait(), CommError);
+}
+
+TEST_F(CommFailureTest, RejectsMalformedTimeoutEnv) {
+  ::setenv("DMIS_COMM_TIMEOUT_MS", "soon", 1);
+  EXPECT_THROW(make_group(2), InvalidArgument);
+  ::setenv("DMIS_COMM_TIMEOUT_MS", "250", 1);
+  auto comms = make_group(2);
+  EXPECT_EQ(comms[0].timeout_ms(), 250);
+  ::unsetenv("DMIS_COMM_TIMEOUT_MS");
+}
+
+}  // namespace
+}  // namespace dmis::comm

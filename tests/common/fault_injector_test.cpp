@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -148,6 +149,83 @@ TEST_F(FaultInjectorTest, RejectsBadArguments) {
   EXPECT_THROW(fi.arm_every_n("p", 0), InvalidArgument);
   EXPECT_THROW(fi.arm_probability("p", -0.1), InvalidArgument);
   EXPECT_THROW(fi.arm_probability("p", 1.5), InvalidArgument);
+}
+
+TEST_F(FaultInjectorTest, DelayActionSleepsThenProceeds) {
+  auto& fi = FaultInjector::instance();
+  fi.arm_nth_call("p", 1, /*max_fires=*/1);
+  fi.set_action_delay("p", 60);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_NO_THROW(fi.maybe_fail("p"));  // fires, but sleeps instead
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 50);
+  EXPECT_EQ(fi.fires("p"), 1);
+  // Budget spent: the next call neither throws nor sleeps.
+  const auto t1 = std::chrono::steady_clock::now();
+  EXPECT_NO_THROW(fi.maybe_fail("p"));
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t1)
+                .count(),
+            50);
+}
+
+TEST_F(FaultInjectorTest, HangActionParksUntilReleased) {
+  auto& fi = FaultInjector::instance();
+  fi.arm_nth_call("p", 1);
+  fi.set_action_hang("p");
+  std::thread victim([&] { fi.maybe_fail("p"); });
+  while (fi.hung_now() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(fi.hung_now(), 1);
+  fi.release_hangs();
+  victim.join();
+  EXPECT_EQ(fi.hung_now(), 0);
+  EXPECT_EQ(fi.fires("p"), 1);
+}
+
+TEST_F(FaultInjectorTest, HangActionAutoReleases) {
+  auto& fi = FaultInjector::instance();
+  fi.arm_nth_call("p", 1);
+  fi.set_action_hang("p", /*auto_release_ms=*/60);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_NO_THROW(fi.maybe_fail("p"));  // returns on its own
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 50);
+  EXPECT_EQ(fi.hung_now(), 0);
+}
+
+TEST_F(FaultInjectorTest, ResetReleasesParkedThreads) {
+  auto& fi = FaultInjector::instance();
+  fi.arm_nth_call("p", 1);
+  fi.set_action_hang("p");
+  std::thread victim([&] { fi.maybe_fail("p"); });
+  while (fi.hung_now() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  fi.reset();  // teardown path: must never leave a thread parked
+  victim.join();
+  EXPECT_EQ(fi.hung_now(), 0);
+}
+
+TEST_F(FaultInjectorTest, RankScopedPointTargetsOneRank) {
+  auto& fi = FaultInjector::instance();
+  fi.arm_every_n("p.r2", 1);
+  EXPECT_NO_THROW(fi.maybe_fail("p", 0));
+  EXPECT_NO_THROW(fi.maybe_fail("p", 1));
+  EXPECT_THROW(fi.maybe_fail("p", 2), FaultInjected);
+  EXPECT_THROW(fi.maybe_fail("p", 2), FaultInjected);
+  EXPECT_EQ(fi.fires("p.r2"), 2);
+  EXPECT_EQ(fi.fires("p"), 0);
+}
+
+TEST_F(FaultInjectorTest, BarePointStillFiresForEveryRank) {
+  auto& fi = FaultInjector::instance();
+  fi.arm_every_n("p", 1, /*max_fires=*/2);
+  EXPECT_THROW(fi.maybe_fail("p", 0), FaultInjected);
+  EXPECT_THROW(fi.maybe_fail("p", 7), FaultInjected);
 }
 
 TEST_F(FaultInjectorTest, ThreadSafeCounting) {

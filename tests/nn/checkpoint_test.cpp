@@ -196,5 +196,55 @@ TEST_F(CheckpointTest, CrashBeforeRenamePreservesOldCheckpoint) {
   EXPECT_FLOAT_EQ(r[0], 4.0F);
 }
 
+TEST_F(CheckpointTest, SweepRemovesOnlyStaleTmpFiles) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("dmis_sweep_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream a(dir / "model.ckpt.tmp");
+    a << "torn";
+    std::ofstream b(dir / "other.tmp");
+    b << "torn too";
+    std::ofstream keep(dir / "model.ckpt");
+    keep << "real";
+  }
+  EXPECT_EQ(sweep_stale_checkpoints(dir.string()), 2);
+  EXPECT_FALSE(std::filesystem::exists(dir / "model.ckpt.tmp"));
+  EXPECT_FALSE(std::filesystem::exists(dir / "other.tmp"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "model.ckpt"));
+  // Idempotent: nothing left to sweep.
+  EXPECT_EQ(sweep_stale_checkpoints(dir.string()), 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CheckpointTest, SweepMissingDirIsNoop) {
+  EXPECT_EQ(sweep_stale_checkpoints("/nonexistent/dir/for/sweep"), 0);
+}
+
+TEST_F(CheckpointTest, SweepReclaimsCrashedSaveLeftovers) {
+  // Simulate a crash between write and rename: the .tmp this save aborts
+  // on is exactly what a restart's sweep must clear.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("dmis_sweep_crash_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string ckpt = (dir / "elastic.ckpt").string();
+  {
+    std::ofstream stale(ckpt + ".tmp");
+    stale << "leftover from a crashed process";
+  }
+  EXPECT_EQ(sweep_stale_checkpoints(dir.string()), 1);
+
+  // A fresh save then lands cleanly where the leftover used to be.
+  NDArray w(Shape{4}, 5.0F);
+  NDArray g(Shape{4});
+  std::vector<Param> params{{"a", &w, &g}};
+  save_checkpoint(ckpt, params);
+  NDArray r(Shape{4});
+  std::vector<Param> restored{{"a", &r, &g}};
+  load_checkpoint(ckpt, restored);
+  EXPECT_FLOAT_EQ(r[0], 5.0F);
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace dmis::nn

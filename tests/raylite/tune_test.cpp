@@ -8,11 +8,13 @@
 #include <atomic>
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "comm/communicator.hpp"
 #include "common/check.hpp"
 #include "common/fault_injector.hpp"
 
@@ -354,6 +356,149 @@ TEST_F(TuneRetryTest, RejectsBadRetryPolicy) {
   opts.retry.backoff_base = -0.1;
   EXPECT_THROW(tune_run(synthetic_trainable, lr_grid(), opts),
                InvalidArgument);
+  opts.retry.backoff_base = 0.05;
+  opts.retry.jitter = 1.5;
+  EXPECT_THROW(tune_run(synthetic_trainable, lr_grid(), opts),
+               InvalidArgument);
+  opts.retry.jitter = -0.1;
+  EXPECT_THROW(tune_run(synthetic_trainable, lr_grid(), opts),
+               InvalidArgument);
+}
+
+// A comm timeout or peer failure inside a trial's data-parallel group
+// is transient — a slow or dead rank, not a bad configuration — so the
+// trial is rescheduled and can succeed on retry.
+TEST_F(TuneRetryTest, CommTimeoutAndPeerFailureAreTransient) {
+  std::mutex mu;
+  std::map<double, int> attempts_by_lr;
+  const auto flaky_comm = [&](const ParamSet& params, Reporter& reporter) {
+    const double lr = param_double(params, "lr");
+    int attempt = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      attempt = ++attempts_by_lr[lr];
+    }
+    if (attempt == 1) {
+      if (lr > 5e-4) {
+        throw comm::CommError(comm::CommErrorKind::kTimeout,
+                              "collective deadline expired on rank 1");
+      }
+      throw comm::CommError(comm::CommErrorKind::kPeerFailed,
+                            "rank 2 failed: simulated crash");
+    }
+    reporter.report(0, {{"val_dice", 0.5}});
+  };
+  TuneOptions opts;
+  opts.num_gpus = 2;
+  opts.retry.max_retries = 2;
+  opts.retry.backoff_base = 0.001;
+  opts.retry.backoff_cap = 0.01;
+  const TuneResult result = tune_run(flaky_comm, lr_grid(), opts);
+  EXPECT_EQ(result.count(TrialStatus::kTerminated), 4);
+  EXPECT_EQ(result.count(TrialStatus::kFailed), 0);
+  for (const Trial& t : result.trials) {
+    EXPECT_EQ(t.attempts, 2);
+    EXPECT_FALSE(t.permanent_error);
+    ASSERT_EQ(t.transient_errors.size(), 1U);
+  }
+}
+
+// An aborted comm group was killed deliberately: retrying cannot help,
+// so the trial lands in kFailed immediately without burning retries.
+TEST_F(TuneRetryTest, CommAbortIsPermanent) {
+  std::atomic<int> calls{0};
+  const auto aborted = [&](const ParamSet&, Reporter&) {
+    calls.fetch_add(1);
+    throw comm::CommError(comm::CommErrorKind::kAborted,
+                          "rank 0 fenced out of the group");
+  };
+  TuneOptions opts;
+  opts.num_gpus = 2;
+  opts.retry.max_retries = 3;
+  opts.retry.backoff_base = 0.001;
+  const TuneResult result = tune_run(aborted, lr_grid(), opts);
+  EXPECT_EQ(result.count(TrialStatus::kFailed), 4);
+  EXPECT_EQ(calls.load(), 4);  // one attempt each, never retried
+  for (const Trial& t : result.trials) {
+    EXPECT_EQ(t.attempts, 1);
+    EXPECT_TRUE(t.permanent_error);
+    EXPECT_TRUE(t.transient_errors.empty());
+    EXPECT_NE(t.error.find("fenced"), std::string::npos);
+  }
+}
+
+// A bad configuration stays bad: InvalidArgument is permanent too.
+TEST_F(TuneRetryTest, InvalidConfigIsPermanent) {
+  const auto bad_config = [](const ParamSet& params, Reporter& reporter) {
+    if (param_double(params, "lr") > 5e-4) {
+      throw InvalidArgument("negative filter count");
+    }
+    reporter.report(0, {{"val_dice", 0.5}});
+  };
+  TuneOptions opts;
+  opts.num_gpus = 2;
+  opts.retry.max_retries = 2;
+  opts.retry.backoff_base = 0.001;
+  const TuneResult result = tune_run(bad_config, lr_grid(), opts);
+  EXPECT_EQ(result.count(TrialStatus::kFailed), 1);
+  EXPECT_EQ(result.count(TrialStatus::kTerminated), 3);
+  for (const Trial& t : result.trials) {
+    if (t.status != TrialStatus::kFailed) continue;
+    EXPECT_EQ(t.attempts, 1);
+    EXPECT_TRUE(t.permanent_error);
+  }
+}
+
+// Jitter extremes must keep the backoff path functional (the delay can
+// shrink to near zero but never goes negative or hangs).
+TEST_F(TuneRetryTest, FullJitterStillRetriesToSuccess) {
+  std::mutex mu;
+  std::map<double, int> attempts_by_lr;
+  const auto flaky_once = [&](const ParamSet& params, Reporter& reporter) {
+    const double lr = param_double(params, "lr");
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (++attempts_by_lr[lr] == 1) throw IoError("transient");
+    }
+    reporter.report(0, {{"val_dice", 0.5}});
+  };
+  TuneOptions opts;
+  opts.num_gpus = 2;
+  opts.retry.max_retries = 1;
+  opts.retry.backoff_base = 0.001;
+  opts.retry.backoff_cap = 0.01;
+  opts.retry.jitter = 1.0;
+  const TuneResult result = tune_run(flaky_once, lr_grid(), opts);
+  EXPECT_EQ(result.count(TrialStatus::kTerminated), 4);
+  EXPECT_EQ(result.transient_failures(), 4);
+}
+
+// Leftover *.tmp files from a crashed checkpoint save must be swept
+// when the trial directory is (re)created, so a resuming attempt can
+// never mistake a torn temp file for progress.
+TEST_F(TuneRetryTest, StaleTmpFilesSweptFromTrialDirs) {
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("dmis_tune_sweep_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::create_directories(root + "/trial_0");
+  {
+    std::ofstream stale(root + "/trial_0/model.ckpt.tmp");
+    stale << "torn write";
+    std::ofstream keep(root + "/trial_0/model.ckpt");
+    keep << "real checkpoint";
+  }
+  const auto trainable = [](const ParamSet&, Reporter& reporter) {
+    reporter.report(0, {{"val_dice", 0.5}});
+  };
+  TuneOptions opts;
+  opts.num_gpus = 2;
+  opts.checkpoint_root = root;
+  const TuneResult result = tune_run(trainable, lr_grid(), opts);
+  EXPECT_EQ(result.count(TrialStatus::kTerminated), 4);
+  EXPECT_FALSE(std::filesystem::exists(root + "/trial_0/model.ckpt.tmp"));
+  EXPECT_TRUE(std::filesystem::exists(root + "/trial_0/model.ckpt"));
+  std::filesystem::remove_all(root);
 }
 
 }  // namespace

@@ -39,10 +39,28 @@ done
 echo "== tsan: raylite + comm + train + obs suites =="
 cmake -B build-tsan -S . -DDMIS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}" \
-  --target raylite_test comm_test train_test common_test obs_test chaos_test
+  --target raylite_test comm_test train_test common_test obs_test \
+           chaos_test chaos_dp_test
 for t in raylite_test comm_test train_test common_test obs_test chaos_test; do
   echo "-- tsan: ${t}"
   ./build-tsan/tests/"${t}"
+done
+
+echo "== tsan chaos: elastic data-parallel recovery under rank loss =="
+# The acceptance gate of the failure-semantics PR: a 4-rank mirrored run
+# loses one rank mid-step (crashed and hung variants) and must either
+# abort with a typed CommError within the deadline or shrink to the
+# survivors, restore the step-consistent checkpoint, and match the
+# fault-free smaller run — deadlock- and race-free under TSan.
+./build-tsan/tests/chaos_dp_test
+
+echo "== ubsan: comm failure semantics + elastic recovery suites =="
+cmake -B build-ubsan -S . -DDMIS_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j"${JOBS}" \
+  --target comm_test train_test common_test chaos_dp_test
+for t in comm_test train_test common_test chaos_dp_test; do
+  echo "-- ubsan: ${t}"
+  ./build-ubsan/tests/"${t}"
 done
 
 echo "== telemetry: traced example smokes =="
