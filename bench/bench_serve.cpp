@@ -1,0 +1,104 @@
+// Serving throughput/latency across worker-pool sizes.
+//
+// Each iteration pushes a batch of volumes through a SegmentationServer
+// at 1/2/4 workers and waits for every future, recording client-observed
+// latency (submit -> get). Reported counters: volumes/sec
+// (items_per_second), p50_ms / p99_ms, and shed — which must stay 0 at
+// this nominal load (queue is sized for the whole batch); verify.sh
+// asserts both the zero-shed invariant and a scaling floor on the
+// 4-worker vs 1-worker throughput ratio.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace dmis;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kBatch = 8;
+
+nn::UNet3dOptions bench_model() {
+  nn::UNet3dOptions opts;
+  opts.in_channels = 1;
+  opts.base_filters = 2;
+  opts.depth = 2;
+  opts.seed = 31;
+  return opts;
+}
+
+std::vector<data::Volume> bench_volumes() {
+  std::vector<data::Volume> volumes;
+  volumes.reserve(kBatch);
+  for (uint64_t s = 0; s < kBatch; ++s) {
+    data::Volume v(1, 8, 16, 16);
+    Rng rng(s + 1);
+    for (int64_t i = 0; i < v.tensor().numel(); ++i) {
+      v.tensor()[i] = static_cast<float>(rng.normal());
+    }
+    volumes.push_back(std::move(v));
+  }
+  return volumes;
+}
+
+void BM_ServeThroughput(benchmark::State& state) {
+  serve::ServeOptions options;
+  options.num_workers = static_cast<int>(state.range(0));
+  options.queue_capacity = 2 * kBatch;  // nominal load: nothing sheds
+  options.default_deadline_ms = 0;
+  serve::SegmentationServer server(bench_model(), "", options);
+  const std::vector<data::Volume> volumes = bench_volumes();
+
+  std::vector<double> latencies_ms;
+  int64_t served = 0;
+  int64_t shed = 0;
+  for (auto _ : state) {
+    std::vector<std::future<core::SegmentationResult>> futures;
+    std::vector<Clock::time_point> submitted;
+    futures.reserve(kBatch);
+    submitted.reserve(kBatch);
+    for (const data::Volume& v : volumes) {
+      submitted.push_back(Clock::now());
+      try {
+        futures.push_back(server.submit(v));
+      } catch (const serve::ServeError&) {
+        ++shed;
+        submitted.pop_back();
+      }
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      benchmark::DoNotOptimize(futures[i].get());
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() -
+                                                    submitted[i])
+              .count());
+      ++served;
+    }
+  }
+
+  state.SetItemsProcessed(served);
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  if (!latencies_ms.empty()) {
+    const size_t n = latencies_ms.size();
+    state.counters["p50_ms"] = latencies_ms[n / 2];
+    state.counters["p99_ms"] =
+        latencies_ms[static_cast<size_t>(0.99 * static_cast<double>(n - 1))];
+  }
+  state.counters["shed"] = static_cast<double>(shed);
+}
+BENCHMARK(BM_ServeThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,9 +1,10 @@
 #include "core/serve.hpp"
 
-#include "common/check.hpp"
+#include <cmath>
+#include <sstream>
+
 #include "data/transforms.hpp"
 #include "nn/checkpoint.hpp"
-#include "nn/infer.hpp"
 
 namespace dmis::core {
 
@@ -12,17 +13,67 @@ SegmentationService::SegmentationService(const nn::UNet3dOptions& options,
     : model_(options) {
   if (!checkpoint_path.empty()) {
     auto params = model_.checkpoint_params();
-    nn::load_checkpoint(checkpoint_path, params);
+    try {
+      nn::load_checkpoint(checkpoint_path, params);
+    } catch (const IoError& e) {
+      // Corrupt, truncated or missing checkpoints must surface as a
+      // typed backend failure the server can report — never as a
+      // process-killing condition.
+      throw BackendError(std::string("checkpoint restore failed: ") +
+                         e.what());
+    }
+  }
+}
+
+SegmentationService::SegmentationService(const nn::UNet3dOptions& options,
+                                         SegmentationService& weights_from)
+    : model_(options) {
+  auto dst = model_.checkpoint_params();
+  auto src = weights_from.model_.checkpoint_params();
+  DMIS_ASSERT(dst.size() == src.size(),
+              "weight-sharing services must use identical model options");
+  for (size_t i = 0; i < dst.size(); ++i) {
+    DMIS_ASSERT(dst[i].name == src[i].name &&
+                    dst[i].value->shape() == src[i].value->shape(),
+                "weight mismatch at " << dst[i].name);
+    *dst[i].value = *src[i].value;
   }
 }
 
 SegmentationResult SegmentationService::segment(const data::Volume& volume,
                                                 float threshold) {
-  DMIS_CHECK(volume.channels() == model_.options().in_channels,
-             "service expects " << model_.options().in_channels
-                                << " modalities, got " << volume.channels());
-  DMIS_CHECK(threshold > 0.0F && threshold < 1.0F,
-             "threshold must be in (0,1), got " << threshold);
+  SegmentOptions options;
+  options.threshold = threshold;
+  return segment(volume, options);
+}
+
+SegmentationResult SegmentationService::segment(const data::Volume& volume,
+                                                const SegmentOptions& options) {
+  const float threshold = options.threshold;
+  if (volume.channels() != model_.options().in_channels) {
+    std::ostringstream os;
+    os << "service expects " << model_.options().in_channels
+       << " modalities, got " << volume.channels();
+    throw BadInputError(os.str());
+  }
+  if (!(threshold > 0.0F && threshold < 1.0F)) {
+    std::ostringstream os;
+    os << "threshold must be in (0,1), got " << threshold;
+    throw BadInputError(os.str());
+  }
+  if (volume.voxels_per_channel() <= 0) {
+    throw BadInputError("volume has no voxels");
+  }
+  if (options.reject_degenerate) {
+    const data::DegeneracyReport report = data::check_degenerate(volume);
+    if (!report.ok()) {
+      std::ostringstream os;
+      os << "degenerate volume: " << report.nonfinite_voxels
+         << " non-finite voxels, " << report.zero_variance_channels
+         << " zero-variance channels";
+      throw BadInputError(os.str());
+    }
+  }
 
   // Same preprocessing as training: per-channel standardization. The
   // spatial crop is NOT applied — padding handles divisibility and the
@@ -33,7 +84,18 @@ SegmentationResult SegmentationService::segment(const data::Volume& volume,
   NDArray input(Shape{1, volume.channels(), volume.depth(), volume.height(),
                       volume.width()},
                 standardized.tensor().span());
-  const NDArray probs = nn::infer_padded(model_, input);
+  const bool patch_mode =
+      options.full_volume_voxel_budget > 0 &&
+      volume.voxels_per_channel() > options.full_volume_voxel_budget;
+  NDArray probs;
+  if (patch_mode) {
+    nn::SlidingWindowOptions sw = options.sliding_window;
+    sw.tile_hook = options.progress_hook;
+    probs = nn::infer_sliding_window(model_, input, sw);
+  } else {
+    if (options.progress_hook) options.progress_hook();
+    probs = nn::infer_padded(model_, input);
+  }
 
   SegmentationResult result;
   result.probabilities =

@@ -1,16 +1,42 @@
 // Segmentation serving: the deployment path a downstream user runs
 // after training — load a checkpoint once, then segment raw multi-modal
-// volumes end to end (preprocess, padded full-volume inference,
-// threshold, report).
+// volumes end to end (preprocess, padded full-volume or sliding-window
+// inference, threshold, report).
+//
+// Error contract (what the dmis_serve server layer maps to wire
+// errors): input problems — wrong modality count, out-of-range
+// threshold, non-finite or zero-variance voxel data — throw
+// BadInputError; model problems — missing/corrupt/truncated checkpoint
+// — throw BackendError. Both are ordinary exceptions; nothing in this
+// class aborts the process.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
+#include "common/check.hpp"
 #include "data/volume.hpp"
+#include "nn/infer.hpp"
 #include "nn/unet3d.hpp"
 
 namespace dmis::core {
+
+/// The caller handed in a volume or threshold the model cannot serve.
+/// Subclasses InvalidArgument so generic precondition handling applies.
+class BadInputError : public InvalidArgument {
+ public:
+  explicit BadInputError(const std::string& what) : InvalidArgument(what) {}
+};
+
+/// The model backend is unusable: the checkpoint is missing, truncated,
+/// or fails its CRC. Subclasses IoError (the underlying cause is I/O)
+/// so pre-existing handlers keep working.
+class BackendError : public IoError {
+ public:
+  explicit BackendError(const std::string& what) : IoError(what) {}
+};
 
 struct SegmentationResult {
   data::Volume mask;           ///< (1, D, H, W) binary mask, input geometry.
@@ -19,18 +45,47 @@ struct SegmentationResult {
   int64_t tumor_voxels = 0;
 };
 
+struct SegmentOptions {
+  float threshold = 0.5F;
+  /// Volumes whose spatial voxel count (D*H*W) exceeds this budget are
+  /// served via sliding-window patch inference instead of padded
+  /// full-volume mode. 0 = no budget (always full-volume).
+  int64_t full_volume_voxel_budget = 0;
+  nn::SlidingWindowOptions sliding_window;
+  /// Reject non-finite / zero-variance inputs with BadInputError before
+  /// they reach standardization (where they would become NaN
+  /// probabilities or an all-zero channel).
+  bool reject_degenerate = true;
+  /// Invoked before each forward pass (once in full-volume mode, per
+  /// tile in sliding-window mode); may throw to abandon the request —
+  /// the server's deadline and fault-injection hook.
+  std::function<void()> progress_hook;
+};
+
 class SegmentationService {
  public:
   /// Builds the model from `options` and, if `checkpoint_path` is
-  /// non-empty, restores weights and batch-norm state from it.
+  /// non-empty, restores weights and batch-norm state from it. Throws
+  /// BackendError when the checkpoint cannot be restored.
   SegmentationService(const nn::UNet3dOptions& options,
                       const std::string& checkpoint_path);
+
+  /// Builds a model instance sharing `weights_from`'s weight set (one
+  /// checkpoint load fans out to a worker pool without re-reading or
+  /// re-verifying the file). Both services must use identical options.
+  SegmentationService(const nn::UNet3dOptions& options,
+                      SegmentationService& weights_from);
 
   /// Segments one raw multi-modal volume. The input is standardized
   /// per channel (as the training pipeline does) and padded to the
   /// model's divisor; the outputs match the INPUT geometry exactly.
   SegmentationResult segment(const data::Volume& volume,
                              float threshold = 0.5F);
+
+  /// Full-control overload (serving mode selection, degeneracy policy,
+  /// progress hook).
+  SegmentationResult segment(const data::Volume& volume,
+                             const SegmentOptions& options);
 
   nn::UNet3d& model() { return model_; }
 

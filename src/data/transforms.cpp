@@ -54,6 +54,29 @@ void standardize_per_channel(Volume& v) {
   }
 }
 
+DegeneracyReport check_degenerate(const Volume& v) {
+  DegeneracyReport report;
+  const int64_t per = v.voxels_per_channel();
+  const float* data = v.tensor().data();
+  for (int64_t c = 0; c < v.channels(); ++c) {
+    const float* ch = data + c * per;
+    double sum = 0.0, sq = 0.0;
+    int64_t nonfinite = 0;
+    for (int64_t i = 0; i < per; ++i) {
+      if (!std::isfinite(ch[i])) ++nonfinite;
+      sum += ch[i];
+      sq += static_cast<double>(ch[i]) * ch[i];
+    }
+    report.nonfinite_voxels += nonfinite;
+    if (nonfinite == 0 && per > 0) {
+      const double mean = sum / static_cast<double>(per);
+      const double var = sq / static_cast<double>(per) - mean * mean;
+      if (var <= 1e-12) ++report.zero_variance_channels;
+    }
+  }
+  return report;
+}
+
 Volume join_labels_binary(const Volume& labels) {
   DMIS_CHECK(labels.channels() == 1,
              "label volume must have 1 channel, got " << labels.channels());

@@ -27,6 +27,22 @@ Volume center_crop(const Volume& v, int64_t depth, int64_t height,
 /// Channels with zero variance become all-zero.
 void standardize_per_channel(Volume& v);
 
+/// Degeneracy report for a volume about to be standardized. Non-finite
+/// voxels would propagate NaN through the mean/std into every output
+/// probability; a zero-variance channel carries no signal and collapses
+/// to all-zero. Serving rejects both up front instead of emitting
+/// garbage masks.
+struct DegeneracyReport {
+  int64_t nonfinite_voxels = 0;       ///< NaN or +/-Inf voxels, all channels.
+  int64_t zero_variance_channels = 0; ///< Channels with var <= 1e-12.
+  bool ok() const {
+    return nonfinite_voxels == 0 && zero_variance_channels == 0;
+  }
+};
+
+/// Single-pass scan of every channel for the degeneracies above.
+DegeneracyReport check_degenerate(const Volume& v);
+
 /// Joins MSD classes {1, 2, 3} into binary "whole tumor" (the paper's
 /// 4-class -> binary reduction). Input values outside {0..3} throw.
 Volume join_labels_binary(const Volume& labels);

@@ -1,5 +1,9 @@
 #include "nn/infer.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "common/check.hpp"
 
 namespace dmis::nn {
@@ -74,6 +78,170 @@ NDArray infer_padded(UNet3d& net, const NDArray& input) {
   const NDArray padded = pad_to_divisible(input, net.spatial_divisor());
   const NDArray& out = net.forward(padded, /*training=*/false);
   return crop_spatial(out, s.d(), s.dim(3), s.dim(4));
+}
+
+namespace {
+
+/// Tile origins along one axis: multiples of `stride` from 0, with the
+/// final origin clamped so the last core ends exactly at `extent`
+/// (nnU-Net-style tiling; all values stay multiples of the divisor
+/// because extent, core and stride are).
+std::vector<int64_t> tile_origins(int64_t extent, int64_t core,
+                                  int64_t stride) {
+  std::vector<int64_t> origins;
+  for (int64_t o = 0;; o += stride) {
+    if (o + core >= extent) {
+      origins.push_back(extent - core);
+      break;
+    }
+    origins.push_back(o);
+  }
+  return origins;
+}
+
+/// Gaussian blend weights over one core axis, peak 1 at the center.
+std::vector<double> gaussian_weights(int64_t core, double sigma_scale) {
+  std::vector<double> w(static_cast<size_t>(core), 1.0);
+  const double sigma = std::max(1.0, sigma_scale * static_cast<double>(core));
+  const double center = static_cast<double>(core - 1) / 2.0;
+  for (int64_t i = 0; i < core; ++i) {
+    const double d = (static_cast<double>(i) - center) / sigma;
+    w[static_cast<size_t>(i)] = std::exp(-0.5 * d * d);
+  }
+  return w;
+}
+
+/// Copies the spatial box [z0,z1)x[y0,y1)x[x0,x1) of a (1,C,D,H,W)
+/// array into a new (1,C,z1-z0,y1-y0,x1-x0) array.
+NDArray extract_box(const NDArray& src, int64_t z0, int64_t z1, int64_t y0,
+                    int64_t y1, int64_t x0, int64_t x1) {
+  const Shape& s = src.shape();
+  const int64_t C = s.c(), D = s.d(), H = s.dim(3), W = s.dim(4);
+  const int64_t BD = z1 - z0, BH = y1 - y0, BW = x1 - x0;
+  NDArray out(Shape{1, C, BD, BH, BW});
+  for (int64_t c = 0; c < C; ++c) {
+    const float* sp = src.data() + c * D * H * W;
+    float* dp = out.data() + c * BD * BH * BW;
+    for (int64_t z = 0; z < BD; ++z) {
+      for (int64_t y = 0; y < BH; ++y) {
+        const float* srow = sp + ((z + z0) * H + (y + y0)) * W + x0;
+        float* drow = dp + (z * BH + y) * BW;
+        std::copy(srow, srow + BW, drow);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+NDArray infer_sliding_window(UNet3d& net, const NDArray& input,
+                             const SlidingWindowOptions& options) {
+  const Shape& s = input.shape();
+  DMIS_CHECK(s.rank() == 5, "expects (N,C,D,H,W), got " << s.str());
+  DMIS_CHECK(s.n() == 1, "sliding-window inference serves one volume at a "
+                         "time, got batch " << s.n());
+  DMIS_CHECK(options.overlap >= 0.0 && options.overlap < 1.0,
+             "overlap must be in [0,1), got " << options.overlap);
+  DMIS_CHECK(options.patch_depth > 0 && options.patch_height > 0 &&
+                 options.patch_width > 0,
+             "patch extents must be positive");
+  DMIS_CHECK(options.halo >= 0, "halo must be >= 0, got " << options.halo);
+
+  const int64_t g = net.spatial_divisor();
+  const NDArray padded = pad_to_divisible(input, g);
+  const Shape& p = padded.shape();
+  const int64_t dims[3] = {p.d(), p.dim(3), p.dim(4)};
+  const int64_t requested[3] = {options.patch_depth, options.patch_height,
+                                options.patch_width};
+  const int64_t halo = round_up(options.halo, g);
+
+  int64_t core[3];
+  std::vector<int64_t> origins[3];
+  for (int a = 0; a < 3; ++a) {
+    core[a] = std::min(dims[a], round_up(requested[a], g));
+    int64_t stride = static_cast<int64_t>(
+        static_cast<double>(core[a]) * (1.0 - options.overlap));
+    stride = std::max(g, stride / g * g);
+    origins[a] = tile_origins(dims[a], core[a], stride);
+  }
+
+  // One tile covering the whole padded volume degenerates to the
+  // full-volume path; skip the blend so the two modes agree bitwise.
+  if (origins[0].size() == 1 && origins[1].size() == 1 &&
+      origins[2].size() == 1 && core[0] == dims[0] && core[1] == dims[1] &&
+      core[2] == dims[2]) {
+    if (options.tile_hook) options.tile_hook();
+    const NDArray& out = net.forward(padded, /*training=*/false);
+    return crop_spatial(out, s.d(), s.dim(3), s.dim(4));
+  }
+
+  const std::vector<double> wz = gaussian_weights(core[0],
+                                                  options.gaussian_sigma_scale);
+  const std::vector<double> wy = gaussian_weights(core[1],
+                                                  options.gaussian_sigma_scale);
+  const std::vector<double> wx = gaussian_weights(core[2],
+                                                  options.gaussian_sigma_scale);
+
+  const int64_t out_c = net.options().out_channels;
+  const int64_t spatial = dims[0] * dims[1] * dims[2];
+  std::vector<double> accum(static_cast<size_t>(out_c * spatial), 0.0);
+  std::vector<double> weight(static_cast<size_t>(spatial), 0.0);
+
+  for (int64_t oz : origins[0]) {
+    for (int64_t oy : origins[1]) {
+      for (int64_t ox : origins[2]) {
+        if (options.tile_hook) options.tile_hook();
+        // Read the core plus its halo of real context (clamped to the
+        // padded volume; halo and origins are divisor-aligned so the
+        // sub-volume stays pooling-aligned with the full volume).
+        const int64_t z0 = std::max<int64_t>(0, oz - halo);
+        const int64_t z1 = std::min(dims[0], oz + core[0] + halo);
+        const int64_t y0 = std::max<int64_t>(0, oy - halo);
+        const int64_t y1 = std::min(dims[1], oy + core[1] + halo);
+        const int64_t x0 = std::max<int64_t>(0, ox - halo);
+        const int64_t x1 = std::min(dims[2], ox + core[2] + halo);
+        const NDArray patch = extract_box(padded, z0, z1, y0, y1, x0, x1);
+        const NDArray& probs = net.forward(patch, /*training=*/false);
+
+        const int64_t BD = z1 - z0, BH = y1 - y0, BW = x1 - x0;
+        for (int64_t c = 0; c < out_c; ++c) {
+          const float* pp = probs.data() + c * BD * BH * BW;
+          for (int64_t z = 0; z < core[0]; ++z) {
+            const double wgz = wz[static_cast<size_t>(z)];
+            for (int64_t y = 0; y < core[1]; ++y) {
+              const double wzy = wgz * wy[static_cast<size_t>(y)];
+              const float* prow =
+                  pp + ((z + oz - z0) * BH + (y + oy - y0)) * BW + (ox - x0);
+              double* arow = accum.data() +
+                             ((c * dims[0] + z + oz) * dims[1] + y + oy) *
+                                 dims[2] + ox;
+              double* wrow = weight.data() +
+                             ((z + oz) * dims[1] + y + oy) * dims[2] + ox;
+              for (int64_t x = 0; x < core[2]; ++x) {
+                const double w = wzy * wx[static_cast<size_t>(x)];
+                arow[x] += w * static_cast<double>(prow[x]);
+                if (c == 0) wrow[x] += w;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  NDArray blended(Shape{1, out_c, dims[0], dims[1], dims[2]});
+  for (int64_t c = 0; c < out_c; ++c) {
+    const double* ap = accum.data() + c * spatial;
+    const double* wp = weight.data();
+    float* bp = blended.data() + c * spatial;
+    for (int64_t i = 0; i < spatial; ++i) {
+      DMIS_ASSERT(wp[i] > 0.0, "sliding-window tiles left voxel " << i
+                               << " uncovered");
+      bp[i] = static_cast<float>(ap[i] / wp[i]);
+    }
+  }
+  return crop_spatial(blended, s.d(), s.dim(3), s.dim(4));
 }
 
 }  // namespace dmis::nn

@@ -12,7 +12,7 @@
 // Channel-policy note: the paper reports 406,793 parameters but does not
 // pin the transposed-convolution channel policy. This preset keeps the
 // channel count through the up-convolution (409,657 parameters for the
-// paper configuration, +0.70%); see DESIGN.md section 11.
+// paper configuration, +0.70%); see DESIGN.md section 12.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,16 @@
+#include "serve/error.hpp"
+
+namespace dmis::serve {
+
+const char* serve_error_kind_name(ServeErrorKind kind) {
+  switch (kind) {
+    case ServeErrorKind::kDeadlineExceeded: return "deadline_exceeded";
+    case ServeErrorKind::kQueueFull: return "queue_full";
+    case ServeErrorKind::kShedding: return "shedding";
+    case ServeErrorKind::kBadInput: return "bad_input";
+    case ServeErrorKind::kBackendFailed: return "backend_failed";
+  }
+  return "unknown";
+}
+
+}  // namespace dmis::serve

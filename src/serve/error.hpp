@@ -1,0 +1,38 @@
+// Typed serving errors — the wire-level failure vocabulary of the
+// segmentation server. Every request submitted to a SegmentationServer
+// resolves to either a result or exactly one of these kinds; nothing in
+// the serving path aborts the process.
+#pragma once
+
+#include <string>
+
+#include "common/check.hpp"
+
+namespace dmis::serve {
+
+enum class ServeErrorKind {
+  kDeadlineExceeded,  ///< The request's deadline passed before a result.
+  kQueueFull,         ///< The bounded request queue was at capacity.
+  kShedding,          ///< Admission control refused the request (overload,
+                      ///< open circuit breaker, or a draining server).
+  kBadInput,          ///< The volume/threshold cannot be served.
+  kBackendFailed,     ///< The model backend failed (crash, corrupt output,
+                      ///< unusable checkpoint).
+};
+
+/// Stable lowercase name ("deadline_exceeded", "queue_full", ...).
+const char* serve_error_kind_name(ServeErrorKind kind);
+
+class ServeError : public Error {
+ public:
+  ServeError(ServeErrorKind kind, const std::string& what)
+      : Error(std::string(serve_error_kind_name(kind)) + ": " + what),
+        kind_(kind) {}
+
+  ServeErrorKind kind() const { return kind_; }
+
+ private:
+  ServeErrorKind kind_;
+};
+
+}  // namespace dmis::serve

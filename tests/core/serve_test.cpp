@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <limits>
 
 #include "common/check.hpp"
 #include "data/phantom.hpp"
@@ -105,6 +108,104 @@ TEST(SegmentationServiceTest, RejectsBadInputs) {
   EXPECT_THROW(service.segment(ok, 0.0F), InvalidArgument);
   EXPECT_THROW(service.segment(ok, 1.0F), InvalidArgument);
   EXPECT_THROW(SegmentationService(tiny_model(), "/no/such/ckpt"), IoError);
+}
+
+TEST(SegmentationServiceTest, BadInputsThrowTypedErrors) {
+  SegmentationService service(tiny_model(), "");
+  data::Volume wrong_channels(2, 8, 8, 8);
+  EXPECT_THROW(service.segment(wrong_channels), BadInputError);
+  EXPECT_THROW(SegmentationService(tiny_model(), "/no/such/ckpt"),
+               BackendError);
+}
+
+TEST(SegmentationServiceTest, RejectsDegenerateVolumes) {
+  SegmentationService service(tiny_model(), "");
+  data::PhantomOptions popts;
+  popts.depth = 8;
+  popts.height = 8;
+  popts.width = 8;
+  const data::PhantomGenerator gen(popts);
+
+  // A NaN voxel would flow through standardization into NaN
+  // probabilities everywhere; the service must refuse it up front.
+  data::Volume nan_volume = gen.generate(0).image;
+  nan_volume.at(1, 2, 3, 4) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(service.segment(nan_volume), BadInputError);
+
+  data::Volume inf_volume = gen.generate(1).image;
+  inf_volume.at(0, 0, 0, 0) = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(service.segment(inf_volume), BadInputError);
+
+  // A constant channel (e.g. a dead acquisition) carries no signal.
+  data::Volume flat_channel = gen.generate(2).image;
+  float* data = flat_channel.tensor().data() +
+                2 * flat_channel.voxels_per_channel();
+  std::fill(data, data + flat_channel.voxels_per_channel(), 7.5F);
+  EXPECT_THROW(service.segment(flat_channel), BadInputError);
+
+  // The guard is a policy, not a hard precondition.
+  SegmentOptions permissive;
+  permissive.reject_degenerate = false;
+  EXPECT_NO_THROW(service.segment(flat_channel, permissive));
+}
+
+TEST(SegmentationServiceTest, CorruptCheckpointIsBackendError) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("dmis_serve_bad_" + std::to_string(::getpid()) + ".ckpt");
+  {
+    std::ofstream out(path);
+    out << "not a checkpoint";
+  }
+  EXPECT_THROW(SegmentationService(tiny_model(), path.string()),
+               BackendError);
+  std::filesystem::remove(path);
+}
+
+TEST(SegmentationServiceTest, WeightSharingInstanceMatchesSourceBitwise) {
+  data::PhantomOptions popts;
+  popts.depth = 9;
+  popts.height = 11;
+  popts.width = 13;
+  const data::PhantomSubject subj = data::PhantomGenerator(popts).generate(4);
+
+  SegmentationService source(tiny_model(), "");
+  SegmentationService sharer(tiny_model(), source);
+  const SegmentationResult a = source.segment(subj.image);
+  const SegmentationResult b = sharer.segment(subj.image);
+  ASSERT_EQ(a.probabilities.tensor().numel(), b.probabilities.tensor().numel());
+  for (int64_t i = 0; i < a.probabilities.tensor().numel(); ++i) {
+    ASSERT_EQ(a.probabilities.tensor()[i], b.probabilities.tensor()[i]);
+  }
+  EXPECT_EQ(a.tumor_voxels, b.tumor_voxels);
+}
+
+TEST(SegmentationServiceTest, SlidingWindowModeMatchesFullVolume) {
+  data::PhantomOptions popts;
+  popts.depth = 9;
+  popts.height = 11;
+  popts.width = 13;
+  const data::PhantomSubject subj = data::PhantomGenerator(popts).generate(5);
+  SegmentationService service(tiny_model(), "");
+
+  const SegmentationResult full = service.segment(subj.image);
+
+  // Force patch mode with a tiny budget; a patch covering the whole
+  // volume makes the two modes agree bitwise.
+  SegmentOptions opts;
+  opts.full_volume_voxel_budget = 8;
+  opts.sliding_window.patch_depth = 64;
+  opts.sliding_window.patch_height = 64;
+  opts.sliding_window.patch_width = 64;
+  int hook_calls = 0;
+  opts.progress_hook = [&hook_calls] { ++hook_calls; };
+  const SegmentationResult tiled = service.segment(subj.image, opts);
+  EXPECT_GE(hook_calls, 1);
+  for (int64_t i = 0; i < full.probabilities.tensor().numel(); ++i) {
+    ASSERT_EQ(full.probabilities.tensor()[i], tiled.probabilities.tensor()[i]);
+  }
+  for (int64_t i = 0; i < full.mask.tensor().numel(); ++i) {
+    ASSERT_EQ(full.mask.tensor()[i], tiled.mask.tensor()[i]);
+  }
 }
 
 }  // namespace

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 #include "data/phantom.hpp"
@@ -121,6 +123,46 @@ TEST(PreprocessSubjectTest, GeometryMismatchThrows) {
   Volume img(4, 8, 8, 8);
   Volume lbl(1, 8, 8, 9);
   EXPECT_THROW(preprocess_subject(img, lbl, 0), InvalidArgument);
+}
+
+TEST(CheckDegenerateTest, CleanPhantomIsOk) {
+  PhantomOptions popts;
+  popts.depth = 8;
+  popts.height = 8;
+  popts.width = 8;
+  const PhantomSubject s = PhantomGenerator(popts).generate(0);
+  const DegeneracyReport report = check_degenerate(s.image);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.nonfinite_voxels, 0);
+  EXPECT_EQ(report.zero_variance_channels, 0);
+}
+
+TEST(CheckDegenerateTest, CountsNonFiniteVoxels) {
+  PhantomOptions popts;
+  popts.depth = 8;
+  popts.height = 8;
+  popts.width = 8;
+  Volume v = PhantomGenerator(popts).generate(1).image;
+  v.at(0, 1, 1, 1) = std::numeric_limits<float>::quiet_NaN();
+  v.at(2, 0, 0, 0) = std::numeric_limits<float>::infinity();
+  v.at(3, 7, 7, 7) = -std::numeric_limits<float>::infinity();
+  const DegeneracyReport report = check_degenerate(v);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.nonfinite_voxels, 3);
+}
+
+TEST(CheckDegenerateTest, FlagsZeroVarianceChannels) {
+  PhantomOptions popts;
+  popts.depth = 8;
+  popts.height = 8;
+  popts.width = 8;
+  Volume v = PhantomGenerator(popts).generate(2).image;
+  float* ch = v.tensor().data() + 1 * v.voxels_per_channel();
+  std::fill(ch, ch + v.voxels_per_channel(), 3.25F);
+  const DegeneracyReport report = check_degenerate(v);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.zero_variance_channels, 1);
+  EXPECT_EQ(report.nonfinite_voxels, 0);
 }
 
 }  // namespace

@@ -1,0 +1,193 @@
+// chaos_serve: the serving robustness acceptance gate.
+//
+// A 4-worker SegmentationServer is driven through a request mix while
+// the fault injector crashes worker pickups, hangs one worker (with
+// auto-release, modeling a transient stall), and slows inference. The
+// gate asserts the robustness contract end to end:
+//   * every submitted request resolves — to a result or a *typed*
+//     ServeError — with no deadlock, no abort, no stuck future;
+//   * results produced under chaos are bitwise identical to the
+//     fault-free run (faults fail requests, never corrupt survivors);
+//   * the server keeps serving after the faults stop (health recovers).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injector.hpp"
+#include "core/serve.hpp"
+#include "data/volume.hpp"
+#include "serve/server.hpp"
+#include "tensor/rng.hpp"
+
+namespace dmis::serve {
+namespace {
+
+constexpr int kRequests = 16;
+
+nn::UNet3dOptions tiny_model() {
+  nn::UNet3dOptions opts;
+  opts.in_channels = 1;
+  opts.base_filters = 2;
+  opts.depth = 2;
+  opts.seed = 23;
+  return opts;
+}
+
+data::Volume noise_volume(uint64_t seed) {
+  data::Volume v(1, 8, 8, 8);
+  Rng rng(seed);
+  for (int64_t i = 0; i < v.tensor().numel(); ++i) {
+    v.tensor()[i] = static_cast<float>(rng.normal());
+  }
+  return v;
+}
+
+ServeOptions chaos_options() {
+  ServeOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 32;
+  // Generous: queue wait on a 1-core TSan host is real latency, and the
+  // gate is about *typed* resolution, not tight tail bounds.
+  options.default_deadline_ms = 30000;
+  options.breaker_recovery_successes = 1;
+  return options;
+}
+
+class ChaosServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { common::FaultInjector::instance().reset(); }
+  void TearDown() override { common::FaultInjector::instance().reset(); }
+};
+
+TEST_F(ChaosServeTest, ChaosRunShedsOrFailsTypedAndMatchesFaultFreeBitwise) {
+  auto& injector = common::FaultInjector::instance();
+  std::vector<data::Volume> volumes;
+  volumes.reserve(kRequests);
+  for (uint64_t s = 0; s < kRequests; ++s) {
+    volumes.push_back(noise_volume(s));
+  }
+
+  // ---- Fault-free reference run. -----------------------------------
+  std::vector<core::SegmentationResult> reference;
+  reference.reserve(kRequests);
+  {
+    SegmentationServer server(tiny_model(), "", chaos_options());
+    std::vector<std::future<core::SegmentationResult>> futures;
+    futures.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i) {
+      futures.push_back(server.submit(volumes[static_cast<size_t>(i)]));
+    }
+    for (int i = 0; i < kRequests; ++i) {
+      ASSERT_EQ(futures[static_cast<size_t>(i)].wait_for(
+                    std::chrono::seconds(120)),
+                std::future_status::ready)
+          << "fault-free request " << i << " never resolved";
+      reference.push_back(futures[static_cast<size_t>(i)].get());
+    }
+    const ServerStats stats = server.stats();
+    ASSERT_EQ(stats.completed, kRequests);
+    ASSERT_EQ(stats.shed, 0) << "nominal load must not shed";
+    ASSERT_EQ(stats.timeouts, 0);
+    ASSERT_EQ(stats.errors, 0);
+  }
+
+  // ---- Chaos run against a fresh server with the same weights. -----
+  SegmentationServer server(tiny_model(), "", chaos_options());
+
+  // Every 5th worker pickup crashes (the worker thread must survive).
+  injector.arm_every_n("serve.worker", 5);
+  // Worker 1 stalls on its first pickup and recovers after 300ms —
+  // a transient hang, not a death; its request should still complete.
+  injector.arm_nth_call("serve.worker.r1", 1);
+  injector.set_action_hang("serve.worker.r1", /*auto_release_ms=*/300);
+  // Every 7th forward pass runs slow.
+  injector.arm_every_n("serve.infer", 7);
+  injector.set_action_delay("serve.infer", 50);
+
+  std::vector<std::future<core::SegmentationResult>> futures(kRequests);
+  std::vector<bool> admitted(kRequests, false);
+  int shed_at_submit = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    try {
+      futures[static_cast<size_t>(i)] =
+          server.submit(volumes[static_cast<size_t>(i)]);
+      admitted[static_cast<size_t>(i)] = true;
+    } catch (const ServeError&) {
+      ++shed_at_submit;  // typed admission rejection is a valid outcome
+    }
+  }
+
+  int successes = 0;
+  int typed_failures = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    if (!admitted[static_cast<size_t>(i)]) continue;
+    auto& fut = futures[static_cast<size_t>(i)];
+    // The liveness half of the gate: no future may hang past its
+    // deadline (30s) plus scheduling slack, faults or not.
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(120)),
+              std::future_status::ready)
+        << "chaos request " << i << " never resolved";
+    try {
+      const core::SegmentationResult got = fut.get();
+      // The integrity half: survivors are bitwise identical to the
+      // fault-free run — chaos may fail requests, never corrupt them.
+      const core::SegmentationResult& want =
+          reference[static_cast<size_t>(i)];
+      ASSERT_EQ(got.mask.tensor().numel(), want.mask.tensor().numel());
+      for (int64_t v = 0; v < got.mask.tensor().numel(); ++v) {
+        ASSERT_EQ(got.mask.tensor()[v], want.mask.tensor()[v])
+            << "request " << i << " voxel " << v;
+      }
+      for (int64_t v = 0; v < got.probabilities.tensor().numel(); ++v) {
+        ASSERT_EQ(got.probabilities.tensor()[v],
+                  want.probabilities.tensor()[v]);
+      }
+      EXPECT_EQ(got.tumor_voxels, want.tumor_voxels);
+      ++successes;
+    } catch (const ServeError& e) {
+      (void)serve_error_kind_name(e.kind());  // every kind must name
+      ++typed_failures;
+    } catch (const std::exception& e) {
+      FAIL() << "request " << i
+             << " failed with a non-ServeError: " << e.what();
+    }
+  }
+
+  // Accounting closes: nothing vanished.
+  EXPECT_EQ(successes + typed_failures + shed_at_submit, kRequests);
+  EXPECT_GE(successes, 1) << "chaos run produced no survivors to compare";
+  EXPECT_GE(typed_failures, 1) << "faults armed but nothing failed — "
+                                  "the chaos gate exercised nothing";
+  {
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.accepted, successes + typed_failures);
+    EXPECT_EQ(stats.completed, successes);
+    EXPECT_EQ(stats.timeouts + stats.errors,
+              typed_failures + 0);  // no submit-time bad inputs here
+  }
+
+  // ---- Recovery: faults gone, the server must serve again. ---------
+  injector.reset();
+  bool recovered = false;
+  for (int attempt = 0; attempt < 20 && !recovered; ++attempt) {
+    try {
+      const core::SegmentationResult result =
+          server.segment(volumes[0]);
+      for (int64_t v = 0; v < result.mask.tensor().numel(); ++v) {
+        ASSERT_EQ(result.mask.tensor()[v], reference[0].mask.tensor()[v]);
+      }
+      recovered = true;
+    } catch (const ServeError&) {
+      // Breaker may still be half-open; give the probe a beat.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  EXPECT_TRUE(recovered) << "server did not resume serving after faults";
+  EXPECT_EQ(server.health(), HealthState::kHealthy);
+}
+
+}  // namespace
+}  // namespace dmis::serve
