@@ -14,6 +14,7 @@
 #include <future>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 #include "tensor/rng.hpp"
 
@@ -55,7 +56,12 @@ void BM_ServeThroughput(benchmark::State& state) {
   serve::SegmentationServer server(bench_model(), "", options);
   const std::vector<data::Volume> volumes = bench_volumes();
 
-  std::vector<double> latencies_ms;
+  // Standalone (unregistered) histogram; p50/p99 come from the shared
+  // obs::Histogram::quantile() estimator — the same one the /metrics
+  // exporter and dmis_top use — instead of a bench-local sort.
+  obs::Histogram latencies_ms("bench.serve.latency_ms",
+                              {0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0,
+                               20.0, 50.0, 100.0, 200.0, 500.0, 1000.0});
   int64_t served = 0;
   int64_t shed = 0;
   for (auto _ : state) {
@@ -74,7 +80,7 @@ void BM_ServeThroughput(benchmark::State& state) {
     }
     for (size_t i = 0; i < futures.size(); ++i) {
       benchmark::DoNotOptimize(futures[i].get());
-      latencies_ms.push_back(
+      latencies_ms.observe(
           std::chrono::duration<double, std::milli>(Clock::now() -
                                                     submitted[i])
               .count());
@@ -83,12 +89,9 @@ void BM_ServeThroughput(benchmark::State& state) {
   }
 
   state.SetItemsProcessed(served);
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  if (!latencies_ms.empty()) {
-    const size_t n = latencies_ms.size();
-    state.counters["p50_ms"] = latencies_ms[n / 2];
-    state.counters["p99_ms"] =
-        latencies_ms[static_cast<size_t>(0.99 * static_cast<double>(n - 1))];
+  if (latencies_ms.count() > 0) {
+    state.counters["p50_ms"] = latencies_ms.quantile(0.5);
+    state.counters["p99_ms"] = latencies_ms.quantile(0.99);
   }
   state.counters["shed"] = static_cast<double>(shed);
 }

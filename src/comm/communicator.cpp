@@ -9,6 +9,7 @@
 
 #include "common/check.hpp"
 #include "common/fault_injector.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -151,13 +152,37 @@ CollectiveContext::CollectiveContext(int size, int64_t timeout_ms)
   for (int r = 0; r < size; ++r) {
     queues_.push_back(std::make_unique<RankQueue>());
   }
+  static std::atomic<int> next_group_id{0};
+  group_id_ = next_group_id.fetch_add(1, std::memory_order_relaxed);
+  flight_token_ = obs::FlightRecorder::instance().register_health_provider(
+      "comm.group" + std::to_string(group_id_),
+      [this] { return render_health_json(); });
 }
 
 CollectiveContext::~CollectiveContext() {
+  obs::FlightRecorder::instance().unregister_health_provider(flight_token_);
   if (!workers_active_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
   for (auto& q : queues_) q->cv.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+std::string CollectiveContext::render_health_json() const {
+  const char* names[] = {"healthy", "suspect", "dead"};
+  std::ostringstream os;
+  os << "{\"size\":" << size_
+     << ",\"aborted\":" << (aborted() ? "true" : "false") << ",\"ranks\":[";
+  for (int r = 0; r < size_; ++r) {
+    const RankState& rs = rank_state_[static_cast<size_t>(r)];
+    const uint8_t h = rs.health.load(std::memory_order_acquire);
+    if (r > 0) os << ',';
+    os << "{\"rank\":" << r << ",\"health\":\""
+       << names[h < 3 ? h : 2] << "\",\"ops\":"
+       << rs.ops.load(std::memory_order_acquire) << ",\"last_beat_us\":"
+       << rs.last_beat_us.load(std::memory_order_relaxed) << '}';
+  }
+  os << "]}";
+  return os.str();
 }
 
 RankHealth CollectiveContext::health(int rank) const {
@@ -217,6 +242,7 @@ void CollectiveContext::sync(const Deadline& deadline, int rank) {
     lock.unlock();
     barrier_cv_.notify_all();
     agree_cv_.notify_all();
+    obs::FlightRecorder::instance().dump("comm.abort.desync");
     throw CommError(CommErrorKind::kPeerFailed, reason);
   }
   const uint64_t gen = generation_;
@@ -266,6 +292,7 @@ void CollectiveContext::sync(const Deadline& deadline, int rank) {
         CommMetrics::get().aborts.add(1);
         lock.unlock();
         barrier_cv_.notify_all();
+        obs::FlightRecorder::instance().dump("comm.abort.timeout");
         throw CommError(CommErrorKind::kTimeout,
                         "collective deadline of " +
                             std::to_string(timeout_ms_) +
@@ -289,6 +316,9 @@ void CollectiveContext::abort(CommErrorKind kind, const std::string& reason) {
   }
   barrier_cv_.notify_all();
   agree_cv_.notify_all();
+  // After the locks are gone: a fatal group poisoning is exactly the
+  // moment the flight recorder exists for.
+  obs::FlightRecorder::instance().dump("comm.abort");
 }
 
 void CollectiveContext::mark_failed(int rank, const std::string& why) {

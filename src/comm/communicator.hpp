@@ -210,6 +210,9 @@ class CollectiveContext {
 
   [[noreturn]] void throw_poisoned_locked() const;
 
+  /// Rank health table as a JSON object (flight-recorder provider).
+  std::string render_health_json() const;
+
   /// Starts the per-rank comm workers (idempotent, thread-safe).
   void ensure_workers();
   /// True once workers have started; acquire pairs with the release in
@@ -253,6 +256,11 @@ class CollectiveContext {
   std::atomic<bool> stopping_{false};
   std::vector<std::unique_ptr<RankQueue>> queues_;
   std::vector<std::thread> workers_;
+
+  // Flight-recorder integration: the group publishes its rank health
+  // table ("comm.group<id>") for crash dumps.
+  int group_id_ = 0;
+  int flight_token_ = -1;
 };
 
 /// One rank's handle onto the group.

@@ -50,13 +50,22 @@ std::string tune_table(const ray::TuneResult& result,
   std::ostringstream os;
   os << std::left << std::setw(static_cast<int>(config_width) + 2) << "config"
      << std::setw(12) << "status" << std::setw(7) << "iters" << std::setw(10)
-     << "attempts" << std::setw(11) << "transient" << metric << '\n';
+     << "attempts" << std::setw(11) << "transient" << std::setw(11)
+     << "straggler" << metric << '\n';
   for (const ray::Trial& t : result.trials) {
     os << std::left << std::setw(static_cast<int>(config_width) + 2)
        << ray::param_set_str(t.params) << std::setw(12)
        << ray::trial_status_name(t.status) << std::setw(7) << t.iterations
        << std::setw(10) << t.attempts << std::setw(11)
        << t.transient_errors.size();
+    // Max/median inter-epoch time ratio; "-" until enough reports.
+    if (t.straggler_ratio > 0.0) {
+      std::ostringstream ratio;
+      ratio << std::fixed << std::setprecision(2) << t.straggler_ratio;
+      os << std::setw(11) << ratio.str();
+    } else {
+      os << std::setw(11) << "-";
+    }
     const auto it = t.last_metrics.find(metric);
     if (it != t.last_metrics.end()) {
       os << std::fixed << std::setprecision(4) << it->second;
@@ -75,12 +84,14 @@ void save_tune_csv(const std::string& path, const ray::TuneResult& result,
                    const std::string& metric) {
   std::ofstream os(path, std::ios::trunc);
   DMIS_CHECK_IO(os.good(), "cannot open '" << path << "' for writing");
-  os << "id,config,status,iterations,attempts,transient_errors," << metric
-     << '\n';
+  os << "id,config,status,iterations,attempts,transient_errors,"
+        "straggler_ratio,"
+     << metric << '\n';
   for (const ray::Trial& t : result.trials) {
     os << t.id << ",\"" << ray::param_set_str(t.params) << "\","
        << ray::trial_status_name(t.status) << ',' << t.iterations << ','
-       << t.attempts << ',' << t.transient_errors.size() << ',';
+       << t.attempts << ',' << t.transient_errors.size() << ','
+       << std::setprecision(4) << t.straggler_ratio << ',';
     const auto it = t.last_metrics.find(metric);
     if (it != t.last_metrics.end()) {
       os << std::setprecision(6) << it->second;

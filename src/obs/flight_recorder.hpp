@@ -1,0 +1,105 @@
+// Crash flight recorder: one-shot diagnostic dumps on fatal events.
+//
+// Chaos-gate failures used to be undiagnosable: a comm abort or a
+// tripped serving breaker tears the process down and the only artifact
+// is the exception message. With DMIS_FLIGHT_DIR=<dir> set, the flight
+// recorder writes a self-contained JSON dump — the most recent trace
+// spans, a full metrics snapshot, and whatever health tables the live
+// subsystems registered (per-rank comm heartbeats/ops) — whenever:
+//
+//   * comm aborts a collective group (timeout, poison pill, rank loss),
+//   * serve's circuit breaker trips into degraded mode,
+//   * the process receives SIGUSR1 (on-demand snapshot of a live run),
+//   * anyone calls FlightRecorder::instance().dump(trigger).
+//
+// Dumps are written atomically (tmp + rename) as
+// <dir>/flight_<pid>_<seq>.json, so a watcher never reads a torn file,
+// and each trigger gets its own sequence number — an abort cascade
+// leaves one dump per trigger rather than overwriting the first.
+//
+// Signal handling: SIGUSR1/SIGINT/SIGTERM handlers only write one byte
+// to a self-pipe (async-signal-safe); a watcher thread performs the
+// actual dump. For SIGINT/SIGTERM the watcher also flushes the
+// DMIS_METRICS / DMIS_TRACE exports (idempotent with the atexit path
+// via the *_once guards) and then re-raises the signal with the
+// default disposition, so interrupted sweeps still leave telemetry
+// behind and the exit status stays signal-accurate. The INT/TERM
+// handlers are installed only when some telemetry export is configured
+// and the process has not installed its own handler.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dmis::obs {
+
+class FlightRecorder {
+ public:
+  /// Renders one subsystem's health table as a JSON value (object or
+  /// array). Called with the recorder's mutex held — keep it
+  /// allocation-light and never let it dump() reentrantly.
+  using HealthProvider = std::function<std::string()>;
+
+  /// Process-wide recorder (never destroyed). Reads DMIS_FLIGHT_DIR on
+  /// first touch; configure() can (re)arm it explicitly in tests.
+  static FlightRecorder& instance();
+
+  /// Arms the recorder: dumps go to `dir` (created if missing) and
+  /// carry at most `max_spans` of the newest trace spans. An empty dir
+  /// disarms.
+  void configure(std::string dir, size_t max_spans = 512);
+
+  bool enabled() const;
+
+  /// Registers a health table under `name` ("comm.group<id>"); returns
+  /// a token for unregister_health_provider(). Subsystems with bounded
+  /// lifetimes (collective groups) must unregister before destruction.
+  int register_health_provider(std::string name, HealthProvider provider);
+  void unregister_health_provider(int token);
+
+  /// Writes a dump describing `trigger` ("comm.abort", "serve.breaker_trip",
+  /// "signal.SIGUSR1", ...). Returns the dump path, or "" when disarmed
+  /// or the write failed (a failed flight dump must never mask the
+  /// original fault — errors are logged, not thrown).
+  std::string dump(const std::string& trigger);
+
+  /// Dumps performed so far / path of the most recent one.
+  int64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+  std::string last_path() const;
+
+ private:
+  FlightRecorder() = default;
+
+  mutable std::mutex mutex_;
+  std::string dir_;
+  size_t max_spans_ = 512;
+  struct Provider {
+    int token;
+    std::string name;
+    HealthProvider fn;
+  };
+  std::vector<Provider> providers_;
+  int next_token_ = 1;
+  std::atomic<int64_t> dumps_{0};
+  std::atomic<int64_t> seq_{0};
+  std::string last_path_;
+};
+
+/// Flushes every configured telemetry export right now: the
+/// DMIS_METRICS JSONL dump and DMIS_TRACE Chrome trace (both once-only,
+/// shared with the atexit hooks) plus a flight dump under `trigger`
+/// when the recorder is armed. Safe to call from any thread; NOT from
+/// a signal handler (the handlers defer here via the watcher thread).
+void dump_telemetry_now(const char* trigger);
+
+/// Installs the deferred-dump signal handlers (SIGUSR1 always when the
+/// recorder is armed; SIGINT/SIGTERM when any telemetry export is
+/// configured and the disposition is still SIG_DFL). Called once at
+/// static init; harmless to call again.
+void install_telemetry_signal_handlers();
+
+}  // namespace dmis::obs

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "common/check.hpp"
+#include "obs/rolling.hpp"
 
 namespace dmis::obs {
 namespace {
@@ -55,12 +56,65 @@ void Histogram::observe(double v) {
   atomic_add(sum_, v);
 }
 
+double Histogram::quantile(double q) const {
+  std::vector<int64_t> buckets;
+  buckets.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets.push_back(bucket_count(i));
+  }
+  return quantile_from(bounds_, buckets, q);
+}
+
+double Histogram::quantile_from(const std::vector<double>& bounds,
+                                const std::vector<int64_t>& buckets,
+                                double q) {
+  DMIS_CHECK(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1], got " << q);
+  DMIS_CHECK(buckets.size() == bounds.size() + 1,
+             "quantile_from: " << buckets.size() << " buckets for "
+                               << bounds.size() << " bounds");
+  int64_t total = 0;
+  for (const int64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  // Rank of the target observation (1-based), then walk the cumulative
+  // counts to the bucket containing it.
+  const double rank = q * static_cast<double>(total);
+  int64_t cum = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (static_cast<double>(cum) < rank) continue;
+    if (i == bounds.size()) {
+      // Overflow bucket has no upper edge; clamp to the last finite
+      // bound (Prometheus's histogram_quantile does the same).
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double hi = bounds[i];
+    const double lo = (i == 0) ? 0.0 : bounds[i - 1];
+    const int64_t in_bucket = buckets[i];
+    if (in_bucket == 0) return hi;
+    const double into = rank - static_cast<double>(cum - in_bucket);
+    return lo + (hi - lo) * into / static_cast<double>(in_bucket);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 void Histogram::reset() {
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+}
+
+bool dump_metrics_to_env_path_once() {
+  const char* path = std::getenv("DMIS_METRICS");
+  if (path == nullptr || *path == '\0') return false;
+  // The once-guard makes the atexit hook, the SIGINT/SIGTERM handlers
+  // and any explicit caller idempotent: whoever gets here first writes
+  // the file, everyone else is a no-op.
+  static std::atomic<bool> dumped{false};
+  if (dumped.exchange(true, std::memory_order_acq_rel)) return false;
+  MetricsRegistry::instance().dump_jsonl(std::string(path));
+  return true;
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
@@ -70,8 +124,7 @@ MetricsRegistry& MetricsRegistry::instance() {
     auto* r = new MetricsRegistry();
     if (const char* path = std::getenv("DMIS_METRICS");
         path != nullptr && *path != '\0') {
-      static std::string dump_path = path;
-      std::atexit([] { MetricsRegistry::instance().dump_jsonl(dump_path); });
+      std::atexit([] { dump_metrics_to_env_path_once(); });
     }
     return r;
   }();
@@ -107,6 +160,24 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *slot;
 }
 
+RollingCounter& MetricsRegistry::rolling_counter(const std::string& name,
+                                                 int64_t window_us) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = rolling_counters_[name];
+  if (slot == nullptr) slot.reset(new RollingCounter(name, window_us));
+  return *slot;
+}
+
+RollingHistogram& MetricsRegistry::rolling_histogram(
+    const std::string& name, std::vector<double> bounds, int64_t window_us) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = rolling_histograms_[name];
+  if (slot == nullptr) {
+    slot.reset(new RollingHistogram(name, std::move(bounds), window_us));
+  }
+  return *slot;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snap;
@@ -126,6 +197,15 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       hv.buckets.push_back(h->bucket_count(i));
     }
     snap.histograms.push_back(std::move(hv));
+  }
+  for (const auto& [name, rc] : rolling_counters_) {
+    snap.rolling_counters.push_back(
+        {name, rc->total(), rc->windowed(), rc->rate_per_sec()});
+  }
+  for (const auto& [name, rh] : rolling_histograms_) {
+    snap.rolling_histograms.push_back({name, rh->windowed_count(),
+                                       rh->rate_per_sec(), rh->quantile(0.5),
+                                       rh->quantile(0.9), rh->quantile(0.99)});
   }
   return snap;
 }
@@ -159,6 +239,19 @@ void MetricsRegistry::dump_jsonl(std::ostream& os) const {
     }
     os << "]}\n";
   }
+  for (const auto& rc : snap.rolling_counters) {
+    os << "{\"type\":\"rolling_counter\",\"name\":\"";
+    json_escape(os, rc.name);
+    os << "\",\"total\":" << rc.total << ",\"windowed\":" << rc.windowed
+       << ",\"rate_per_sec\":" << rc.rate_per_sec << "}\n";
+  }
+  for (const auto& rh : snap.rolling_histograms) {
+    os << "{\"type\":\"rolling_histogram\",\"name\":\"";
+    json_escape(os, rh.name);
+    os << "\",\"windowed_count\":" << rh.windowed_count
+       << ",\"rate_per_sec\":" << rh.rate_per_sec << ",\"p50\":" << rh.p50
+       << ",\"p90\":" << rh.p90 << ",\"p99\":" << rh.p99 << "}\n";
+  }
 }
 
 void MetricsRegistry::dump_jsonl(const std::string& path) const {
@@ -173,6 +266,8 @@ void MetricsRegistry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, rc] : rolling_counters_) rc->reset();
+  for (auto& [name, rh] : rolling_histograms_) rh->reset();
 }
 
 }  // namespace dmis::obs

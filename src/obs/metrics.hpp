@@ -63,8 +63,12 @@ class Gauge {
 /// Fixed-bucket histogram. Bucket i counts observations <= bounds[i];
 /// one implicit overflow bucket counts the rest. observe() is a handful
 /// of relaxed atomic ops (bucket increment, count, sum) — no locks.
+/// Constructible standalone (bench-local latency tracking); register
+/// through MetricsRegistry to have it exported.
 class Histogram {
  public:
+  Histogram(std::string name, std::vector<double> bounds);
+
   void observe(double v);
 
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -77,9 +81,23 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// q-quantile estimate (q in [0, 1]) from the bucket counts: finds
+  /// the bucket holding the target observation and interpolates
+  /// linearly inside it — the same estimator Prometheus's
+  /// histogram_quantile() applies to the exported buckets. Returns 0
+  /// on an empty histogram; observations in the overflow bucket clamp
+  /// to the last bound.
+  double quantile(double q) const;
+
+  /// The same estimate from snapshot data — the shared p50/p99 helper
+  /// used by the /metrics exporter, dmis_top and the benches.
+  /// `buckets` are per-bucket (non-cumulative) counts with
+  /// bounds.size() + 1 entries (overflow last).
+  static double quantile_from(const std::vector<double>& bounds,
+                              const std::vector<int64_t>& buckets, double q);
+
  private:
   friend class MetricsRegistry;
-  Histogram(std::string name, std::vector<double> bounds);
   void reset();
 
   std::string name_;
@@ -88,6 +106,9 @@ class Histogram {
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
+
+class RollingCounter;
+class RollingHistogram;
 
 /// Point-in-time copy of every registered instrument.
 struct MetricsSnapshot {
@@ -106,9 +127,25 @@ struct MetricsSnapshot {
     std::vector<double> bounds;
     std::vector<int64_t> buckets;  ///< bounds.size() + 1 (overflow last)
   };
+  struct RollingCounterValue {
+    std::string name;
+    int64_t total = 0;     ///< cumulative since registration
+    int64_t windowed = 0;  ///< events inside the window
+    double rate_per_sec = 0.0;
+  };
+  struct RollingHistogramValue {
+    std::string name;
+    int64_t windowed_count = 0;
+    double rate_per_sec = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
   std::vector<CounterValue> counters;
   std::vector<GaugeValue> gauges;
   std::vector<HistogramValue> histograms;
+  std::vector<RollingCounterValue> rolling_counters;
+  std::vector<RollingHistogramValue> rolling_histograms;
 };
 
 /// Default histogram bounds: exponential microsecond-ish ladder.
@@ -132,6 +169,16 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name,
                        std::vector<double> bounds = default_duration_bounds());
 
+  /// Rolling (fixed-window) instruments — see obs/rolling.hpp. As with
+  /// histogram(), the window/bounds parameters apply only on first
+  /// registration.
+  RollingCounter& rolling_counter(const std::string& name,
+                                  int64_t window_us = 60'000'000);
+  RollingHistogram& rolling_histogram(
+      const std::string& name,
+      std::vector<double> bounds = default_duration_bounds(),
+      int64_t window_us = 60'000'000);
+
   MetricsSnapshot snapshot() const;
 
   /// Writes one JSON object per instrument, one per line:
@@ -152,6 +199,15 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<RollingCounter>> rolling_counters_;
+  std::map<std::string, std::unique_ptr<RollingHistogram>> rolling_histograms_;
 };
+
+/// Dumps the registry to the DMIS_METRICS path, at most once per
+/// process no matter how many callers race (atexit, SIGINT/SIGTERM,
+/// flight recorder). Returns true if this call performed the dump,
+/// false if it already happened or DMIS_METRICS is unset. Not
+/// async-signal-safe — signal handlers must defer to a thread.
+bool dump_metrics_to_env_path_once();
 
 }  // namespace dmis::obs

@@ -86,6 +86,15 @@ void json_escape(std::ostream& os, const char* s) {
 
 Tracer::Tracer() : capacity_(capacity_from_env()) {}
 
+bool Tracer::write_trace_to_env_path_once() {
+  const char* path = std::getenv("DMIS_TRACE");
+  if (path == nullptr || *path == '\0') return false;
+  static std::atomic<bool> written{false};
+  if (written.exchange(true, std::memory_order_acq_rel)) return false;
+  Tracer::instance().write_chrome_trace(std::string(path));
+  return true;
+}
+
 Tracer& Tracer::instance() {
   // Leaked on purpose so the DMIS_TRACE atexit dump (and TLS buffer
   // handles of late-exiting threads) never touch a destroyed tracer.
@@ -93,11 +102,8 @@ Tracer& Tracer::instance() {
     auto* t = new Tracer();
     if (const char* path = std::getenv("DMIS_TRACE");
         path != nullptr && *path != '\0') {
-      static std::string trace_path = path;
       t->enable();
-      std::atexit([] {
-        Tracer::instance().write_chrome_trace(trace_path);
-      });
+      std::atexit([] { Tracer::write_trace_to_env_path_once(); });
     }
     return t;
   }();

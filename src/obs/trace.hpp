@@ -112,6 +112,12 @@ class Tracer {
   void write_chrome_trace(std::ostream& os) const;
   void write_chrome_trace(const std::string& path) const;
 
+  /// Writes the trace to the DMIS_TRACE path, at most once per process
+  /// (shared guard between the atexit hook and the SIGINT/SIGTERM
+  /// handlers). Returns true if this call wrote the file, false if it
+  /// already happened or DMIS_TRACE is unset. Not async-signal-safe.
+  static bool write_trace_to_env_path_once();
+
  private:
   Tracer();
   ThreadBuffer* buffer_for_this_thread();

@@ -121,10 +121,25 @@ class TrialReporter final : public Reporter {
 
   void report(int64_t iteration,
               const std::map<std::string, double>& metrics) override {
+    // Inter-report wall times approximate per-epoch step time; their
+    // max/median ratio is the per-trial straggler summary surfaced in
+    // tune_table / save_tune_csv.
+    const int64_t now_us = obs::Tracer::now_us();
+    intervals_us_.push_back(static_cast<double>(now_us - last_report_us_));
+    last_report_us_ = now_us;
     {
       const std::lock_guard<std::mutex> lock(trial_mutex_);
       trial_.iterations = iteration + 1;
       trial_.last_metrics = metrics;
+      if (intervals_us_.size() >= 3) {
+        std::vector<double> sorted = intervals_us_;
+        std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                         sorted.end());
+        const double median = sorted[sorted.size() / 2];
+        const double worst =
+            *std::max_element(intervals_us_.begin(), intervals_us_.end());
+        if (median > 0.0) trial_.straggler_ratio = worst / median;
+      }
     }
     if (asha_ != nullptr && !stop_) {
       const auto it = metrics.find(asha_->metric());
@@ -150,6 +165,8 @@ class TrialReporter final : public Reporter {
   std::string checkpoint_dir_;
   int64_t start_iteration_ = 0;
   bool stop_ = false;
+  int64_t last_report_us_ = obs::Tracer::now_us();
+  std::vector<double> intervals_us_;
 };
 
 }  // namespace

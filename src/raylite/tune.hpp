@@ -91,6 +91,10 @@ struct Trial {
   std::vector<std::string> transient_errors;
   /// Per-trial checkpoint directory ("" when checkpointing is off).
   std::string checkpoint_dir;
+  /// Max/median ratio of this trial's inter-report (per-epoch) wall
+  /// times — a cheap straggler summary: ~1.0 for steady progress,
+  /// large when one epoch stalled. 0 until three intervals exist.
+  double straggler_ratio = 0.0;
 };
 
 /// ASHA configuration (Li et al., adapted): rungs at grace_period *

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/fault_injector.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -361,35 +362,42 @@ void SegmentationServer::deliver_error(const RequestPtr& req,
 void SegmentationServer::finish_request(const RequestPtr& req, bool success,
                                         bool backend_failure,
                                         double latency_ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (req->probe) probe_in_flight_ = false;
-  if (success) {
-    static obs::Histogram& latency = obs::MetricsRegistry::instance()
-        .histogram("serve.latency_ms", latency_bounds_ms());
-    latency.observe(latency_ms);
-    ema_latency_ms_ = ema_latency_ms_ <= 0.0
-                          ? latency_ms
-                          : 0.8 * ema_latency_ms_ + 0.2 * latency_ms;
-    consecutive_failures_ = 0;
-    if (health_ == HealthState::kDegraded) {
-      if (++recovery_successes_ >= options_.breaker_recovery_successes) {
-        health_ = HealthState::kHealthy;
-        recovery_successes_ = 0;
-        breaker_recoveries_.fetch_add(1);
-        counter("serve.breaker.recoveries").add(1);
-        obs::MetricsRegistry::instance().gauge("serve.health").set(0.0);
+  bool tripped = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (req->probe) probe_in_flight_ = false;
+    if (success) {
+      static obs::Histogram& latency = obs::MetricsRegistry::instance()
+          .histogram("serve.latency_ms", latency_bounds_ms());
+      latency.observe(latency_ms);
+      ema_latency_ms_ = ema_latency_ms_ <= 0.0
+                            ? latency_ms
+                            : 0.8 * ema_latency_ms_ + 0.2 * latency_ms;
+      consecutive_failures_ = 0;
+      if (health_ == HealthState::kDegraded) {
+        if (++recovery_successes_ >= options_.breaker_recovery_successes) {
+          health_ = HealthState::kHealthy;
+          recovery_successes_ = 0;
+          breaker_recoveries_.fetch_add(1);
+          counter("serve.breaker.recoveries").add(1);
+          obs::MetricsRegistry::instance().gauge("serve.health").set(0.0);
+        }
+      }
+    } else if (backend_failure) {
+      recovery_successes_ = 0;
+      if (++consecutive_failures_ >= options_.breaker_trip_failures &&
+          health_ == HealthState::kHealthy) {
+        health_ = HealthState::kDegraded;
+        breaker_trips_.fetch_add(1);
+        counter("serve.breaker.trips").add(1);
+        obs::MetricsRegistry::instance().gauge("serve.health").set(1.0);
+        tripped = true;
       }
     }
-  } else if (backend_failure) {
-    recovery_successes_ = 0;
-    if (++consecutive_failures_ >= options_.breaker_trip_failures &&
-        health_ == HealthState::kHealthy) {
-      health_ = HealthState::kDegraded;
-      breaker_trips_.fetch_add(1);
-      counter("serve.breaker.trips").add(1);
-      obs::MetricsRegistry::instance().gauge("serve.health").set(1.0);
-    }
   }
+  // Dump outside the server lock: the recorder calls back into health
+  // providers, and the dump itself does file IO.
+  if (tripped) obs::FlightRecorder::instance().dump("serve.breaker_trip");
 }
 
 void SegmentationServer::reaper_loop() {

@@ -14,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "train/grad_bucketer.hpp"
+#include "train/straggler.hpp"
 
 namespace dmis::train {
 namespace {
@@ -78,6 +79,7 @@ struct MirroredStrategy::Impl {
   std::vector<std::unique_ptr<nn::Optimizer>> optimizers;
   std::vector<std::unique_ptr<GradBucketer>> bucketers;  // empty: per-tensor
   std::unique_ptr<nn::LrSchedule> schedule;
+  std::unique_ptr<StragglerDetector> straggler;
   bool elastic = false;
   std::string ckpt_path;  // elastic_dir + "/elastic.ckpt"
   int64_t recoveries = 0;
@@ -159,6 +161,9 @@ void MirroredStrategy::build_group() {
   } else {
     impl_->schedule = std::make_unique<nn::ConstantLr>(lr);
   }
+  // Fresh detector per group: after an elastic shrink the surviving
+  // replicas are renumbered, so old per-rank windows no longer apply.
+  impl_->straggler = std::make_unique<StragglerDetector>(r);
 }
 
 TrainReport MirroredStrategy::fit(data::BatchStream& train,
@@ -289,6 +294,8 @@ TrainReport MirroredStrategy::fit(data::BatchStream& train,
                   ? nullptr
                   : impl_->bucketers[static_cast<size_t>(i)].get();
           try {
+            const int64_t step_begin_us = obs::Tracer::now_us();
+            int64_t sync_wait_us = 0;
             nn::Optimizer& opt = *impl_->optimizers[static_cast<size_t>(i)];
             const int64_t lo = offsets[static_cast<size_t>(i)];
             const int64_t hi = offsets[static_cast<size_t>(i) + 1];
@@ -334,18 +341,27 @@ TrainReport MirroredStrategy::fit(data::BatchStream& train,
               // Buckets whose last gradient arrived mid-backward are
               // already in flight; flush the stragglers (all of them
               // for an idle replica), then drain and unpack.
+              const int64_t wait_begin_us = obs::Tracer::now_us();
               bucketer->flush();
               bucketer->wait_all();
+              sync_wait_us = obs::Tracer::now_us() - wait_begin_us;
               record_overlap(*bucketer, backward_end_us);
             } else {
+              const int64_t wait_begin_us = obs::Tracer::now_us();
               for (nn::Param& p : model.params()) {
                 p.grad->scale_(weight);
                 comm.all_reduce_sum(p.grad->span());
                 p.grad->scale_(inv_total);
               }
+              sync_wait_us = obs::Tracer::now_us() - wait_begin_us;
             }
             opt.set_lr(current_lr);
             opt.step();
+            impl_->straggler->record_step(
+                i, static_cast<double>(obs::Tracer::now_us() -
+                                       step_begin_us));
+            impl_->straggler->record_wait(i,
+                                          static_cast<double>(sync_wait_us));
           } catch (const comm::CommError&) {
             // A peer failed (or our own deadline fired): the group is
             // poisoned. Let go of the bucket buffers, then — in elastic
@@ -403,6 +419,10 @@ TrainReport MirroredStrategy::fit(data::BatchStream& train,
     train.reset();
     if (failed_this_epoch) continue;
     DMIS_CHECK(steps > 0, "training stream produced no batches");
+
+    // Epoch boundary: compare the ranks' rolling step-time p50s and
+    // flag (metrics + warning) if one rank is dragging the group.
+    impl_->straggler->check();
 
     EpochStats stats;
     stats.epoch = epoch;

@@ -97,6 +97,27 @@ TEST(ReportTest, TuneTableRendersStatusesAndMetrics) {
   EXPECT_NE(table.find("lr=0.0001"), std::string::npos);
   EXPECT_NE(table.find("attempts"), std::string::npos);
   EXPECT_NE(table.find("transient"), std::string::npos);
+  EXPECT_NE(table.find("straggler"), std::string::npos);
+}
+
+TEST(ReportTest, TuneTableShowsStragglerRatio) {
+  ray::TuneResult result;
+  ray::Trial steady;
+  steady.id = 0;
+  steady.params = {{"lr", 1e-4}};
+  steady.status = ray::TrialStatus::kTerminated;
+  steady.straggler_ratio = 1.08;
+  steady.last_metrics = {{"val_dice", 0.8}};
+  ray::Trial fresh;  // too few reports for a ratio -> "-"
+  fresh.id = 1;
+  fresh.params = {{"lr", 1e-3}};
+  fresh.status = ray::TrialStatus::kTerminated;
+  fresh.last_metrics = {{"val_dice", 0.7}};
+  result.trials = {steady, fresh};
+
+  const std::string table = tune_table(result);
+  EXPECT_NE(table.find("1.08"), std::string::npos) << table;
+  EXPECT_NE(table.find("-"), std::string::npos) << table;
 }
 
 TEST(ReportTest, TuneTableShowsRetryAccounting) {
@@ -143,11 +164,13 @@ TEST(ReportTest, TuneCsvQuotesConfigs) {
   std::ifstream is(path);
   std::string line;
   std::getline(is, line);
-  EXPECT_EQ(line, "id,config,status,iterations,attempts,transient_errors,val_dice");
+  EXPECT_EQ(line,
+            "id,config,status,iterations,attempts,transient_errors,"
+            "straggler_ratio,val_dice");
   std::getline(is, line);
   // The config contains a comma, so it must be quoted.
   EXPECT_NE(line.find("\"loss=dice, lr=0.0001\""), std::string::npos);
-  EXPECT_NE(line.find("TERMINATED,7,2,1,0.91"), std::string::npos);
+  EXPECT_NE(line.find("TERMINATED,7,2,1,0,0.91"), std::string::npos);
   std::filesystem::remove(path);
 }
 

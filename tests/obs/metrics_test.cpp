@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/rolling.hpp"
+
 #include <sstream>
 #include <string>
 #include <thread>
@@ -152,6 +154,82 @@ TEST_F(MetricsTest, DumpJsonlEmitsOneObjectPerLine) {
     ++n;
   }
   EXPECT_GE(n, 2);
+}
+
+TEST_F(MetricsTest, QuantileInterpolatesInsideBucket) {
+  // Standalone histogram — the shared estimator the exporter, dmis_top
+  // and bench_serve all reuse.
+  Histogram h("test.quantile", {10.0, 20.0, 40.0});
+  // 10 observations in (10, 20]: p50 lands mid-bucket.
+  for (int i = 0; i < 10; ++i) h.observe(15.0);
+  // rank 5 of 10, all in bucket (10, 20] -> 10 + 10 * 5/10 = 15.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+}
+
+TEST_F(MetricsTest, QuantileSpansBuckets) {
+  Histogram h("test.quantile2", {10.0, 20.0, 40.0});
+  for (int i = 0; i < 8; ++i) h.observe(5.0);    // bucket [0, 10]
+  for (int i = 0; i < 2; ++i) h.observe(30.0);   // bucket (20, 40]
+  // p50: rank 5 of 10 inside the first bucket -> 10 * 5/8 = 6.25.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 6.25);
+  // p95: rank 9.5; first bucket holds 8, so 1.5 into the (20, 40]
+  // bucket of 2 -> 20 + 20 * 1.5/2 = 35.
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 35.0);
+}
+
+TEST_F(MetricsTest, QuantileEmptyAndOverflow) {
+  Histogram h("test.quantile3", {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty -> 0
+  h.observe(100.0);                        // overflow bucket
+  // Overflow clamps to the last finite bound (Prometheus behavior).
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 20.0);
+}
+
+TEST_F(MetricsTest, QuantileFromSnapshotBucketsMatchesLive) {
+  Histogram h("test.quantile4", {1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 100; ++i) h.observe(0.5 + 0.07 * (i % 100));
+  std::vector<int64_t> buckets;
+  for (size_t i = 0; i <= h.bounds().size(); ++i) {
+    buckets.push_back(h.bucket_count(i));
+  }
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(Histogram::quantile_from(h.bounds(), buckets, q),
+                     h.quantile(q));
+  }
+}
+
+TEST_F(MetricsTest, RollingInstrumentsAppearInSnapshotAndJsonl) {
+  auto& reg = MetricsRegistry::instance();
+  reg.rolling_counter("test.roll_counter").add(3);
+  reg.rolling_histogram("test.roll_hist").observe(100.0);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  bool saw_rc = false;
+  bool saw_rh = false;
+  for (const auto& rc : snap.rolling_counters) {
+    if (rc.name == "test.roll_counter") {
+      saw_rc = true;
+      EXPECT_EQ(rc.total, 3);
+      EXPECT_EQ(rc.windowed, 3);
+      EXPECT_GT(rc.rate_per_sec, 0.0);
+    }
+  }
+  for (const auto& rh : snap.rolling_histograms) {
+    if (rh.name == "test.roll_hist") {
+      saw_rh = true;
+      EXPECT_EQ(rh.windowed_count, 1);
+      EXPECT_GT(rh.p50, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_rc);
+  EXPECT_TRUE(saw_rh);
+
+  std::ostringstream os;
+  reg.dump_jsonl(os);
+  EXPECT_NE(os.str().find("\"type\":\"rolling_counter\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"type\":\"rolling_histogram\""),
+            std::string::npos);
 }
 
 }  // namespace

@@ -66,6 +66,14 @@ echo "== tsan chaos: segmentation serving under crashes, hangs, delays =="
 # survivors' masks must be bitwise identical to the fault-free run, and
 # the server must keep serving once the faults stop — all TSan-clean.
 ./build-tsan/tests/chaos_serve_test
+
+echo "== tsan chaos: flight recorder on an injected collective fault =="
+# The acceptance gate of the observability PR: a rank hit by an injected
+# comm.collective fault aborts the group, and the crash dump written to
+# DMIS_FLIGHT_DIR must contain the failing collective's span and the
+# per-rank health table with the dead rank — race-free under TSan.
+./build-tsan/tests/obs_test --gtest_filter='FlightRecorder*'
+
 cmake -B build-ubsan -S . -DDMIS_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j"${JOBS}" \
   --target comm_test train_test common_test chaos_dp_test
@@ -139,6 +147,136 @@ assert counters.get("tune.trials_completed", 0) > 0, counters
 print(f"tune trace OK ({n_tune} events), dp trace OK ({n_dp} events), "
       f"metrics OK ({len(lines)} instruments)")
 EOF
+
+echo "== telemetry: live /metrics scrape during a tune sweep =="
+# The observability PR's acceptance gate: a sweep runs with the embedded
+# exporter up; a scraper polls /metrics and /healthz mid-run, validates
+# the Prometheus exposition (TYPE lines, histogram bucket cumulativity,
+# +Inf == _count), and the *last* scrape — taken in the DMIS_OBS_LINGER_MS
+# window after all counters settled — must reconcile exactly with the
+# tune.trials.* counters in the final JSONL dump. dmis_top must also be
+# able to render a live table from the same endpoint.
+OBS_PORT="$(( (RANDOM % 20000) + 20000 ))"
+# DMIS_FLIGHT_DIR is armed through the environment on purpose: the env
+# bootstrap at static-init time is a distinct code path from the
+# configure() calls the unit tests use, and it once recursed into a
+# still-initializing instance().
+DMIS_OBS_PORT="${OBS_PORT}" DMIS_OBS_LINGER_MS=4000 \
+  DMIS_METRICS="${SMOKE_DIR}/live_metrics.jsonl" \
+  DMIS_FLIGHT_DIR="${SMOKE_DIR}/flight" \
+  ./build/examples/tune_search 2 >/dev/null &
+TUNE_PID=$!
+for _ in $(seq 1 100); do  # wait for the exporter to come up
+  if ./build/tools/dmis_top --port "${OBS_PORT}" --once >"${SMOKE_DIR}/top.txt" 2>/dev/null; then
+    break
+  fi
+  sleep 0.1
+done
+grep -q "trials" "${SMOKE_DIR}/top.txt" \
+  || { echo "dmis_top produced no live table"; cat "${SMOKE_DIR}/top.txt"; exit 1; }
+kill -USR1 "${TUNE_PID}"  # on-demand flight dump from the live sweep
+python3 - "${OBS_PORT}" "${SMOKE_DIR}" <<'EOF'
+import json, sys, time, urllib.error, urllib.request
+
+port, smoke_dir = sys.argv[1], sys.argv[2]
+last_scrape = None
+health_ok = False
+deadline = time.time() + 180
+while time.time() < deadline:
+    try:
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=2) as r:
+            last_scrape = r.read().decode()
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=2) as r:
+            body = json.loads(r.read().decode())
+            assert body["status"] in ("ok", "degraded"), body
+            health_ok = True
+    except (urllib.error.URLError, ConnectionError, OSError):
+        if last_scrape is not None:
+            break  # exporter gone after the linger window: run finished
+    time.sleep(0.1)
+else:
+    sys.exit("tune_search did not finish within the scrape deadline")
+assert last_scrape, "never managed to scrape /metrics"
+assert health_ok, "never managed to scrape /healthz"
+with open(f"{smoke_dir}/final_scrape.prom", "w") as f:
+    f.write(last_scrape)
+
+# Prometheus text-format validation on the final scrape.
+families = {}
+samples = []
+for line in last_scrape.splitlines():
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        _, _, fam, kind = line.split(" ")
+        assert fam not in families, f"duplicate TYPE for {fam}"
+        families[fam] = kind
+        continue
+    assert not line.startswith("#"), f"unexpected comment: {line}"
+    name = line.split("{")[0].split(" ")[0]
+    value = line.rsplit(" ", 1)[1]
+    float(value.replace("+Inf", "inf"))  # every sample value parses
+    samples.append((name, line))
+assert families, "no TYPE lines in scrape"
+for name, line in samples:
+    base = name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            base = name[: -len(suffix)]
+    assert base in families, f"sample without TYPE: {line}"
+
+# Histogram conformance: buckets cumulative and +Inf == _count,
+# per label set.
+hist_fams = [f for f, kind in families.items() if kind == "histogram"]
+assert hist_fams, "no histogram families in scrape"
+for fam in hist_fams:
+    series = {}
+    counts = {}
+    for name, line in samples:
+        if name == f"{fam}_bucket":
+            labels = line[line.index("{") + 1:line.rindex("}")]
+            le = [kv for kv in labels.split(",") if kv.startswith('le="')][0]
+            rank = ",".join(kv for kv in labels.split(",")
+                            if not kv.startswith('le="'))
+            series.setdefault(rank, []).append(
+                (le[4:-1], int(line.rsplit(" ", 1)[1])))
+        elif name == f"{fam}_count":
+            rank = (line[line.index("{") + 1:line.rindex("}")]
+                    if "{" in line.split(" ")[0] else "")
+            counts[rank] = int(line.rsplit(" ", 1)[1])
+    for rank, buckets in series.items():
+        values = [v for _, v in buckets]  # rendered in ascending-le order
+        assert values == sorted(values), f"{fam}{{{rank}}} not cumulative"
+        assert buckets[-1][0] == "+Inf", f"{fam}{{{rank}}} missing +Inf"
+        assert buckets[-1][1] == counts[rank], \
+            f"{fam}{{{rank}}}: +Inf {buckets[-1][1]} != _count {counts[rank]}"
+
+# Exact reconciliation: the live scrape's tune counters against the
+# final JSONL dump (both written after the sweep settled).
+scraped = {name: int(line.rsplit(" ", 1)[1]) for name, line in samples
+           if name.startswith("dmis_tune_")}
+with open(f"{smoke_dir}/live_metrics.jsonl") as f:
+    dumped = {m["name"]: m["value"] for m in map(json.loads, f)
+              if m["type"] == "counter" and m["name"].startswith("tune.")}
+assert dumped, "JSONL dump has no tune counters"
+for name, value in dumped.items():
+    prom = "dmis_" + name.replace(".", "_")
+    assert prom in scraped, f"scrape missing {prom}"
+    assert scraped[prom] == value, \
+        f"{prom}: scrape {scraped[prom]} != JSONL {value}"
+completed = dumped.get("tune.trials_completed", 0)
+assert completed == 6, \
+    f"tune_search runs a 3x2 grid; completed {completed} trials"
+
+print(f"live scrape OK ({len(samples)} samples, {len(families)} families, "
+      f"{len(hist_fams)} histograms conformant, "
+      f"{len(dumped)} tune counters reconciled, {completed} trials)")
+EOF
+wait "${TUNE_PID}"
+grep -q '"trigger":"signal.SIGUSR1"' "${SMOKE_DIR}"/flight/flight_*.json \
+  || { echo "SIGUSR1 produced no flight dump"; ls -l "${SMOKE_DIR}/flight" || true; exit 1; }
 
 echo "== bench: conv kernels, gemm vs naive =="
 ./build/bench/bench_conv3d --benchmark_filter='Conv' \
