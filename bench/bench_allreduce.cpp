@@ -1,8 +1,16 @@
 // A2 — the gradient-synchronization primitive behind data parallelism.
 // Measures the real chunked ring allreduce over in-process ranks on the
 // U-Net's gradient payload (409,657 floats, the paper model), against a
-// naive gather-to-root-and-broadcast reduction, across group sizes.
+// naive gather-to-root-and-broadcast reduction, across group sizes;
+// plus the pluggable algorithm layer (ring/tree/hier and the tuner's
+// `auto`) across payload sizes, and the bucketed vs per-tensor step
+// gradient sync that verify.sh gates.
 #include <benchmark/benchmark.h>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include <functional>
 #include <memory>
@@ -89,6 +97,71 @@ BENCHMARK(BM_RingAllreducePayloadSweep)
     ->Arg(1 << 14)
     ->Arg(1 << 18)
     ->Arg(1 << 22)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Collective algorithms: ring vs tree vs hier vs auto ------------
+//
+// Four persistent rank threads (benchmark's own ->Threads(4), one rank
+// per benchmark thread — no per-iteration spawn jitter, which at 4 KiB
+// payloads is the same order as the collectives being timed), sixteen
+// back-to-back collectives per iteration. Ring, tree and auto run the
+// honest flat topology of this in-process substrate; hier is benched
+// with ranks_per_node=2 — the only shape where it runs its intra/
+// leader/broadcast phases — documenting the overhead of declaring
+// hierarchy the memory bus doesn't have. verify.sh gates `auto`
+// (argument 3) within 5% of the best fixed algorithm at every payload,
+// using the calibrated tuner's per-message choice.
+
+void BM_AllReduceAlgo(benchmark::State& state) {
+  const auto algo = static_cast<comm::AllReduceAlgo>(state.range(0));
+  const int64_t payload = state.range(1);
+  constexpr int kBackToBack = 16;
+  // Shared across the four benchmark threads; thread 0 builds it before
+  // entering the loop and the loop-entry barrier publishes it, the
+  // loop-exit barrier makes the teardown safe.
+  static std::vector<comm::Communicator>* comms = nullptr;
+  static std::vector<std::vector<float>>* bufs = nullptr;
+  if (state.thread_index() == 0) {
+    comm::GroupOptions opts;
+    opts.algo = algo;
+    opts.ranks_per_node = algo == comm::AllReduceAlgo::kHier ? 2 : 0;
+    comms = new std::vector<comm::Communicator>(
+        comm::make_group(state.threads(), opts));
+    bufs = new std::vector<std::vector<float>>(
+        static_cast<size_t>(state.threads()),
+        std::vector<float>(static_cast<size_t>(payload), 0.0F));
+  }
+  const auto rank = static_cast<size_t>(state.thread_index());
+#ifdef __linux__
+  // Pin rank r to core r: at MiB payloads the measured ring-vs-tree gap
+  // is dominated by where the scheduler lands the four threads relative
+  // to the LLC, so every algorithm case must run under one placement
+  // for the auto-within-5%-of-best gate to compare schedules, not luck.
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(rank), &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#endif
+  for (auto _ : state) {
+    for (int k = 0; k < kBackToBack; ++k) {
+      (*comms)[rank].all_reduce_sum((*bufs)[rank]);
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * kBackToBack * payload *
+                          static_cast<int64_t>(sizeof(float)));
+  state.SetLabel(comm::all_reduce_algo_name(algo));
+  if (state.thread_index() == 0) {
+    delete comms;
+    delete bufs;
+    comms = nullptr;
+    bufs = nullptr;
+  }
+}
+BENCHMARK(BM_AllReduceAlgo)
+    ->ArgsProduct({{0, 1, 2, 3},  // ring, tree, hier, auto
+                   {1 << 12, 1 << 16, 1 << 20}})
+    ->Threads(4)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 // --- Step gradient sync: per-tensor triple pass vs bucketed fused ---

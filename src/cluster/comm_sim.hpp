@@ -1,0 +1,37 @@
+// Discrete-event simulation of the comm layer's all-reduce schedules.
+//
+// comm/algorithms.hpp exports each algorithm's lockstep schedule as a
+// list of barrier-separated steps (all_reduce_steps). This module
+// executes that schedule on the EventSim: every rank is an event chain
+// that arrives at a barrier, waits for the stragglers, then performs
+// its transfer for the step — with concurrent pulls across one node's
+// inter-node link dividing the link bandwidth. The AlgoTuner predicts
+// the same quantity from closed-form alpha-beta formulas written
+// independently of the schedule; tests/cluster/comm_sim_test
+// cross-validates the two rankings on a grid of message sizes, which
+// is what lets the training stack trust `DMIS_COMM_ALGO=auto`.
+#pragma once
+
+#include <cstddef>
+
+#include "cluster/topology.hpp"
+#include "comm/algo_tuner.hpp"
+#include "comm/algorithms.hpp"
+
+namespace dmis::cluster {
+
+/// Maps a simulated cluster onto the comm cost model: NVLink becomes
+/// the intra-node alpha/beta, EDR InfiniBand the inter-node pair (a
+/// barrier spanning nodes pays both latencies). The accumulate
+/// bandwidth is derated vs the copy bandwidth (read+read+write per
+/// element vs read+write).
+comm::CommCostParams cost_params_from(const ClusterSpec& spec);
+
+/// Event-driven wall time of one blocking all-reduce of `bytes` over
+/// `world` ranks with `ranks_per_node` per node, running `algo`'s
+/// declarative schedule. Deterministic.
+double simulate_all_reduce(const comm::CommCostParams& params,
+                           comm::AllReduceAlgo algo, size_t bytes,
+                           int world, int ranks_per_node);
+
+}  // namespace dmis::cluster

@@ -39,6 +39,9 @@ struct CommMetrics {
   obs::Counter& timeouts;
   obs::Counter& aborts;
   obs::Counter& fenced;
+  obs::Counter& algo_ring;
+  obs::Counter& algo_tree;
+  obs::Counter& algo_hier;
   obs::Gauge& async_inflight;
   obs::Histogram& barrier_wait_us;
 
@@ -52,9 +55,20 @@ struct CommMetrics {
                          reg.counter("comm.timeouts"),
                          reg.counter("comm.aborts"),
                          reg.counter("comm.fenced"),
+                         reg.counter("comm.allreduce.algo.ring"),
+                         reg.counter("comm.allreduce.algo.tree"),
+                         reg.counter("comm.allreduce.algo.hier"),
                          reg.gauge("comm.async.inflight"),
                          reg.histogram("comm.barrier_wait_us")};
     return m;
+  }
+
+  obs::Counter& algo_calls(AllReduceAlgo algo) {
+    switch (algo) {
+      case AllReduceAlgo::kTree: return algo_tree;
+      case AllReduceAlgo::kHier: return algo_hier;
+      default: return algo_ring;
+    }
   }
 };
 
@@ -140,14 +154,45 @@ void wait_all(std::vector<AsyncRequest>& requests) {
 }
 
 CollectiveContext::CollectiveContext(int size, int64_t timeout_ms)
+    : CollectiveContext(size, [&] {
+        GroupOptions options;
+        options.timeout_ms = timeout_ms;
+        return options;
+      }()) {}
+
+CollectiveContext::CollectiveContext(int size, const GroupOptions& options)
     : size_(size),
-      timeout_ms_(timeout_ms < 0 ? env_timeout_ms() : timeout_ms),
+      timeout_ms_(options.timeout_ms < 0 ? env_timeout_ms()
+                                         : options.timeout_ms),
       ptrs_(static_cast<size_t>(size), nullptr),
       cptrs_(static_cast<size_t>(size), nullptr),
       sizes_(static_cast<size_t>(size), 0),
       rank_state_(static_cast<size_t>(size)),
       agree_joined_(static_cast<size_t>(size), false) {
   DMIS_CHECK(size >= 1, "communicator group needs >= 1 rank, got " << size);
+  // Env overrides beat the explicit options — the operator's knob must
+  // not lose to a hard-coded GroupOptions in some call site. Internal
+  // groups (the tuner's calibration probes) are the one exception:
+  // resolving their pinned ring back through DMIS_COMM_ALGO=auto would
+  // recurse into the calibration constructing them.
+  algo_ = options.internal
+              ? options.algo.value_or(AllReduceAlgo::kRing)
+              : env_all_reduce_algo().value_or(
+                    options.algo.value_or(AllReduceAlgo::kRing));
+  const int opt_rpn = options.ranks_per_node < 0 ? 0 : options.ranks_per_node;
+  const int rpn = options.internal
+                      ? opt_rpn
+                      : env_ranks_per_node().value_or(opt_rpn);
+  ranks_per_node_ = (rpn <= 0 || rpn > size) ? size : rpn;
+  // The tuner only pays for calibration when auto is actually in play
+  // (calibration itself builds a throwaway ring group — a concrete
+  // algorithm here is what keeps that from recursing).
+  const CommCostParams cost =
+      options.cost.has_value()
+          ? *options.cost
+          : (algo_ == AllReduceAlgo::kAuto ? CommCostParams::calibrated()
+                                           : CommCostParams::defaults());
+  tuner_ = std::make_unique<AlgoTuner>(cost, size, ranks_per_node_);
   queues_.reserve(static_cast<size_t>(size));
   for (int r = 0; r < size; ++r) {
     queues_.push_back(std::make_unique<RankQueue>());
@@ -522,38 +567,47 @@ void Communicator::broadcast_impl(std::span<float> data, int root) {
 }
 
 void Communicator::all_reduce_sum(std::span<float> data) {
-  run_ordered([this, data] { ring_all_reduce(data, 1.0F); });
+  run_ordered([this, data] { all_reduce_impl(data, 1.0F); });
 }
 
 void Communicator::all_reduce_mean(std::span<float> data) {
   const float inv = 1.0F / static_cast<float>(size());
-  run_ordered([this, data, inv] { ring_all_reduce(data, inv); });
+  run_ordered([this, data, inv] { all_reduce_impl(data, inv); });
 }
 
 AsyncRequest Communicator::all_reduce_sum_async(std::span<float> data,
                                                 float scale) {
   return ctx_->submit(rank_,
-                      [this, data, scale] { ring_all_reduce(data, scale); });
+                      [this, data, scale] { all_reduce_impl(data, scale); });
 }
 
 AsyncRequest Communicator::all_reduce_sum_async(
     std::vector<std::span<float>> buffers, float scale) {
   return ctx_->submit(rank_, [this, buffers = std::move(buffers), scale] {
-    for (const std::span<float> data : buffers) ring_all_reduce(data, scale);
+    for (const std::span<float> data : buffers) all_reduce_impl(data, scale);
   });
 }
 
-void Communicator::ring_all_reduce(std::span<float> data, float scale) {
+void Communicator::all_reduce_impl(std::span<float> data, float scale) {
   inject("comm.all_reduce", rank_);
   const int n = size();
+  // Auto resolves here, per message: choose() is a pure function of the
+  // byte count on an immutable tuner, so every SPMD rank lands on the
+  // same schedule without communicating about it.
+  AllReduceAlgo algo = ctx_->algo();
+  if (algo == AllReduceAlgo::kAuto) {
+    algo = ctx_->tuner().choose(data.size() * sizeof(float));
+  }
   DMIS_TRACE_SPAN("comm.allreduce",
                   {{"bytes", static_cast<int64_t>(data.size() *
                                                   sizeof(float))},
-                   {"ranks", n}});
+                   {"ranks", n},
+                   {"algo", static_cast<int64_t>(algo)}});
   CommMetrics& metrics = CommMetrics::get();
   metrics.allreduce_calls.add(1);
   metrics.allreduce_bytes.add(
       static_cast<int64_t>(data.size() * sizeof(float)));
+  metrics.algo_calls(algo).add(1);
   if (n == 1) {
     if (scale != 1.0F) {
       for (float& v : data) v *= scale;
@@ -570,52 +624,8 @@ void Communicator::ring_all_reduce(std::span<float> data, float scale) {
              "all_reduce size mismatch: rank 0 has " << ctx.sizes_[0]
                                                      << ", rank " << rank_
                                                      << " has " << data.size());
-
-  // Chunk geometry: chunk c covers [c*chunk_len, min((c+1)*chunk_len, len)).
-  const size_t len = data.size();
-  const size_t chunk_len = (len + static_cast<size_t>(n) - 1) /
-                           static_cast<size_t>(n);
-  const auto chunk_begin = [&](int c) {
-    return std::min(len, static_cast<size_t>(c) * chunk_len);
-  };
-  const auto chunk_end = [&](int c) {
-    return std::min(len, (static_cast<size_t>(c) + 1) * chunk_len);
-  };
-  const int left = (rank_ - 1 + n) % n;
-  float* mine = data.data();
-  const float* theirs = ctx.ptrs_[static_cast<size_t>(left)];
-
-  // Phase 1 — reduce-scatter: at step s, rank i accumulates chunk
-  // (i - 1 - s) mod n from its left neighbor. After n-1 steps rank i
-  // holds the complete chunk (i + 1) mod n. The final step completes
-  // that owned chunk, so a mean's 1/n lands there fused with the last
-  // accumulation — every element is scaled exactly once, by its owner,
-  // before the all-gather phase propagates it.
-  {
-    DMIS_TRACE_SPAN("comm.allreduce.reduce_scatter", {{"steps", n - 1}});
-    for (int s = 0; s < n - 1; ++s) {
-      const int c = ((rank_ - 1 - s) % n + n) % n;
-      const size_t b = chunk_begin(c), e = chunk_end(c);
-      if (s == n - 2 && scale != 1.0F) {
-        for (size_t k = b; k < e; ++k) mine[k] = (mine[k] + theirs[k]) * scale;
-      } else {
-        for (size_t k = b; k < e; ++k) mine[k] += theirs[k];
-      }
-      ctx.sync(deadline, rank_);
-    }
-  }
-
-  // Phase 2 — all-gather: at step s, rank i copies chunk (i - s) mod n
-  // (the one its left neighbor just completed or received).
-  {
-    DMIS_TRACE_SPAN("comm.allreduce.all_gather", {{"steps", n - 1}});
-    for (int s = 0; s < n - 1; ++s) {
-      const int c = ((rank_ - s) % n + n) % n;
-      const size_t b = chunk_begin(c), e = chunk_end(c);
-      if (e > b) std::memcpy(mine + b, theirs + b, (e - b) * sizeof(float));
-      ctx.sync(deadline, rank_);
-    }
-  }
+  CollectiveOps ops(&ctx, rank_, deadline);
+  strategy_for(algo).run(ops, data, scale);
 }
 
 void Communicator::reduce_sum(std::span<float> data, int root) {
@@ -680,7 +690,13 @@ std::vector<float> Communicator::all_gather_impl(
 }
 
 std::vector<Communicator> make_group(int size, int64_t timeout_ms) {
-  auto ctx = std::make_shared<CollectiveContext>(size, timeout_ms);
+  GroupOptions options;
+  options.timeout_ms = timeout_ms;
+  return make_group(size, options);
+}
+
+std::vector<Communicator> make_group(int size, const GroupOptions& options) {
+  auto ctx = std::make_shared<CollectiveContext>(size, options);
   std::vector<Communicator> comms;
   comms.reserve(static_cast<size_t>(size));
   for (int r = 0; r < size; ++r) comms.emplace_back(ctx, r);

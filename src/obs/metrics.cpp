@@ -80,7 +80,12 @@ double Histogram::quantile_from(const std::vector<double>& bounds,
   const double rank = q * static_cast<double>(total);
   int64_t cum = 0;
   for (size_t i = 0; i < buckets.size(); ++i) {
-    cum += buckets[i];
+    const int64_t in_bucket = buckets[i];
+    // Empty buckets can't contain the target rank; skipping them keeps
+    // q=0 (rank 0) from stopping at an empty leading bucket and
+    // reporting its upper edge when all the mass sits further right.
+    if (in_bucket == 0) continue;
+    cum += in_bucket;
     if (static_cast<double>(cum) < rank) continue;
     if (i == bounds.size()) {
       // Overflow bucket has no upper edge; clamp to the last finite
@@ -89,9 +94,9 @@ double Histogram::quantile_from(const std::vector<double>& bounds,
     }
     const double hi = bounds[i];
     const double lo = (i == 0) ? 0.0 : bounds[i - 1];
-    const int64_t in_bucket = buckets[i];
-    if (in_bucket == 0) return hi;
-    const double into = rank - static_cast<double>(cum - in_bucket);
+    const double into = std::clamp(
+        rank - static_cast<double>(cum - in_bucket), 0.0,
+        static_cast<double>(in_bucket));
     return lo + (hi - lo) * into / static_cast<double>(in_bucket);
   }
   return bounds.empty() ? 0.0 : bounds.back();

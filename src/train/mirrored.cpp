@@ -130,7 +130,11 @@ void MirroredStrategy::build_group() {
   impl_->optimizers.clear();
   impl_->losses.clear();
   impl_->comms.clear();
-  impl_->comms = comm::make_group(r, options_.comm_timeout_ms);
+  comm::GroupOptions group_options;
+  group_options.timeout_ms = options_.comm_timeout_ms;
+  group_options.algo = options_.comm_algo;
+  group_options.ranks_per_node = options_.comm_ranks_per_node;
+  impl_->comms = comm::make_group(r, group_options);
   const double lr = effective_lr();
   for (int i = 0; i < r; ++i) {
     impl_->losses.push_back(nn::make_loss(options_.train.loss));

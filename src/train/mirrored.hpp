@@ -50,9 +50,11 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "comm/algorithms.hpp"
 #include "train/trainer.hpp"
 
 namespace dmis::train {
@@ -82,6 +84,15 @@ struct MirroredOptions {
   /// < 0 resolves DMIS_COMM_TIMEOUT_MS, 0 = no deadline. A deadline is
   /// what turns a *hung* (not crashed) rank into a typed failure.
   int64_t comm_timeout_ms = -1;
+  /// All-reduce schedule for gradient sync (comm/algorithms.hpp):
+  /// unset -> ring, the bitwise-stable default; kAuto engages the
+  /// calibrated tuner. DMIS_COMM_ALGO always wins over this field, and
+  /// an elastic rebuild carries the same choice to the shrunken group.
+  std::optional<comm::AllReduceAlgo> comm_algo;
+  /// Logical ranks per node handed to the comm group topology (for the
+  /// hierarchical algorithm and the tuner): -1 resolves
+  /// DMIS_COMM_RANKS_PER_NODE, 0 = flat single-node.
+  int comm_ranks_per_node = -1;
   /// Optimizer steps between step-consistent checkpoints in elastic
   /// mode (epoch boundaries always checkpoint). 1 = every step.
   int64_t checkpoint_every_steps = 1;

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -268,6 +269,171 @@ TEST_F(CommFailureTest, AsyncCollectivesSurfaceTypedFailures) {
   AsyncRequest req = comms[0].all_reduce_sum_async(buf);
   EXPECT_THROW(req.wait(), CommError);
 }
+
+// The failure machinery is supposed to be algorithm-agnostic: every
+// schedule runs over the same deadline-aware rendezvous, so rank loss,
+// timeouts and the poison pill must behave identically under the tree
+// and hierarchical algorithms. Parameterized mirror of the key cases
+// above, on a 4-rank two-node (ranks_per_node=2) group so the
+// hierarchical schedule really runs its intra/leader/broadcast phases.
+class CommFailureAlgoTest : public ::testing::TestWithParam<AllReduceAlgo> {
+ protected:
+  void SetUp() override { common::FaultInjector::instance().reset(); }
+  void TearDown() override { common::FaultInjector::instance().reset(); }
+
+  std::vector<Communicator> group(int size, int64_t timeout_ms) {
+    GroupOptions opts;
+    opts.timeout_ms = timeout_ms;
+    opts.algo = GetParam();
+    opts.ranks_per_node = 2;
+    return make_group(size, opts);
+  }
+};
+
+// Ranks 0-2 enter the collective; rank 3 never shows up. Whatever the
+// schedule, every present rank must surface a typed error (the first
+// deadline to fire poisons the group for the rest) — no deadlock.
+TEST_P(CommFailureAlgoTest, DeadlineTurnsMissingPeerIntoTypedError) {
+  auto comms = group(4, /*timeout_ms=*/200);
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<float> buf(64, 1.0F);
+      try {
+        comms[static_cast<size_t>(r)].all_reduce_sum(buf);
+      } catch (const CommError& e) {
+        EXPECT_TRUE(e.kind() == CommErrorKind::kTimeout ||
+                    e.kind() == CommErrorKind::kPeerFailed)
+            << comm_error_kind_name(e.kind());
+        errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 3);
+  EXPECT_TRUE(comms[0].aborted());
+  EXPECT_NE(comms[0].health(3), RankHealth::kHealthy);
+}
+
+// abort() must wake ranks blocked mid-schedule — including inside the
+// tree's halving exchanges and the hierarchical leader phase.
+TEST_P(CommFailureAlgoTest, AbortWakesRanksBlockedInSchedule) {
+  auto comms = group(4, /*timeout_ms=*/0);  // no deadline: poison only
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<float> buf(256, 1.0F);
+      try {
+        comms[static_cast<size_t>(r)].all_reduce_sum(buf);
+      } catch (const CommError& e) {
+        EXPECT_EQ(e.kind(), CommErrorKind::kPeerFailed);
+        errors.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  comms[3].abort("simulated crash");
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 3);
+  EXPECT_TRUE(comms[0].aborted());
+  EXPECT_EQ(comms[0].health(3), RankHealth::kDead);
+}
+
+// A hung (not crashed) rank: survivors' deadlines fire; the hung rank
+// wakes into the poisoned group. Identical contract for every schedule.
+TEST_P(CommFailureAlgoTest, HungRankDetectedByDeadline) {
+  auto& faults = common::FaultInjector::instance();
+  faults.arm_nth_call("comm.all_reduce.r1", 1);
+  faults.set_action_hang("comm.all_reduce.r1", /*auto_release_ms=*/700);
+
+  auto comms = group(4, /*timeout_ms=*/200);
+  std::atomic<int> survivor_errors{0};
+  std::atomic<bool> hung_rank_failed{false};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 4; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<float> buf(32, 1.0F);
+      try {
+        comms[static_cast<size_t>(r)].all_reduce_sum(buf);
+      } catch (const CommError&) {
+        if (r == 1) {
+          hung_rank_failed.store(true);
+        } else {
+          survivor_errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(survivor_errors.load(), 3);
+  EXPECT_TRUE(hung_rank_failed.load());
+  EXPECT_TRUE(comms[0].aborted());
+  EXPECT_NE(comms[0].health(1), RankHealth::kHealthy);
+}
+
+// Async submissions surface the same typed failures from wait() under
+// every algorithm, and the poisoned group keeps failing fast.
+TEST_P(CommFailureAlgoTest, AsyncCollectivesSurfaceTypedFailures) {
+  auto& faults = common::FaultInjector::instance();
+  faults.arm_nth_call("comm.all_reduce.r2", 1);
+
+  auto comms = group(4, /*timeout_ms=*/300);
+  std::atomic<int> injected{0};
+  std::atomic<int> comm_errors{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 4; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<float> buf(32, static_cast<float>(r));
+      AsyncRequest req =
+          comms[static_cast<size_t>(r)].all_reduce_sum_async(buf);
+      try {
+        req.wait();
+      } catch (const common::FaultInjected&) {
+        injected.fetch_add(1);
+      } catch (const CommError&) {
+        comm_errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(injected.load(), 1);
+  EXPECT_EQ(comm_errors.load(), 3);
+  EXPECT_TRUE(comms[0].aborted());
+
+  std::vector<float> buf(8, 1.0F);
+  AsyncRequest req = comms[0].all_reduce_sum_async(buf);
+  EXPECT_THROW(req.wait(), CommError);
+}
+
+// Survivors still seal an identical dead-set after an abort that
+// happened under a non-ring schedule.
+TEST_P(CommFailureAlgoTest, AgreementSealsIdenticalDeadSet) {
+  auto comms = group(4, /*timeout_ms=*/0);
+  comms[3].abort("rank 3 going down");
+  std::vector<std::vector<int>> sealed(3);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&, r] {
+      sealed[static_cast<size_t>(r)] =
+          comms[static_cast<size_t>(r)].agree_on_failures(/*grace_ms=*/500);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(sealed[static_cast<size_t>(r)], std::vector<int>{3})
+        << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algos, CommFailureAlgoTest,
+    ::testing::Values(AllReduceAlgo::kRing, AllReduceAlgo::kTree,
+                      AllReduceAlgo::kHier),
+    [](const ::testing::TestParamInfo<AllReduceAlgo>& info) {
+      return std::string(all_reduce_algo_name(info.param));
+    });
 
 TEST_F(CommFailureTest, RejectsMalformedTimeoutEnv) {
   ::setenv("DMIS_COMM_TIMEOUT_MS", "soon", 1);

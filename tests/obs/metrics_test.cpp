@@ -186,6 +186,44 @@ TEST_F(MetricsTest, QuantileEmptyAndOverflow) {
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 20.0);
 }
 
+// Regressions for the quantile edge cases: a single sample, q=0 with
+// empty leading buckets, everything in the overflow bucket, and a
+// bound-less histogram. The estimator must skip empty buckets (so q=0
+// lands at the lower edge of the first *populated* bucket) and clamp
+// interpolation inside the containing bucket.
+TEST_F(MetricsTest, QuantileSingleSampleInterpolatesItsBucket) {
+  Histogram h("test.quantile_single", {10.0, 20.0, 40.0});
+  h.observe(15.0);  // one sample, bucket (10, 20]
+  // rank q*1 inside a bucket of one: 10 + 10*q for every q.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+}
+
+TEST_F(MetricsTest, QuantileZeroSkipsEmptyLeadingBuckets) {
+  Histogram h("test.quantile_q0", {10.0, 20.0, 40.0});
+  for (int i = 0; i < 4; ++i) h.observe(30.0);  // all in (20, 40]
+  // q=0 must land at the lower edge of the populated bucket — not at
+  // the upper edge of an empty leading one.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);
+}
+
+TEST_F(MetricsTest, QuantileAllInOverflowClampsToLastBound) {
+  Histogram h("test.quantile_overflow", {10.0, 20.0});
+  for (int i = 0; i < 3; ++i) h.observe(100.0);
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 20.0) << "q=" << q;
+  }
+}
+
+TEST_F(MetricsTest, QuantileWithoutBoundsIsZero) {
+  Histogram h("test.quantile_boundless", {});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+  h.observe(7.0);  // lands in the (only) overflow bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // no finite bound to clamp to
+}
+
 TEST_F(MetricsTest, QuantileFromSnapshotBucketsMatchesLive) {
   Histogram h("test.quantile4", {1.0, 2.0, 4.0, 8.0});
   for (int i = 0; i < 100; ++i) h.observe(0.5 + 0.07 * (i % 100));
