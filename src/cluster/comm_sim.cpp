@@ -20,12 +20,30 @@ comm::CommCostParams cost_params_from(const ClusterSpec& spec) {
   // read+write: ~3/4 of the copy rate.
   p.reduce_gbs = spec.node.nvlink.bandwidth_gbs * 0.75;
   p.inter_gbs = spec.infiniband.bandwidth_gbs;
+  // fp16 wire guesses off the same link: the codec streams at roughly
+  // the copy rate, decode-add-encode at half the accumulate rate.
+  p.fp16_pack_gbs = spec.node.nvlink.bandwidth_gbs;
+  p.fp16_reduce_gbs = p.reduce_gbs * 0.5;
+  return p;
+}
+
+comm::CommCostParams cost_params_from(const ClusterSpec& spec,
+                                      const comm::CommCostParams& measured) {
+  DMIS_CHECK(measured.copy_gbs > 0.0,
+             "measured copy bandwidth must be positive, got "
+                 << measured.copy_gbs);
+  comm::CommCostParams p = cost_params_from(spec);
+  const double link = spec.node.nvlink.bandwidth_gbs;
+  p.reduce_gbs = link * (measured.reduce_gbs / measured.copy_gbs);
+  p.fp16_pack_gbs = link * (measured.fp16_pack_gbs / measured.copy_gbs);
+  p.fp16_reduce_gbs = link * (measured.fp16_reduce_gbs / measured.copy_gbs);
   return p;
 }
 
 double simulate_all_reduce(const comm::CommCostParams& params,
                            comm::AllReduceAlgo algo, size_t bytes,
-                           int world, int ranks_per_node) {
+                           int world, int ranks_per_node,
+                           comm::WireFormat wire) {
   DMIS_CHECK(world >= 1, "bad world size " << world);
   int g = ranks_per_node;
   if (g <= 0 || g > world) g = world;
@@ -44,8 +62,11 @@ double simulate_all_reduce(const comm::CommCostParams& params,
                                 int rank) {
     const comm::RankWork& w = step.work[static_cast<size_t>(rank)];
     if (w.peer < 0 || w.bytes <= 0.0) return 0.0;
+    const double red_gbs = wire == comm::WireFormat::kFp16
+                               ? params.fp16_reduce_gbs
+                               : params.reduce_gbs;
     const double intra_bw =
-        (w.reduce ? params.reduce_gbs : params.copy_gbs) * 1e9;
+        (w.reduce ? red_gbs : params.copy_gbs) * 1e9;
     double t = w.bytes / intra_bw;
     if (w.inter) {
       int pullers = 0;
@@ -86,6 +107,23 @@ double simulate_all_reduce(const comm::CommCostParams& params,
   }
   sim.run();
   return finish;
+}
+
+double simulate_grad_sync(const comm::CommCostParams& params,
+                          comm::AllReduceAlgo algo, size_t logical_bytes,
+                          int world, int ranks_per_node,
+                          comm::WireFormat wire) {
+  size_t wire_bytes = logical_bytes;
+  double codec = 0.0;
+  if (wire == comm::WireFormat::kFp16) {
+    wire_bytes = comm::fp16_wire_floats(logical_bytes / sizeof(float)) *
+                 sizeof(float);
+    codec = 2.0 * static_cast<double>(logical_bytes) /
+            (params.fp16_pack_gbs * 1e9);
+  }
+  return codec +
+         simulate_all_reduce(params, algo, wire_bytes, world, ranks_per_node,
+                             wire);
 }
 
 }  // namespace dmis::cluster

@@ -27,11 +27,31 @@ namespace dmis::cluster {
 /// element vs read+write).
 comm::CommCostParams cost_params_from(const ClusterSpec& spec);
 
-/// Event-driven wall time of one blocking all-reduce of `bytes` over
-/// `world` ranks with `ranks_per_node` per node, running `algo`'s
-/// declarative schedule. Deterministic.
+/// Same mapping, but with the derate ratios taken from a host
+/// calibration (comm::CommCostParams::calibrated()) instead of the
+/// fixed 3/4 guess: accumulate and the fp16 codec/wire-reduce terms
+/// scale off the spec's link bandwidth by the ratios the host actually
+/// measured against its own copy bandwidth.
+comm::CommCostParams cost_params_from(const ClusterSpec& spec,
+                                      const comm::CommCostParams& measured);
+
+/// Event-driven wall time of one blocking all-reduce of `bytes` (the
+/// *wire* byte count) over `world` ranks with `ranks_per_node` per
+/// node, running `algo`'s declarative schedule. Under the fp16 wire,
+/// reduce steps run at fp16_reduce_gbs (decode-add-encode) while copy
+/// steps keep the memcpy rate — mirroring WireKernels. Deterministic.
 double simulate_all_reduce(const comm::CommCostParams& params,
                            comm::AllReduceAlgo algo, size_t bytes,
-                           int world, int ranks_per_node);
+                           int world, int ranks_per_node,
+                           comm::WireFormat wire = comm::WireFormat::kFp32);
+
+/// End-to-end gradient sync of one bucket of `logical_bytes` fp32
+/// gradient bytes: fp16 pack before + unpack after (fp16_pack_gbs) and
+/// the DES collective on the halved wire bytes. The DES counterpart of
+/// AlgoTuner::predict_sync_seconds.
+double simulate_grad_sync(const comm::CommCostParams& params,
+                          comm::AllReduceAlgo algo, size_t logical_bytes,
+                          int world, int ranks_per_node,
+                          comm::WireFormat wire);
 
 }  // namespace dmis::cluster

@@ -89,6 +89,48 @@ double measure_gbs(bool reduce) {
   return std::max(bytes / std::max(seconds, 1e-9) / 1e9, 0.01);
 }
 
+// fp32->fp16->fp32 codec stream rate in GB/s of *fp32-side* bytes
+// (one pack plus one unpack pass — the per-bucket round trip).
+double measure_fp16_pack_gbs() {
+  constexpr size_t kFloats = 1U << 20U;
+  constexpr int kReps = 4;
+  std::vector<float> a(kFloats, 1.5F);
+  std::vector<uint16_t> h(kFloats);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    fp16_pack(a.data(), kFloats, h.data());
+    fp16_unpack(h.data(), kFloats, a.data());
+    asm volatile("" : : "r"(a.data()), "r"(h.data()) : "memory");
+  }
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  // Each rep streams the fp32 buffer twice (pack + unpack).
+  const double bytes =
+      static_cast<double>(kFloats) * sizeof(float) * kReps * 2;
+  return std::max(bytes / std::max(seconds, 1e-9) / 1e9, 0.01);
+}
+
+// fp16 wire accumulate (decode-add-encode) rate in GB/s of *wire*
+// bytes, mirroring measure_gbs(reduce=true) on the fp16 kernel.
+double measure_fp16_reduce_gbs() {
+  constexpr size_t kSlots = 1U << 19U;  // 2 MiB wire = 1M halves
+  constexpr int kReps = 8;
+  std::vector<float> a(kSlots, 0.0F);
+  std::vector<float> b(kSlots, 0.0F);
+  const WireKernels& wk = wire_kernels(WireFormat::kFp16);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    wk.accumulate(a.data(), b.data(), 0, kSlots);
+    asm volatile("" : : "r"(a.data()) : "memory");
+  }
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  const double bytes = static_cast<double>(kSlots) * sizeof(float) * kReps;
+  return std::max(bytes / std::max(seconds, 1e-9) / 1e9, 0.01);
+}
+
 }  // namespace
 
 CommCostParams CommCostParams::defaults() { return CommCostParams{}; }
@@ -103,6 +145,8 @@ const CommCostParams& CommCostParams::calibrated() {
       // In-process "inter-node" links are the same memory bus.
       p.inter_sync_us = p.sync_us;
       p.inter_gbs = p.copy_gbs;
+      p.fp16_pack_gbs = measure_fp16_pack_gbs();
+      p.fp16_reduce_gbs = measure_fp16_reduce_gbs();
     }
     if (const auto v = env_positive_double("DMIS_COMM_SYNC_US")) {
       p.sync_us = *v;
@@ -115,9 +159,16 @@ const CommCostParams& CommCostParams::calibrated() {
       p.copy_gbs = *v;
       p.inter_gbs = *v;
     }
+    if (const auto v = env_positive_double("DMIS_COMM_FP16_PACK_GBS")) {
+      p.fp16_pack_gbs = *v;
+    }
+    if (const auto v = env_positive_double("DMIS_COMM_FP16_REDUCE_GBS")) {
+      p.fp16_reduce_gbs = *v;
+    }
     DMIS_LOG(kInfo) << "comm tuner calibrated: sync=" << p.sync_us
                    << "us reduce=" << p.reduce_gbs << "GB/s copy="
-                   << p.copy_gbs << "GB/s";
+                   << p.copy_gbs << "GB/s fp16_pack=" << p.fp16_pack_gbs
+                   << "GB/s fp16_reduce=" << p.fp16_reduce_gbs << "GB/s";
     return p;
   }();
   return params;
@@ -142,7 +193,8 @@ bool AlgoTuner::hier_eligible() const {
 // node pulling across them in the same step. These formulas are written
 // independently of all_reduce_steps(); cluster/comm_sim executes that
 // schedule on the DES and a test cross-validates the two rankings.
-double AlgoTuner::predict_seconds(AllReduceAlgo algo, size_t bytes) const {
+double AlgoTuner::predict_seconds(AllReduceAlgo algo, size_t bytes,
+                                  WireFormat wire) const {
   DMIS_CHECK(algo != AllReduceAlgo::kAuto,
              "predict_seconds wants a concrete algorithm");
   const int n = world_;
@@ -153,9 +205,11 @@ double AlgoTuner::predict_seconds(AllReduceAlgo algo, size_t bytes) const {
   const bool multi = m > 1;
   const double alpha =
       (multi ? params_.inter_sync_us : params_.sync_us) * 1e-6;
-  const auto intra_red = [&](double b) {
-    return b / (params_.reduce_gbs * 1e9);
-  };
+  // fp16 reduce steps decode-add-encode instead of streaming fp32 adds;
+  // copy steps stay memcpy (slots are opaque), so only this beta moves.
+  const double red_gbs = wire == WireFormat::kFp16 ? params_.fp16_reduce_gbs
+                                                   : params_.reduce_gbs;
+  const auto intra_red = [&](double b) { return b / (red_gbs * 1e9); };
   const auto intra_cpy = [&](double b) {
     return b / (params_.copy_gbs * 1e9);
   };
@@ -209,7 +263,7 @@ double AlgoTuner::predict_seconds(AllReduceAlgo algo, size_t bytes) const {
     }
     case AllReduceAlgo::kHier: {
       if (!multi) {  // collapses to the intra ring
-        return predict_seconds(AllReduceAlgo::kRing, bytes);
+        return predict_seconds(AllReduceAlgo::kRing, bytes, wire);
       }
       // Intra-node ring all-reduce over g ranks...
       const double chunk = S / g;
@@ -240,15 +294,35 @@ double AlgoTuner::predict_seconds(AllReduceAlgo algo, size_t bytes) const {
   return 0.0;
 }
 
-AllReduceAlgo AlgoTuner::choose(size_t bytes) const {
+double AlgoTuner::codec_seconds(size_t logical_bytes, WireFormat wire) const {
+  if (wire != WireFormat::kFp16) return 0.0;
+  // One pack before the collective plus one unpack after it, each
+  // streaming the full fp32-side buffer once.
+  return 2.0 * static_cast<double>(logical_bytes) /
+         (params_.fp16_pack_gbs * 1e9);
+}
+
+double AlgoTuner::predict_sync_seconds(AllReduceAlgo algo,
+                                       size_t logical_bytes,
+                                       WireFormat wire) const {
+  size_t wire_bytes = logical_bytes;
+  if (wire == WireFormat::kFp16) {
+    wire_bytes = fp16_wire_floats(logical_bytes / sizeof(float)) *
+                 sizeof(float);
+  }
+  return codec_seconds(logical_bytes, wire) +
+         predict_seconds(algo, wire_bytes, wire);
+}
+
+AllReduceAlgo AlgoTuner::choose(size_t bytes, WireFormat wire) const {
   if (world_ == 1) return AllReduceAlgo::kRing;
   AllReduceAlgo best = AllReduceAlgo::kRing;
-  double best_t = predict_seconds(best, bytes);
+  double best_t = predict_seconds(best, bytes, wire);
   const AllReduceAlgo candidates[] = {AllReduceAlgo::kTree,
                                       AllReduceAlgo::kHier};
   for (const AllReduceAlgo algo : candidates) {
     if (algo == AllReduceAlgo::kHier && !hier_eligible()) continue;
-    const double t = predict_seconds(algo, bytes);
+    const double t = predict_seconds(algo, bytes, wire);
     if (t < best_t) {  // strict: ties keep the bitwise-stable ring
       best = algo;
       best_t = t;

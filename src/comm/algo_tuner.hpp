@@ -12,11 +12,14 @@
 //
 // Calibration: the alphas/betas default to a one-shot process-wide
 // micro-benchmark (a barrier storm for alpha, streamed add/copy loops
-// for the betas) so `auto` adapts to the host. Knobs:
+// for the betas, codec loops for the fp16 wire terms) so `auto` adapts
+// to the host. Knobs:
 //   DMIS_COMM_CALIB=0        skip the micro-benchmark, use defaults
 //   DMIS_COMM_SYNC_US=<f>    pin the barrier latency (us)
 //   DMIS_COMM_REDUCE_GBS=<f> pin the accumulate bandwidth (GB/s)
 //   DMIS_COMM_COPY_GBS=<f>   pin the copy bandwidth (GB/s)
+//   DMIS_COMM_FP16_PACK_GBS=<f>   pin the fp32<->fp16 codec rate (GB/s)
+//   DMIS_COMM_FP16_REDUCE_GBS=<f> pin the fp16 wire accumulate (GB/s)
 // Pinned values make choose() fully deterministic for tests.
 #pragma once
 
@@ -37,6 +40,13 @@ struct CommCostParams {
   double reduce_gbs = 4.0;     ///< streamed a[i] += b[i] bandwidth
   double copy_gbs = 8.0;       ///< streamed memcpy bandwidth
   double inter_gbs = 8.0;      ///< per-node shared inter-node link
+  /// Gradient-compression terms (compress.hpp). fp16_pack_gbs is the
+  /// fp32<->fp16 codec stream rate in *fp32-side* bytes (paid once at
+  /// bucket entry and exit, outside the schedule); fp16_reduce_gbs is
+  /// the decode-add-encode accumulate rate in *wire* bytes (replaces
+  /// reduce_gbs inside fp16-wire reduce steps).
+  double fp16_pack_gbs = 8.0;
+  double fp16_reduce_gbs = 2.0;
 
   /// The compiled-in defaults above, untouched by env or calibration.
   static CommCostParams defaults();
@@ -55,14 +65,32 @@ class AlgoTuner {
  public:
   AlgoTuner(const CommCostParams& params, int world, int ranks_per_node);
 
-  /// Predicted wall time of one blocking all-reduce of `bytes`.
-  /// `algo` must be concrete (not kAuto).
-  double predict_seconds(AllReduceAlgo algo, size_t bytes) const;
+  /// Predicted wall time of one blocking all-reduce of `bytes` (the
+  /// *wire* byte count — what each rank registers) under `wire`'s
+  /// element kernels: fp16 reduce steps run at fp16_reduce_gbs, copy
+  /// steps stay memcpy. `algo` must be concrete (not kAuto).
+  double predict_seconds(AllReduceAlgo algo, size_t bytes,
+                         WireFormat wire = WireFormat::kFp32) const;
 
-  /// Cheapest concrete algorithm for `bytes`. Hierarchical is only a
-  /// candidate on a real multi-node shape (1 < ranks_per_node < world);
-  /// ties break toward ring (the bitwise-stable default).
-  AllReduceAlgo choose(size_t bytes) const;
+  /// One-time codec cost outside the schedule: pack before + unpack
+  /// after one bucket of `logical_bytes` fp32 gradient bytes. Zero for
+  /// the fp32 wire. Identical for every algorithm, so it shifts the
+  /// end-to-end prediction but never the choose() ranking.
+  double codec_seconds(size_t logical_bytes, WireFormat wire) const;
+
+  /// End-to-end gradient-sync prediction for one bucket of
+  /// `logical_bytes`: codec_seconds + predict_seconds on the wire byte
+  /// count — the quantity cluster::simulate_all_reduce cross-validates
+  /// under compression.
+  double predict_sync_seconds(AllReduceAlgo algo, size_t logical_bytes,
+                              WireFormat wire) const;
+
+  /// Cheapest concrete algorithm for `bytes` on the given wire.
+  /// Hierarchical is only a candidate on a real multi-node shape
+  /// (1 < ranks_per_node < world); ties break toward ring (the
+  /// bitwise-stable default).
+  AllReduceAlgo choose(size_t bytes,
+                       WireFormat wire = WireFormat::kFp32) const;
 
   /// True when hier is in the candidate set (multi-node topology).
   bool hier_eligible() const;

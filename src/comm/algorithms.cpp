@@ -72,14 +72,17 @@ int pow2_floor(int n) {
 // Chunked ring all-reduce over the contiguous rank block
 // [base, base+g); `lockstep` >= g is the number of ring slots each
 // phase spans globally (ragged node groups idle through their tail
-// slots so every group stays on the same barrier cadence).
+// slots so every group stays on the same barrier cadence). `wk` holds
+// the element kernels of the wire format (plain fp32 loops, or the
+// fp16 decode-add-encode pairs); chunk boundaries address float slots,
+// which are opaque to the all-gather memcpys either way.
 void ring_block(CollectiveOps& ops, std::span<float> data, float scale,
-                int base, int g, int lockstep) {
+                const WireKernels& wk, int base, int g, int lockstep) {
   const size_t len = data.size();
   float* mine = data.data();
   const int pos = ops.rank() - base;
   if (g == 1 && scale != 1.0F) {
-    for (float& v : data) v *= scale;
+    wk.scale(mine, 0, len, scale);
   }
   const size_t chunk_len =
       (len + static_cast<size_t>(g) - 1) / static_cast<size_t>(g);
@@ -106,11 +109,9 @@ void ring_block(CollectiveOps& ops, std::span<float> data, float scale,
         const int c = ((pos - 1 - s) % g + g) % g;
         const size_t b = chunk_begin(c), e = chunk_end(c);
         if (s == g - 2 && scale != 1.0F) {
-          for (size_t k = b; k < e; ++k) {
-            mine[k] = (mine[k] + theirs[k]) * scale;
-          }
+          wk.accumulate_scale(mine, theirs, b, e, scale);
         } else {
-          for (size_t k = b; k < e; ++k) mine[k] += theirs[k];
+          wk.accumulate(mine, theirs, b, e);
         }
       }
       ops.sync();
@@ -141,7 +142,7 @@ void ring_block(CollectiveOps& ops, std::span<float> data, float scale,
 // keeps — so shared-memory reads and writes never overlap within a
 // barrier window.
 void tree_block(CollectiveOps& ops, std::span<float> data, float scale,
-                int stride, int m) {
+                const WireKernels& wk, int stride, int m) {
   const size_t len = data.size();
   float* mine = data.data();
   const int rank = ops.rank();
@@ -151,7 +152,7 @@ void tree_block(CollectiveOps& ops, std::span<float> data, float scale,
     // Degenerate: one participant already holds the result; no ranks
     // sync (everyone computes the same m), only the scale is owed.
     if (participant && scale != 1.0F) {
-      for (float& v : data) v *= scale;
+      wk.scale(mine, 0, len, scale);
     }
     return;
   }
@@ -164,7 +165,7 @@ void tree_block(CollectiveOps& ops, std::span<float> data, float scale,
     DMIS_TRACE_SPAN("comm.allreduce.tree_fold", {{"extras", extras}});
     if (j >= 0 && j < extras) {
       const float* theirs = ops.peer(stride * (p + j));
-      for (size_t k = 0; k < len; ++k) mine[k] += theirs[k];
+      wk.accumulate(mine, theirs, 0, len);
     }
     ops.sync();
   }
@@ -184,11 +185,9 @@ void tree_block(CollectiveOps& ops, std::span<float> data, float scale,
         const size_t b = ((j & d) == 0) ? lo : mid;
         const size_t e = ((j & d) == 0) ? mid : hi;
         if (d == 1 && scale != 1.0F) {
-          for (size_t k = b; k < e; ++k) {
-            mine[k] = (mine[k] + theirs[k]) * scale;
-          }
+          wk.accumulate_scale(mine, theirs, b, e, scale);
         } else {
-          for (size_t k = b; k < e; ++k) mine[k] += theirs[k];
+          wk.accumulate(mine, theirs, b, e);
         }
         lo = b;
         hi = e;
@@ -237,33 +236,34 @@ void tree_block(CollectiveOps& ops, std::span<float> data, float scale,
 class RingAllReduce final : public AllReduceStrategy {
  public:
   AllReduceAlgo algo() const override { return AllReduceAlgo::kRing; }
-  void run(CollectiveOps& ops, std::span<float> data,
-           float scale) const override {
+  void run(CollectiveOps& ops, std::span<float> data, float scale,
+           WireFormat wire) const override {
     const int n = ops.world();
-    ring_block(ops, data, scale, 0, n, n);
+    ring_block(ops, data, scale, wire_kernels(wire), 0, n, n);
   }
 };
 
 class TreeAllReduce final : public AllReduceStrategy {
  public:
   AllReduceAlgo algo() const override { return AllReduceAlgo::kTree; }
-  void run(CollectiveOps& ops, std::span<float> data,
-           float scale) const override {
-    tree_block(ops, data, scale, 1, ops.world());
+  void run(CollectiveOps& ops, std::span<float> data, float scale,
+           WireFormat wire) const override {
+    tree_block(ops, data, scale, wire_kernels(wire), 1, ops.world());
   }
 };
 
 class HierarchicalAllReduce final : public AllReduceStrategy {
  public:
   AllReduceAlgo algo() const override { return AllReduceAlgo::kHier; }
-  void run(CollectiveOps& ops, std::span<float> data,
-           float scale) const override {
+  void run(CollectiveOps& ops, std::span<float> data, float scale,
+           WireFormat wire) const override {
     const int n = ops.world();
     const int g = ops.ranks_per_node();
     const int m = (n + g - 1) / g;
+    const WireKernels& wk = wire_kernels(wire);
     if (m <= 1) {
       // One node: the hierarchy collapses to the intra ring.
-      ring_block(ops, data, scale, 0, n, n);
+      ring_block(ops, data, scale, wk, 0, n, n);
       return;
     }
     const int node = ops.rank() / g;
@@ -271,11 +271,11 @@ class HierarchicalAllReduce final : public AllReduceStrategy {
     const int gsize = std::min(g, n - base);
     // Phase 1: unscaled ring all-reduce inside each node group; node 0
     // always has the full g members, so g is the lockstep width.
-    ring_block(ops, data, 1.0F, base, gsize, g);
+    ring_block(ops, data, 1.0F, wk, base, gsize, g);
     // Phase 2: recursive halving/doubling across the node leaders
     // (ranks node*g) on the full vector — the only inter-node traffic.
     // The mean's scale folds into the leaders' exchange.
-    tree_block(ops, data, scale, g, m);
+    tree_block(ops, data, scale, wk, g, m);
     // Phase 3: members pull the finished vector from their leader; the
     // closing sync keeps leader buffers pinned until every copy lands.
     if (ops.rank() != base && !data.empty()) {

@@ -37,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "comm/compress.hpp"
+
 namespace dmis::comm {
 
 class CollectiveOps;  // defined in communicator.hpp
@@ -71,13 +73,16 @@ std::optional<int> env_ranks_per_node();
 /// synced once); on return the strategy's own final sync guarantees no
 /// peer still reads this rank's buffer. `scale` is folded into the last
 /// accumulation of each element (mean fusion): the result is exactly
-/// (unscaled result) * scale, bit-for-bit, for every algorithm.
+/// (unscaled result) * scale, bit-for-bit, for every algorithm. `wire`
+/// selects the element kernels (compress.hpp): the schedule — chunk
+/// splits, peers, barriers — is wire-format-agnostic because chunks
+/// address float slots and slots are opaque to copies.
 class AllReduceStrategy {
  public:
   virtual ~AllReduceStrategy() = default;
   virtual AllReduceAlgo algo() const = 0;
-  virtual void run(CollectiveOps& ops, std::span<float> data,
-                   float scale) const = 0;
+  virtual void run(CollectiveOps& ops, std::span<float> data, float scale,
+                   WireFormat wire = WireFormat::kFp32) const = 0;
 };
 
 /// The process-wide strategy singletons. `algo` must be a concrete

@@ -576,41 +576,51 @@ void Communicator::all_reduce_mean(std::span<float> data) {
 }
 
 AsyncRequest Communicator::all_reduce_sum_async(std::span<float> data,
-                                                float scale) {
-  return ctx_->submit(rank_,
-                      [this, data, scale] { all_reduce_impl(data, scale); });
-}
-
-AsyncRequest Communicator::all_reduce_sum_async(
-    std::vector<std::span<float>> buffers, float scale) {
-  return ctx_->submit(rank_, [this, buffers = std::move(buffers), scale] {
-    for (const std::span<float> data : buffers) all_reduce_impl(data, scale);
+                                                float scale,
+                                                WireFormat wire) {
+  return ctx_->submit(rank_, [this, data, scale, wire] {
+    all_reduce_impl(data, scale, wire);
   });
 }
 
-void Communicator::all_reduce_impl(std::span<float> data, float scale) {
+AsyncRequest Communicator::all_reduce_sum_async(
+    std::vector<std::span<float>> buffers, float scale, WireFormat wire) {
+  return ctx_->submit(rank_,
+                      [this, buffers = std::move(buffers), scale, wire] {
+    for (const std::span<float> data : buffers) {
+      all_reduce_impl(data, scale, wire);
+    }
+  });
+}
+
+void Communicator::all_reduce_impl(std::span<float> data, float scale,
+                                   WireFormat wire) {
   inject("comm.all_reduce", rank_);
   const int n = size();
   // Auto resolves here, per message: choose() is a pure function of the
-  // byte count on an immutable tuner, so every SPMD rank lands on the
-  // same schedule without communicating about it.
+  // byte count and wire format on an immutable tuner, so every SPMD
+  // rank lands on the same schedule without communicating about it.
   AllReduceAlgo algo = ctx_->algo();
   if (algo == AllReduceAlgo::kAuto) {
-    algo = ctx_->tuner().choose(data.size() * sizeof(float));
+    algo = ctx_->tuner().choose(data.size() * sizeof(float), wire);
   }
   DMIS_TRACE_SPAN("comm.allreduce",
                   {{"bytes", static_cast<int64_t>(data.size() *
                                                   sizeof(float))},
                    {"ranks", n},
-                   {"algo", static_cast<int64_t>(algo)}});
+                   {"algo", static_cast<int64_t>(algo)},
+                   {"wire", static_cast<int64_t>(wire)}});
   CommMetrics& metrics = CommMetrics::get();
   metrics.allreduce_calls.add(1);
+  // data.size() is the *wire* length — under compression this counter
+  // reports the bytes peers actually pull, which is what the bench's
+  // bytes-on-wire gate measures.
   metrics.allreduce_bytes.add(
       static_cast<int64_t>(data.size() * sizeof(float)));
   metrics.algo_calls(algo).add(1);
   if (n == 1) {
     if (scale != 1.0F) {
-      for (float& v : data) v *= scale;
+      wire_kernels(wire).scale(data.data(), 0, data.size(), scale);
     }
     return;
   }
@@ -625,7 +635,7 @@ void Communicator::all_reduce_impl(std::span<float> data, float scale) {
                                                      << ", rank " << rank_
                                                      << " has " << data.size());
   CollectiveOps ops(&ctx, rank_, deadline);
-  strategy_for(algo).run(ops, data, scale);
+  strategy_for(algo).run(ops, data, scale, wire);
 }
 
 void Communicator::reduce_sum(std::span<float> data, int root) {

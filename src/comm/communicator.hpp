@@ -407,14 +407,19 @@ class Communicator {
   /// untouched until wait() returns. `scale` is folded into the ring
   /// exactly as in all_reduce_mean (every element of the result is the
   /// group sum times `scale`); all ranks must pass the same value.
+  /// `wire` selects the element encoding of `data` (compress.hpp):
+  /// under kFp16 the buffer holds packed half pairs and every reduction
+  /// step decodes/adds in fp32 and rounds once back to the wire.
   AsyncRequest all_reduce_sum_async(std::span<float> data,
-                                    float scale = 1.0F);
+                                    float scale = 1.0F,
+                                    WireFormat wire = WireFormat::kFp32);
 
   /// Group launch: one submission covering several buffers, reduced
   /// back-to-back by the comm worker in the given order under a single
   /// completion handle — the fused-bucket form used by GradBucketer.
   AsyncRequest all_reduce_sum_async(std::vector<std::span<float>> buffers,
-                                    float scale = 1.0F);
+                                    float scale = 1.0F,
+                                    WireFormat wire = WireFormat::kFp32);
 
   /// Sums every rank's buffer into root's buffer (others unchanged).
   void reduce_sum(std::span<float> data, int root);
@@ -426,9 +431,11 @@ class Communicator {
  private:
   /// Common all-reduce entry: fault point, metrics/span, heartbeat,
   /// registration rendezvous, then dispatch to the resolved strategy
-  /// (kAuto consults the tuner per message size). `scale` != 1 is
-  /// folded into each element's final accumulation (mean fusion).
-  void all_reduce_impl(std::span<float> data, float scale);
+  /// (kAuto consults the tuner per message size and wire format).
+  /// `scale` != 1 is folded into each element's final accumulation
+  /// (mean fusion, in the wire's arithmetic).
+  void all_reduce_impl(std::span<float> data, float scale,
+                       WireFormat wire = WireFormat::kFp32);
   void broadcast_impl(std::span<float> data, int root);
   void reduce_sum_impl(std::span<float> data, int root);
   std::vector<float> all_gather_impl(std::span<const float> data);

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "tensor/thread_pool.hpp"
 
 namespace dmis {
 namespace {
@@ -35,53 +36,56 @@ void im2col_3d(const float* im, int64_t channels, int64_t d, int64_t h,
                int64_t od, int64_t oh, int64_t ow, float* col) {
   check_geometry(channels, d, h, w, kernel, stride, pad, od, oh, ow);
   const int64_t k = kernel;
-  float* out = col;
-  for (int64_t c = 0; c < channels; ++c) {
-    const float* imc = im + c * d * h * w;
-    for (int64_t kz = 0; kz < k; ++kz) {
-      for (int64_t ky = 0; ky < k; ++ky) {
-        for (int64_t kx = 0; kx < k; ++kx) {
-          for (int64_t z = 0; z < od; ++z) {
-            const int64_t iz = z * stride - pad + kz;
-            if (iz < 0 || iz >= d) {
-              std::fill_n(out, oh * ow, 0.0F);
-              out += oh * ow;
-              continue;
+  // Each (c, kz, ky, kx) row writes its own contiguous od*oh*ow block
+  // of `col`, so rows shard across the pool with disjoint writes and
+  // every element lands bitwise identical to the sequential walk.
+  const int64_t rows = channels * k * k * k;
+  parallel_for(0, rows, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t c = r / (k * k * k);
+      const int64_t kz = r / (k * k) % k;
+      const int64_t ky = r / k % k;
+      const int64_t kx = r % k;
+      const float* imc = im + c * d * h * w;
+      float* out = col + r * od * oh * ow;
+      for (int64_t z = 0; z < od; ++z) {
+        const int64_t iz = z * stride - pad + kz;
+        if (iz < 0 || iz >= d) {
+          std::fill_n(out, oh * ow, 0.0F);
+          out += oh * ow;
+          continue;
+        }
+        for (int64_t y = 0; y < oh; ++y) {
+          const int64_t iy = y * stride - pad + ky;
+          if (iy < 0 || iy >= h) {
+            std::fill_n(out, ow, 0.0F);
+            out += ow;
+            continue;
+          }
+          const float* row = imc + (iz * h + iy) * w;
+          if (stride == 1) {
+            // ix = x + off: zero the out-of-image fringe, memcpy the rest.
+            const int64_t off = kx - pad;
+            const int64_t lead = clamp64(-off, 0, ow);
+            const int64_t end = clamp64(w - off, 0, ow);
+            std::fill_n(out, lead, 0.0F);
+            if (end > lead) {
+              std::memcpy(out + lead, row + lead + off,
+                          static_cast<size_t>(end - lead) * sizeof(float));
             }
-            for (int64_t y = 0; y < oh; ++y) {
-              const int64_t iy = y * stride - pad + ky;
-              if (iy < 0 || iy >= h) {
-                std::fill_n(out, ow, 0.0F);
-                out += ow;
-                continue;
-              }
-              const float* row = imc + (iz * h + iy) * w;
-              if (stride == 1) {
-                // ix = x + off: zero the out-of-image fringe, memcpy the rest.
-                const int64_t off = kx - pad;
-                const int64_t lead = clamp64(-off, 0, ow);
-                const int64_t end = clamp64(w - off, 0, ow);
-                std::fill_n(out, lead, 0.0F);
-                if (end > lead) {
-                  std::memcpy(out + lead, row + lead + off,
-                              static_cast<size_t>(end - lead) *
-                                  sizeof(float));
-                }
-                std::fill_n(out + std::max(end, lead), ow - std::max(end, lead),
-                            0.0F);
-              } else {
-                for (int64_t x = 0; x < ow; ++x) {
-                  const int64_t ix = x * stride - pad + kx;
-                  out[x] = (ix >= 0 && ix < w) ? row[ix] : 0.0F;
-                }
-              }
-              out += ow;
+            std::fill_n(out + std::max(end, lead),
+                        ow - std::max(end, lead), 0.0F);
+          } else {
+            for (int64_t x = 0; x < ow; ++x) {
+              const int64_t ix = x * stride - pad + kx;
+              out[x] = (ix >= 0 && ix < w) ? row[ix] : 0.0F;
             }
           }
+          out += ow;
         }
       }
     }
-  }
+  });
 }
 
 void col2im_3d(const float* col, int64_t channels, int64_t d, int64_t h,
@@ -89,45 +93,51 @@ void col2im_3d(const float* col, int64_t channels, int64_t d, int64_t h,
                int64_t od, int64_t oh, int64_t ow, float* im) {
   check_geometry(channels, d, h, w, kernel, stride, pad, od, oh, ow);
   const int64_t k = kernel;
-  const float* in = col;
-  for (int64_t c = 0; c < channels; ++c) {
-    float* imc = im + c * d * h * w;
-    for (int64_t kz = 0; kz < k; ++kz) {
-      for (int64_t ky = 0; ky < k; ++ky) {
-        for (int64_t kx = 0; kx < k; ++kx) {
-          for (int64_t z = 0; z < od; ++z) {
-            const int64_t iz = z * stride - pad + kz;
-            if (iz < 0 || iz >= d) {
-              in += oh * ow;
-              continue;
-            }
-            for (int64_t y = 0; y < oh; ++y) {
-              const int64_t iy = y * stride - pad + ky;
-              if (iy < 0 || iy >= h) {
-                in += ow;
+  // Accumulation targets only this channel's im block and the k^3 rows
+  // of one channel are replayed in the sequential order, so sharding by
+  // channel keeps the scatter-add bitwise identical (float addition is
+  // non-associative — reordering within a channel would not be).
+  parallel_for(0, channels, [&](int64_t clo, int64_t chi) {
+    for (int64_t c = clo; c < chi; ++c) {
+      const float* in = col + c * k * k * k * od * oh * ow;
+      float* imc = im + c * d * h * w;
+      for (int64_t kz = 0; kz < k; ++kz) {
+        for (int64_t ky = 0; ky < k; ++ky) {
+          for (int64_t kx = 0; kx < k; ++kx) {
+            for (int64_t z = 0; z < od; ++z) {
+              const int64_t iz = z * stride - pad + kz;
+              if (iz < 0 || iz >= d) {
+                in += oh * ow;
                 continue;
               }
-              float* row = imc + (iz * h + iy) * w;
-              if (stride == 1) {
-                const int64_t off = kx - pad;
-                const int64_t lead = clamp64(-off, 0, ow);
-                const int64_t end = clamp64(w - off, 0, ow);
-                for (int64_t x = lead; x < end; ++x) {
-                  row[x + off] += in[x];
+              for (int64_t y = 0; y < oh; ++y) {
+                const int64_t iy = y * stride - pad + ky;
+                if (iy < 0 || iy >= h) {
+                  in += ow;
+                  continue;
                 }
-              } else {
-                for (int64_t x = 0; x < ow; ++x) {
-                  const int64_t ix = x * stride - pad + kx;
-                  if (ix >= 0 && ix < w) row[ix] += in[x];
+                float* row = imc + (iz * h + iy) * w;
+                if (stride == 1) {
+                  const int64_t off = kx - pad;
+                  const int64_t lead = clamp64(-off, 0, ow);
+                  const int64_t end = clamp64(w - off, 0, ow);
+                  for (int64_t x = lead; x < end; ++x) {
+                    row[x + off] += in[x];
+                  }
+                } else {
+                  for (int64_t x = 0; x < ow; ++x) {
+                    const int64_t ix = x * stride - pad + kx;
+                    if (ix >= 0 && ix < w) row[ix] += in[x];
+                  }
                 }
+                in += ow;
               }
-              in += ow;
             }
           }
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace dmis

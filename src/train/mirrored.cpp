@@ -149,7 +149,7 @@ void MirroredStrategy::build_group() {
       nn::UNet3d& model = *replicas_[static_cast<size_t>(i)];
       impl_->bucketers.push_back(std::make_unique<GradBucketer>(
           model.params(), impl_->comms[static_cast<size_t>(i)],
-          bucket_bytes));
+          bucket_bytes, options_.compress));
       // Fires each bucket's allreduce mid-backward; disarmed outside
       // begin_step()/wait_all(), so forward-only use stays free.
       model.graph().set_grad_ready_hook(
@@ -226,14 +226,27 @@ TrainReport MirroredStrategy::fit(data::BatchStream& train,
       if (failure.self_dead[i] != 0) dead[i] = 1;
     }
     std::vector<std::unique_ptr<nn::UNet3d>> survivors;
+    // Carry each survivor's error-feedback residuals across the
+    // rebuild: the codec's accumulated-but-unsent gradient mass must
+    // not vanish with the group (the layout is parameter-determined,
+    // so exported state fits the rebuilt bucketer exactly).
+    std::vector<GradBucketer::ResidualState> residuals;
     for (size_t i = 0; i < replicas_.size(); ++i) {
-      if (dead[i] == 0) survivors.push_back(std::move(replicas_[i]));
+      if (dead[i] != 0) continue;
+      survivors.push_back(std::move(replicas_[i]));
+      if (i < impl_->bucketers.size() && impl_->bucketers[i] != nullptr) {
+        residuals.push_back(impl_->bucketers[i]->export_residuals());
+      }
     }
     if (survivors.empty()) std::rethrow_exception(failure.first);
     replicas_ = std::move(survivors);
     ++impl_->recoveries;
     recovery_counter.add(1);
     build_group();
+    for (size_t i = 0;
+         i < impl_->bucketers.size() && i < residuals.size(); ++i) {
+      impl_->bucketers[i]->import_residuals(residuals[i]);
+    }
     world_gauge.set(static_cast<double>(world_size()));
     for (size_t i = 0; i < replicas_.size(); ++i) {
       std::vector<nn::Param> params = replicas_[i]->checkpoint_params();

@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "comm/algorithms.hpp"
+#include "comm/compress.hpp"
 #include "train/trainer.hpp"
 
 namespace dmis::train {
@@ -93,6 +94,12 @@ struct MirroredOptions {
   /// hierarchical algorithm and the tuner): -1 resolves
   /// DMIS_COMM_RANKS_PER_NODE, 0 = flat single-node.
   int comm_ranks_per_node = -1;
+  /// Gradient compression for the bucketed sync path
+  /// (comm/compress.hpp): fp16 wire or top-k with error feedback.
+  /// DMIS_COMPRESS / DMIS_TOPK_RATIO always win over this field; an
+  /// elastic rebuild keeps the codec and carries the error-feedback
+  /// residuals of the surviving replicas into the shrunken group.
+  comm::CompressOptions compress;
   /// Optimizer steps between step-consistent checkpoints in elastic
   /// mode (epoch boundaries always checkpoint). 1 = every step.
   int64_t checkpoint_every_steps = 1;

@@ -177,5 +177,85 @@ TEST(CommSimTest, CostParamsFromSpecMapLinks) {
   EXPECT_GT(p.copy_gbs, p.reduce_gbs);
 }
 
+// Measured-calibration feedback: the overload rescales the spec's link
+// bandwidth by the host-measured reduce/copy (and codec/copy) ratios,
+// so DES predictions use a beta with the same shape the real machine
+// showed instead of the 0.75 guess.
+TEST(CommSimTest, CostParamsFromMeasuredScalesDerates) {
+  const ClusterSpec spec = ClusterSpec::marenostrum_cte();
+  comm::CommCostParams measured;  // as AlgoTuner calibration fills it
+  measured.copy_gbs = 10.0;
+  measured.reduce_gbs = 6.0;          // 0.6 of copy on this host
+  measured.fp16_pack_gbs = 9.0;       // 0.9
+  measured.fp16_reduce_gbs = 5.0;     // 0.5
+  const comm::CommCostParams p = cost_params_from(spec, measured);
+
+  const double link = spec.node.nvlink.bandwidth_gbs;
+  EXPECT_DOUBLE_EQ(p.copy_gbs, link);  // the link itself is the spec's
+  EXPECT_DOUBLE_EQ(p.reduce_gbs, link * 0.6);
+  EXPECT_DOUBLE_EQ(p.fp16_pack_gbs, link * 0.9);
+  EXPECT_DOUBLE_EQ(p.fp16_reduce_gbs, link * 0.5);
+  // Latencies still come from the spec, not the measurement.
+  EXPECT_DOUBLE_EQ(p.sync_us, spec.node.nvlink.latency_us);
+  EXPECT_DOUBLE_EQ(p.inter_gbs, spec.infiniband.bandwidth_gbs);
+}
+
+// fp16 wire in the DES: reduce steps run at fp16_reduce_gbs over the
+// bytes actually moved. With the fp16 bandwidth pinned to the fp32 one
+// the schedules must time identically (byte count is the caller's
+// concern); with a realistic fp16 derate the compressed *half-size*
+// payload is still never slower than the full-size fp32 one.
+TEST(CommSimTest, Fp16WireSwapsReduceBandwidth) {
+  comm::CommCostParams params =
+      cost_params_from(ClusterSpec::marenostrum_cte());
+  params.fp16_reduce_gbs = params.reduce_gbs;
+  for (const AllReduceAlgo algo : kAlgos) {
+    for (const size_t bytes : grid_sizes()) {
+      EXPECT_DOUBLE_EQ(
+          simulate_all_reduce(params, algo, bytes, 8, 4,
+                              comm::WireFormat::kFp16),
+          simulate_all_reduce(params, algo, bytes, 8, 4));
+    }
+  }
+  params = cost_params_from(ClusterSpec::marenostrum_cte());
+  for (const AllReduceAlgo algo : kAlgos) {
+    for (const size_t bytes : grid_sizes()) {
+      EXPECT_LE(simulate_all_reduce(params, algo, (bytes + 1) / 2, 8, 4,
+                                    comm::WireFormat::kFp16),
+                simulate_all_reduce(params, algo, bytes, 8, 4))
+          << comm::all_reduce_algo_name(algo) << " bytes=" << bytes;
+    }
+  }
+}
+
+// simulate_grad_sync is the DES counterpart of the tuner's
+// predict_sync_seconds: codec passes plus the collective over wire
+// bytes. Under kFp32 it is exactly simulate_all_reduce; under kFp16
+// the two models must agree on *when compression pays* for any
+// algorithm the tuner would pick.
+TEST(CommSimTest, GradSyncComposesCodecAndCollective) {
+  const comm::CommCostParams params =
+      cost_params_from(ClusterSpec::marenostrum_cte());
+  const size_t logical = size_t{4} << 20U;
+  for (const AllReduceAlgo algo : kAlgos) {
+    EXPECT_DOUBLE_EQ(
+        simulate_grad_sync(params, algo, logical, 8, 4,
+                           comm::WireFormat::kFp32),
+        simulate_all_reduce(params, algo, logical, 8, 4));
+    const double fp16 =
+        simulate_grad_sync(params, algo, logical, 8, 4,
+                           comm::WireFormat::kFp16);
+    const double wire_only = simulate_all_reduce(
+        params, algo, comm::fp16_wire_floats(logical / 4) * 4, 8, 4,
+        comm::WireFormat::kFp16);
+    // Codec cost is additive and strictly positive.
+    EXPECT_GT(fp16, wire_only);
+    EXPECT_NEAR(fp16 - wire_only,
+                2.0 * static_cast<double>(logical) /
+                    (params.fp16_pack_gbs * 1e9),
+                1e-12);
+  }
+}
+
 }  // namespace
 }  // namespace dmis::cluster

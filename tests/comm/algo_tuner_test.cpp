@@ -133,6 +133,64 @@ TEST(AlgoTunerProperty, CalibratedIsCachedAndFinite) {
   EXPECT_GT(a.reduce_gbs, 0.0);
   EXPECT_GT(a.copy_gbs, 0.0);
   EXPECT_GT(a.inter_gbs, 0.0);
+  // The compression terms are calibrated alongside the classic betas.
+  EXPECT_GT(a.fp16_pack_gbs, 0.0);
+  EXPECT_GT(a.fp16_reduce_gbs, 0.0);
+}
+
+TEST(AlgoTunerProperty, Fp16WireSwapsOnlyTheReduceBeta) {
+  // Pin the fp16 reduce bandwidth to the fp32 one: the wire format then
+  // changes nothing — byte counts are the caller's concern.
+  CommCostParams p = skewed_params();
+  p.fp16_reduce_gbs = p.reduce_gbs;
+  const AlgoTuner same(p, 8, 4);
+  for (const AllReduceAlgo algo :
+       {AllReduceAlgo::kRing, AllReduceAlgo::kTree, AllReduceAlgo::kHier}) {
+    for (const size_t bytes : size_sweep()) {
+      EXPECT_DOUBLE_EQ(same.predict_seconds(algo, bytes, WireFormat::kFp16),
+                       same.predict_seconds(algo, bytes));
+    }
+  }
+  // A slower fp16 accumulate makes every schedule slower, never faster.
+  p = skewed_params();
+  p.fp16_reduce_gbs = p.reduce_gbs * 0.5;
+  const AlgoTuner slow(p, 8, 4);
+  for (const AllReduceAlgo algo :
+       {AllReduceAlgo::kRing, AllReduceAlgo::kTree, AllReduceAlgo::kHier}) {
+    for (const size_t bytes : size_sweep()) {
+      EXPECT_GE(slow.predict_seconds(algo, bytes, WireFormat::kFp16),
+                slow.predict_seconds(algo, bytes));
+    }
+  }
+}
+
+TEST(AlgoTunerProperty, PredictSyncComposesCodecAndWireBytes) {
+  const AlgoTuner tuner(skewed_params(), 8, 4);
+  const size_t logical = size_t{4} << 20U;
+  for (const AllReduceAlgo algo :
+       {AllReduceAlgo::kRing, AllReduceAlgo::kTree, AllReduceAlgo::kHier}) {
+    // fp32 sync is exactly the collective: no codec term.
+    EXPECT_DOUBLE_EQ(
+        tuner.predict_sync_seconds(algo, logical, WireFormat::kFp32),
+        tuner.predict_seconds(algo, logical));
+    // fp16 sync = two codec passes + the collective over half the bytes.
+    const size_t wire = fp16_wire_floats(logical / 4) * 4;
+    EXPECT_DOUBLE_EQ(
+        tuner.predict_sync_seconds(algo, logical, WireFormat::kFp16),
+        tuner.codec_seconds(logical, WireFormat::kFp16) +
+            tuner.predict_seconds(algo, wire, WireFormat::kFp16));
+  }
+  EXPECT_DOUBLE_EQ(tuner.codec_seconds(logical, WireFormat::kFp32), 0.0);
+  EXPECT_GT(tuner.codec_seconds(logical, WireFormat::kFp16), 0.0);
+  // choose() under fp16 stays a valid concrete pick and is
+  // deterministic — the codec term is algorithm-independent, so the
+  // ranking logic itself is unchanged.
+  for (const size_t bytes : size_sweep()) {
+    const AllReduceAlgo a = tuner.choose(bytes, WireFormat::kFp16);
+    const AllReduceAlgo b = tuner.choose(bytes, WireFormat::kFp16);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, AllReduceAlgo::kAuto);
+  }
 }
 
 /// Saves and restores the comm env knobs so precedence tests can set

@@ -157,6 +157,56 @@ TEST_F(ElasticMirroredTest, RecoversFromMidTrainingFailure) {
   }
 }
 
+// Elastic recovery composes with gradient compression: a mid-training
+// rank loss under top-k (the mode with cross-step residual state)
+// shrinks to survivors and finishes with finite losses. The residual
+// export/import mechanics are unit-tested in grad_bucketer_test; this
+// exercises the full recover() path that carries them across the
+// group rebuild.
+TEST_F(ElasticMirroredTest, RecoversWithTopKCompressionState) {
+  common::FaultInjector::instance().arm_nth_call("comm.all_reduce.r2", 3);
+  MirroredOptions mopt;
+  mopt.num_replicas = 3;
+  mopt.train.epochs = 2;
+  mopt.train.lr = 1e-3;
+  mopt.elastic = true;
+  mopt.elastic_dir = dir_;
+  mopt.compress.mode = comm::CompressMode::kTopK;
+  mopt.compress.topk_ratio = 0.25;
+  MirroredStrategy mirrored(tiny_model(), mopt);
+  data::BatchStream train(data::from_examples(make_examples(6, 4)), 3);
+  const TrainReport report = mirrored.fit(train, nullptr);
+  EXPECT_EQ(mirrored.recoveries(), 1);
+  EXPECT_EQ(mirrored.world_size(), 2);
+  ASSERT_EQ(report.history.size(), 2U);
+  for (const EpochStats& s : report.history) {
+    EXPECT_TRUE(std::isfinite(s.train_loss));
+    EXPECT_EQ(s.steps, 2);
+  }
+}
+
+// And with the dense fp16 wire (no residual state, but the rebuilt
+// group must keep the codec): same kill, same survival contract.
+TEST_F(ElasticMirroredTest, RecoversWithFp16Wire) {
+  common::FaultInjector::instance().arm_nth_call("comm.all_reduce.r2", 3);
+  MirroredOptions mopt;
+  mopt.num_replicas = 3;
+  mopt.train.epochs = 2;
+  mopt.train.lr = 1e-3;
+  mopt.elastic = true;
+  mopt.elastic_dir = dir_;
+  mopt.compress.mode = comm::CompressMode::kFp16;
+  MirroredStrategy mirrored(tiny_model(), mopt);
+  data::BatchStream train(data::from_examples(make_examples(6, 4)), 3);
+  const TrainReport report = mirrored.fit(train, nullptr);
+  EXPECT_EQ(mirrored.recoveries(), 1);
+  EXPECT_EQ(mirrored.world_size(), 2);
+  ASSERT_EQ(report.history.size(), 2U);
+  for (const EpochStats& s : report.history) {
+    EXPECT_TRUE(std::isfinite(s.train_loss));
+  }
+}
+
 // When every replica dies in the same step there is nobody to shrink
 // to: elastic mode rethrows like fail-fast instead of looping.
 TEST_F(ElasticMirroredTest, NoSurvivorsRethrows) {
