@@ -237,6 +237,12 @@ RankHealth CollectiveContext::health(int rank) const {
           std::memory_order_acquire));
 }
 
+int64_t CollectiveContext::last_beat_us(int rank) const {
+  DMIS_CHECK(rank >= 0 && rank < size_, "bad rank " << rank);
+  return rank_state_[static_cast<size_t>(rank)].last_beat_us.load(
+      std::memory_order_relaxed);
+}
+
 CollectiveContext::Deadline CollectiveContext::collective_deadline() const {
   Deadline d;
   if (timeout_ms_ > 0) {

@@ -204,6 +204,11 @@ class CollectiveContext {
   /// Health of `rank` as currently recorded.
   RankHealth health(int rank) const;
 
+  /// Microsecond timestamp (obs::Tracer::now_us clock) of `rank`'s most
+  /// recent collective heartbeat; 0 if it never entered a collective.
+  /// The membership layer renews per-rank leases off this table.
+  int64_t last_beat_us(int rank) const;
+
  private:
   friend class Communicator;
   friend class CollectiveOps;
@@ -370,6 +375,9 @@ class Communicator {
 
   /// Health of `rank` as observed through collective heartbeats.
   RankHealth health(int rank) const { return ctx_->health(rank); }
+
+  /// Timestamp (µs) of `rank`'s last collective heartbeat (0 = never).
+  int64_t last_beat_us(int rank) const { return ctx_->last_beat_us(rank); }
 
   /// Poison pill: marks this rank dead, wakes every rank blocked in a
   /// collective (they throw CommError{kPeerFailed}) and makes all later

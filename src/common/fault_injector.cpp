@@ -143,6 +143,24 @@ void FaultInjector::set_action_hang(const std::string& point,
   p.auto_release_ms = auto_release_ms;
 }
 
+void FaultInjector::set_action_restart(const std::string& point,
+                                       std::function<void()> on_restart) {
+  DMIS_CHECK(on_restart != nullptr, "restart action needs a callback");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Point& p = point_locked(point);
+  p.action = Action::kRestart;
+  p.callback = std::move(on_restart);
+}
+
+void FaultInjector::set_action_rejoin(const std::string& point,
+                                      std::function<void()> on_rejoin) {
+  DMIS_CHECK(on_rejoin != nullptr, "rejoin action needs a callback");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Point& p = point_locked(point);
+  p.action = Action::kRejoin;
+  p.callback = std::move(on_rejoin);
+}
+
 void FaultInjector::release_hangs() {
   {
     const std::lock_guard<std::mutex> lock(hang_mutex_);
@@ -176,12 +194,14 @@ void FaultInjector::maybe_fail(const std::string& point) {
   Action action;
   int64_t delay_ms;
   int64_t auto_release_ms;
+  std::function<void()> callback;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const Point& p = point_locked(point);
     action = p.action;
     delay_ms = p.delay_ms;
     auto_release_ms = p.auto_release_ms;
+    callback = p.callback;  // run outside the registry lock
   }
   switch (action) {
     case Action::kThrow:
@@ -192,6 +212,15 @@ void FaultInjector::maybe_fail(const std::string& point) {
       return;
     case Action::kHang:
       hang_until_released(auto_release_ms);
+      return;
+    case Action::kRestart:
+      // The node dies *and* its replacement's rejoin is already under
+      // way: side effect first, then the crash.
+      if (callback) callback();
+      throw FaultInjected("injected restart at '" + point + "' (call #" +
+                          std::to_string(calls(point)) + ")");
+    case Action::kRejoin:
+      if (callback) callback();
       return;
   }
 }

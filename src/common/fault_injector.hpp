@@ -24,7 +24,10 @@
 // sleep and then proceed (a slow rank / stalled NIC), and `hang` parks
 // the fired call until `release_hangs()` (or an optional auto-release
 // timeout) — the dead-but-not-crashed rank that deadline-aware
-// collectives exist to detect.
+// collectives exist to detect. For elastic chaos two callback actions
+// model a node's *return*: `restart` runs a user callback (file the
+// rejoin request) and then throws like the default crash, `rejoin`
+// runs the callback and proceeds.
 //
 // Rank scoping: the two-argument `maybe_fail(point, rank)` checks both
 // the bare point and `<point>.r<rank>`, so a test can target exactly one
@@ -35,6 +38,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -88,6 +92,23 @@ class FaultInjector {
   /// Models a hung rank; armed alongside any trigger.
   void set_action_hang(const std::string& point, int64_t auto_release_ms = -1);
 
+  /// Replaces `point`'s fire action: run `on_restart` (the "process
+  /// came back and asked to rejoin" side effect — e.g. filing a
+  /// membership join request), then throw FaultInjected as usual. This
+  /// is how a chaos test kills a rank *and* deterministically schedules
+  /// its return: the crash is real (the exception propagates, the group
+  /// is poisoned) but the replacement worker's rejoin is already in
+  /// flight. The callback runs outside the injector's registry lock.
+  void set_action_restart(const std::string& point,
+                          std::function<void()> on_restart);
+
+  /// Replaces `point`'s fire action: run `on_rejoin` and return
+  /// normally — a node that came back without ever crashing this call
+  /// (a drained standby re-advertising itself). Also runs outside the
+  /// registry lock.
+  void set_action_rejoin(const std::string& point,
+                         std::function<void()> on_rejoin);
+
   /// Wakes every thread currently parked in a hang action (also done by
   /// reset(), so test teardown can never deadlock on a forgotten hang).
   void release_hangs();
@@ -125,7 +146,7 @@ class FaultInjector {
   FaultInjector() = default;
 
   enum class Mode { kOff, kNthCall, kEveryN, kProbability };
-  enum class Action { kThrow, kDelay, kHang };
+  enum class Action { kThrow, kDelay, kHang, kRestart, kRejoin };
 
   struct Point {
     Mode mode = Mode::kOff;
@@ -138,6 +159,7 @@ class FaultInjector {
     Action action = Action::kThrow;
     int64_t delay_ms = 0;           // kDelay sleep
     int64_t auto_release_ms = -1;   // kHang bound; -1 = explicit release
+    std::function<void()> callback;  // kRestart / kRejoin side effect
   };
 
   Point& point_locked(const std::string& name);

@@ -1,0 +1,272 @@
+#include "raylite/sweep_ledger.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "data/crc32c.hpp"
+
+namespace dmis::ray {
+namespace {
+
+// Minimal JSON string escaping: the only characters param_set_str or a
+// status name can realistically contain that break a JSON string are
+// the quote and the backslash; control characters are escaped too so
+// the output is always standard-parseable.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Unescapes a string captured between quotes by parse_string below.
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      default: out += s[i];  // \" and \\ (and anything else, verbatim)
+    }
+  }
+  return out;
+}
+
+// Finds `"key":` in `line` and returns the index just past the colon,
+// or npos.
+size_t value_pos(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+// Parses the quoted (escaped) string starting at `pos`; advances `pos`
+// past the closing quote. Returns false on malformed input.
+bool parse_string(const std::string& line, size_t* pos, std::string* out) {
+  size_t i = *pos;
+  if (i >= line.size() || line[i] != '"') return false;
+  ++i;
+  std::string raw;
+  while (i < line.size()) {
+    if (line[i] == '\\') {
+      if (i + 1 >= line.size()) return false;
+      raw += line[i];
+      raw += line[i + 1];
+      i += 2;
+      continue;
+    }
+    if (line[i] == '"') {
+      *out = unescape(raw);
+      *pos = i + 1;
+      return true;
+    }
+    raw += line[i];
+    ++i;
+  }
+  return false;
+}
+
+// Shortest round-trip rendering of a double (JSON-friendly for finite
+// values; inf/nan render as strtod-compatible tokens, which is a
+// deliberate deviation our own reader accepts).
+std::string double_str(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string SweepLedger::encode(const LedgerEntry& entry) {
+  std::ostringstream body;
+  body << "\"id\":" << entry.id << ",\"status\":\"" << escape(entry.status)
+       << "\",\"iterations\":" << entry.iterations << ",\"params\":\""
+       << escape(entry.params) << "\",\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, value] : entry.metrics) {
+    if (!first) body << ',';
+    first = false;
+    body << '"' << escape(name) << "\":" << double_str(value);
+  }
+  body << "}}";
+  const std::string payload = body.str();
+  const uint32_t crc =
+      data::mask_crc(data::crc32c(payload.data(), payload.size()));
+  return "{\"crc\":" + std::to_string(crc) + "," + payload;
+}
+
+bool SweepLedger::decode(const std::string& line, LedgerEntry* out) {
+  // The CRC covers everything from `"id":` to the end of the line, so
+  // locate that anchor first and verify before trusting any field.
+  size_t crc_pos = value_pos(line, "crc");
+  if (crc_pos == std::string::npos) return false;
+  const size_t anchor = line.find("\"id\":", crc_pos);
+  if (anchor == std::string::npos) return false;
+  const std::string payload = line.substr(anchor);
+  char* end = nullptr;
+  const unsigned long long crc = std::strtoull(line.c_str() + crc_pos, &end, 10);
+  if (end == line.c_str() + crc_pos) return false;
+  if (static_cast<uint32_t>(crc) !=
+      data::mask_crc(data::crc32c(payload.data(), payload.size()))) {
+    return false;
+  }
+
+  LedgerEntry entry;
+  size_t pos = value_pos(payload, "id");
+  if (pos == std::string::npos) return false;
+  entry.id = static_cast<int>(std::strtol(payload.c_str() + pos, nullptr, 10));
+
+  pos = value_pos(payload, "status");
+  if (pos == std::string::npos ||
+      !parse_string(payload, &pos, &entry.status)) {
+    return false;
+  }
+
+  pos = value_pos(payload, "iterations");
+  if (pos == std::string::npos) return false;
+  entry.iterations = std::strtoll(payload.c_str() + pos, nullptr, 10);
+
+  pos = value_pos(payload, "params");
+  if (pos == std::string::npos ||
+      !parse_string(payload, &pos, &entry.params)) {
+    return false;
+  }
+
+  pos = value_pos(payload, "metrics");
+  if (pos == std::string::npos || pos >= payload.size() ||
+      payload[pos] != '{') {
+    return false;
+  }
+  ++pos;
+  while (pos < payload.size() && payload[pos] != '}') {
+    std::string name;
+    if (!parse_string(payload, &pos, &name)) return false;
+    if (pos >= payload.size() || payload[pos] != ':') return false;
+    ++pos;
+    char* vend = nullptr;
+    const double value = std::strtod(payload.c_str() + pos, &vend);
+    if (vend == payload.c_str() + pos) return false;
+    entry.metrics[name] = value;
+    pos = static_cast<size_t>(vend - payload.c_str());
+    if (pos < payload.size() && payload[pos] == ',') ++pos;
+  }
+  if (pos >= payload.size()) return false;  // no closing brace
+
+  *out = std::move(entry);
+  return true;
+}
+
+SweepLedger::SweepLedger(std::string path) : path_(std::move(path)) {
+  std::ifstream is(path_);
+  if (!is) return;  // first run: no ledger yet
+  std::string line;
+  int64_t dropped = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    LedgerEntry entry;
+    if (decode(line, &entry)) {
+      entries_.push_back(std::move(entry));
+    } else {
+      ++dropped;
+    }
+  }
+  if (dropped > 0) {
+    DMIS_LOG(kWarn) << "sweep ledger '" << path_ << "': dropped " << dropped
+                    << " corrupt line(s); " << entries_.size()
+                    << " entries survive";
+  }
+}
+
+const LedgerEntry* SweepLedger::find(int id,
+                                     const std::string& params) const {
+  for (const LedgerEntry& e : entries_) {
+    if (e.id == id && e.params == params) return &e;
+  }
+  return nullptr;
+}
+
+void SweepLedger::record(const LedgerEntry& entry) {
+  for (LedgerEntry& e : entries_) {
+    if (e.id == entry.id) {
+      e = entry;
+      rewrite();
+      return;
+    }
+  }
+  entries_.push_back(entry);
+  rewrite();
+}
+
+void SweepLedger::rewrite() const {
+  std::string blob;
+  for (const LedgerEntry& e : entries_) {
+    blob += encode(e);
+    blob += '\n';
+  }
+
+  // Same discipline as nn::save_checkpoint: same-directory temp file,
+  // fsync, atomic rename — a crash leaves either the old ledger or the
+  // new one, never a torn file.
+  const std::string tmp = path_ + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  DMIS_CHECK_IO(fd >= 0, "cannot open '" << tmp << "' for writing: "
+                                         << std::strerror(errno));
+  const char* data = blob.data();
+  size_t len = blob.size();
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      DMIS_CHECK_IO(false, "write failed for '" << tmp << "': "
+                                                << std::strerror(errno));
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    DMIS_CHECK_IO(false, "fsync failed for '" << tmp << "': "
+                                              << std::strerror(errno));
+  }
+  ::close(fd);
+  DMIS_CHECK_IO(::rename(tmp.c_str(), path_.c_str()) == 0,
+                "rename '" << tmp << "' -> '" << path_
+                           << "' failed: " << std::strerror(errno));
+  const size_t slash = path_.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : path_.substr(0, slash);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    (void)::fsync(dirfd);
+    ::close(dirfd);
+  }
+}
+
+}  // namespace dmis::ray

@@ -1,0 +1,82 @@
+// SweepLedger: durable record of completed trials, for resumable sweeps.
+//
+// Ray Tune survives driver crashes because trial results live in the
+// experiment directory, not in the driver's memory. This is that layer
+// for tune_run: whenever a trial finishes (TERMINATED or STOPPED), the
+// driver appends one JSON line to `<checkpoint_root>/sweep_ledger.jsonl`
+// describing the trial — id, status, completed iterations, a parameter
+// fingerprint, and the final metrics. A tune_run restarted over the
+// same checkpoint_root loads the ledger, adopts every entry whose
+// fingerprint still matches the configuration at that index (the sweep
+// definition may have changed between runs — a stale entry is ignored,
+// not trusted), and dispatches only the remaining trials. Adopted
+// trials keep their checkpoint directories, so the sweep's artifacts
+// stay intact across the restart.
+//
+// Durability discipline matches the checkpoint writer: each record
+// rewrites the whole ledger through a temp file + fsync + atomic
+// rename, so a crash mid-write can never corrupt previously recorded
+// trials — readers see either the old ledger or the new one. Each line
+// carries a masked CRC32C of its payload (TFRecord-style), so a torn or
+// hand-edited line is detected and dropped instead of resurrecting a
+// bogus trial.
+//
+// The format is deliberately self-contained JSON-lines — parseable by
+// standard tooling — but written and read with no JSON library: the
+// CRC covers the byte range from `"id":` to the end of the line, so
+// writer and reader only have to agree on that substring, not on a
+// canonical JSON serialization.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dmis::ray {
+
+/// One completed trial as recorded in the ledger.
+struct LedgerEntry {
+  int id = -1;
+  std::string status;  ///< "TERMINATED" or "STOPPED".
+  int64_t iterations = 0;
+  std::string params;  ///< param_set_str fingerprint of the config.
+  std::map<std::string, double> metrics;
+};
+
+class SweepLedger {
+ public:
+  /// Opens (and parses, if present) the ledger at `path`. Lines with a
+  /// bad CRC or that fail to parse are dropped with a warning — the
+  /// remaining entries are still adoptable.
+  explicit SweepLedger(std::string path);
+
+  /// Entries loaded at construction (previous runs' completed trials).
+  const std::vector<LedgerEntry>& entries() const { return entries_; }
+
+  /// The entry for trial `id` whose fingerprint matches `params`, or
+  /// nullptr. A matching id with a different fingerprint means the
+  /// sweep definition changed — the entry is not returned.
+  const LedgerEntry* find(int id, const std::string& params) const;
+
+  /// Upserts `entry` and atomically rewrites the ledger file
+  /// (tmp + fsync + rename). Previously loaded entries are preserved.
+  void record(const LedgerEntry& entry);
+
+  const std::string& path() const { return path_; }
+
+  /// Serializes one entry to its ledger line (no trailing newline).
+  /// Exposed for tests; the CRC makes lines self-validating.
+  static std::string encode(const LedgerEntry& entry);
+
+  /// Parses one ledger line; returns false (and leaves `out` alone) on
+  /// CRC mismatch or malformed input.
+  static bool decode(const std::string& line, LedgerEntry* out);
+
+ private:
+  void rewrite() const;
+
+  std::string path_;
+  std::vector<LedgerEntry> entries_;
+};
+
+}  // namespace dmis::ray

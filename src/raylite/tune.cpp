@@ -9,9 +9,11 @@
 
 #include "comm/communicator.hpp"
 #include "common/check.hpp"
+#include "common/logging.hpp"
 #include "nn/checkpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "raylite/sweep_ledger.hpp"
 
 namespace dmis::ray {
 
@@ -237,6 +239,17 @@ TuneResult tune_run(const Trainable& trainable,
   result.trials.resize(configs.size());
   std::mutex trials_mutex;
 
+  // Durable sweep state (see sweep_ledger.hpp): with a checkpoint_root,
+  // completed trials are recorded in a CRC-protected JSONL ledger, and
+  // a restarted sweep adopts them instead of re-running.
+  std::unique_ptr<SweepLedger> ledger;
+  std::vector<bool> adopted(configs.size(), false);
+  if (!options.checkpoint_root.empty()) {
+    std::filesystem::create_directories(options.checkpoint_root);
+    ledger = std::make_unique<SweepLedger>(options.checkpoint_root +
+                                           "/sweep_ledger.jsonl");
+  }
+
   for (size_t i = 0; i < configs.size(); ++i) {
     Trial& trial = result.trials[i];
     trial.id = static_cast<int>(i);
@@ -250,6 +263,26 @@ TuneResult tune_run(const Trainable& trainable,
       // them before this run starts writing its own.
       nn::sweep_stale_checkpoints(trial.checkpoint_dir);
     }
+    if (ledger != nullptr) {
+      // Adoption requires the fingerprint to still match: a ledger
+      // entry from a different sweep definition at the same index is
+      // ignored rather than trusted.
+      const LedgerEntry* done =
+          ledger->find(trial.id, param_set_str(configs[i]));
+      if (done != nullptr) {
+        trial.status = done->status == "STOPPED" ? TrialStatus::kStopped
+                                                 : TrialStatus::kTerminated;
+        trial.iterations = done->iterations;
+        trial.last_metrics = done->metrics;
+        adopted[i] = true;
+        obs::MetricsRegistry::instance()
+            .counter("tune.trials_adopted")
+            .add(1);
+        DMIS_LOG(kInfo) << "tune: adopting completed trial " << trial.id
+                        << " from sweep ledger (" << done->status << ", "
+                        << done->iterations << " iterations)";
+      }
+    }
   }
 
   std::unique_ptr<AshaState> asha;
@@ -261,8 +294,11 @@ TuneResult tune_run(const Trainable& trainable,
 
   {
     RayLite cluster(Resources{options.num_gpus, cpus}, max_parallel);
-    std::vector<size_t> pending(configs.size());
-    for (size_t i = 0; i < configs.size(); ++i) pending[i] = i;
+    std::vector<size_t> pending;
+    pending.reserve(configs.size());
+    for (size_t i = 0; i < configs.size(); ++i) {
+      if (!adopted[i]) pending.push_back(i);
+    }
 
     // Round-based rescheduling: round 0 dispatches every trial; round
     // k > 0 redispatches the trials that failed round k-1 after an
@@ -357,31 +393,44 @@ TuneResult tune_run(const Trainable& trainable,
           result.trials[i].error = e.what();
           result.trials[i].permanent_error = is_permanent_failure(e);
         }
-        const std::lock_guard<std::mutex> lock(trials_mutex);
-        Trial& trial = result.trials[i];
-        if (trial.status != TrialStatus::kError) {
-          metrics.trials_completed.add(1);
-          continue;
+        std::optional<LedgerEntry> completed;
+        {
+          const std::lock_guard<std::mutex> lock(trials_mutex);
+          Trial& trial = result.trials[i];
+          if (trial.status != TrialStatus::kError) {
+            metrics.trials_completed.add(1);
+            if (ledger != nullptr) {
+              LedgerEntry entry;
+              entry.id = trial.id;
+              entry.status = trial_status_name(trial.status);
+              entry.iterations = trial.iterations;
+              entry.params = param_set_str(configs[i]);
+              entry.metrics = trial.last_metrics;
+              completed = std::move(entry);
+            }
+          } else if (trial.permanent_error && options.retry.max_retries > 0) {
+            // Retrying a permanent error reproduces it; fail now and
+            // leave the retry budget to failures that can heal.
+            trial.status = TrialStatus::kFailed;
+            metrics.permanent_failures.add(1);
+            metrics.trials_failed.add(1);
+          } else if (trial.attempts < max_attempts) {
+            metrics.transient_failures.add(1);
+            trial.transient_errors.push_back(std::move(trial.error));
+            trial.error.clear();
+            trial.status = TrialStatus::kPending;
+            failed.push_back(i);
+          } else if (options.retry.max_retries > 0) {
+            trial.status = TrialStatus::kFailed;
+            metrics.trials_failed.add(1);
+          } else {
+            // max_retries == 0: keep legacy kError accounting.
+            metrics.trials_failed.add(1);
+          }
         }
-        if (trial.permanent_error && options.retry.max_retries > 0) {
-          // Retrying a permanent error reproduces it; fail now and
-          // leave the retry budget to failures that can heal.
-          trial.status = TrialStatus::kFailed;
-          metrics.permanent_failures.add(1);
-          metrics.trials_failed.add(1);
-        } else if (trial.attempts < max_attempts) {
-          metrics.transient_failures.add(1);
-          trial.transient_errors.push_back(std::move(trial.error));
-          trial.error.clear();
-          trial.status = TrialStatus::kPending;
-          failed.push_back(i);
-        } else if (options.retry.max_retries > 0) {
-          trial.status = TrialStatus::kFailed;
-          metrics.trials_failed.add(1);
-        } else {
-          // max_retries == 0: keep legacy kError accounting.
-          metrics.trials_failed.add(1);
-        }
+        // The durable append runs outside trials_mutex so a (fsync'd)
+        // ledger rewrite never stalls reporters of running trials.
+        if (completed.has_value()) ledger->record(*completed);
       }
       pending = std::move(failed);
     }

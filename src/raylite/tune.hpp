@@ -19,6 +19,15 @@
 // errors (invalid configuration, deliberately aborted comm group) land
 // in kFailed immediately. A trial whose retry budget runs dry lands in
 // kFailed; kError is reserved for failures with retries disabled.
+//
+// Sweep-level crash recovery: with a checkpoint_root, every completed
+// trial is also recorded in `<checkpoint_root>/sweep_ledger.jsonl`
+// (see sweep_ledger.hpp — CRC-protected, atomically rewritten). A
+// tune_run restarted over the same root and configurations adopts the
+// recorded trials — same status, iterations, and final metrics, same
+// checkpoint directories — and only dispatches the unfinished rest, so
+// a killed driver process loses at most in-flight trials, never
+// finished ones.
 #pragma once
 
 #include <functional>
@@ -137,7 +146,11 @@ struct TuneOptions {
   RetryPolicy retry;            ///< Default: no retries (legacy kError).
   /// When non-empty, trial i gets checkpoint dir
   /// `<checkpoint_root>/trial_<i>` (created by tune_run) and retried
-  /// attempts are expected to resume from it.
+  /// attempts are expected to resume from it. Also enables the durable
+  /// sweep ledger at `<checkpoint_root>/sweep_ledger.jsonl`: completed
+  /// trials are recorded there and adopted (not re-run) by a restarted
+  /// tune_run over the same root, as long as the configuration at the
+  /// same index still matches.
   std::string checkpoint_root;
 };
 

@@ -95,6 +95,7 @@ SegmentationServer::SegmentationServer(const nn::UNet3dOptions& model_options,
   obs::MetricsRegistry::instance().gauge("serve.workers")
       .set(static_cast<double>(options_.num_workers));
   obs::MetricsRegistry::instance().gauge("serve.health").set(0.0);
+  observe_world_size();
 
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
@@ -381,6 +382,10 @@ void SegmentationServer::finish_request(const RequestPtr& req, bool success,
           breaker_recoveries_.fetch_add(1);
           counter("serve.breaker.recoveries").add(1);
           obs::MetricsRegistry::instance().gauge("serve.health").set(0.0);
+          // A trip+recovery often brackets an elastic transition in the
+          // co-located trainer: refresh the observed world size so
+          // capacity decisions use the post-recovery topology.
+          observe_world_size();
         }
       }
     } else if (backend_failure) {
@@ -471,7 +476,17 @@ ServerStats SegmentationServer::stats() const {
   stats.discarded = discarded_.load();
   stats.breaker_trips = breaker_trips_.load();
   stats.breaker_recoveries = breaker_recoveries_.load();
+  stats.observed_world_size = observed_world_size_.load();
   return stats;
+}
+
+void SegmentationServer::observe_world_size() {
+  const double world =
+      obs::MetricsRegistry::instance().gauge("train.elastic.world_size")
+          .value();
+  observed_world_size_.store(static_cast<int64_t>(world));
+  obs::MetricsRegistry::instance().gauge("serve.observed_world_size")
+      .set(world);
 }
 
 }  // namespace dmis::serve

@@ -114,6 +114,12 @@ struct ServerStats {
   int64_t breaker_recoveries = 0;
   int64_t queue_depth = 0;
   int64_t in_flight = 0;
+  /// The training world size (train.elastic.world_size gauge) observed
+  /// at server start and re-read after every breaker recovery — a
+  /// recovery often coincides with the trainer having shrunk or grown,
+  /// and capacity planning wants the post-recovery value, not the one
+  /// from boot. 0 until an elastic trainer publishes the gauge.
+  int64_t observed_world_size = 0;
   HealthState health = HealthState::kHealthy;
 };
 
@@ -168,6 +174,9 @@ class SegmentationServer {
   /// Server-state bookkeeping (probe slot, EMA, circuit breaker).
   void finish_request(const RequestPtr& req, bool success,
                       bool backend_failure, double latency_ms);
+  /// Snapshots train.elastic.world_size into observed_world_size_ and
+  /// the serve.observed_world_size gauge (start + breaker recovery).
+  void observe_world_size();
   void stop_threads();
 
   ServeOptions options_;
@@ -200,6 +209,7 @@ class SegmentationServer {
   std::atomic<int64_t> discarded_{0};
   std::atomic<int64_t> breaker_trips_{0};
   std::atomic<int64_t> breaker_recoveries_{0};
+  std::atomic<int64_t> observed_world_size_{0};
 
   std::vector<std::thread> workers_;
   std::thread reaper_;

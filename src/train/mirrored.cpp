@@ -1,6 +1,7 @@
 #include "train/mirrored.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
@@ -9,8 +10,11 @@
 #include <thread>
 
 #include "comm/communicator.hpp"
+#include "comm/membership.hpp"
 #include "common/check.hpp"
+#include "common/logging.hpp"
 #include "nn/checkpoint.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "train/grad_bucketer.hpp"
@@ -48,6 +52,40 @@ bool elastic_enabled(bool configured) {
            std::strcmp(env, "off") == 0);
 }
 
+bool elastic_grow_enabled(bool configured) {
+  const char* env = std::getenv("DMIS_ELASTIC_GROW");
+  if (env == nullptr || *env == '\0') return configured;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+           std::strcmp(env, "off") == 0);
+}
+
+// The checkpoint contract joiners are validated against: ordered
+// (name, shape) of everything the grow broadcast will push.
+comm::WorldSignature world_signature(nn::UNet3d& model) {
+  comm::WorldSignature sig;
+  for (const nn::Param& p : model.checkpoint_params()) {
+    comm::ParamSig ps;
+    ps.name = p.name;
+    const Shape& s = p.value->shape();
+    for (int d = 0; d < s.rank(); ++d) ps.dims.push_back(s.dim(d));
+    sig.push_back(std::move(ps));
+  }
+  return sig;
+}
+
+// Total |residual| across a set of exported bucketer states — the
+// error-feedback mass that must survive an elastic transition.
+double residual_mass(
+    const std::vector<GradBucketer::ResidualState>& states) {
+  double mass = 0.0;
+  for (const GradBucketer::ResidualState& state : states) {
+    for (const std::vector<float>& bucket : state) {
+      for (const float v : bucket) mass += std::abs(static_cast<double>(v));
+    }
+  }
+  return mass;
+}
+
 // Everything one failed step leaves behind for the driver: which
 // replicas reported themselves dead, the dead-set the survivor
 // agreement round sealed (identical on every survivor, recorded once),
@@ -81,13 +119,23 @@ struct MirroredStrategy::Impl {
   std::unique_ptr<nn::LrSchedule> schedule;
   std::unique_ptr<StragglerDetector> straggler;
   bool elastic = false;
+  bool elastic_grow = false;
   std::string ckpt_path;  // elastic_dir + "/elastic.ckpt"
   int64_t recoveries = 0;
+  int64_t grows = 0;
+
+  // Elastic scale-up state (elastic_grow only).
+  comm::WorldSignature signature;
+  std::unique_ptr<comm::MembershipService> membership;
+  std::mutex joiner_mutex;
+  std::vector<std::thread> joiners;  // request_rejoin agent threads
 };
 
 MirroredStrategy::MirroredStrategy(const nn::UNet3dOptions& model_options,
                                    const MirroredOptions& options)
-    : options_(options), impl_(std::make_unique<Impl>()) {
+    : options_(options),
+      model_options_(model_options),
+      impl_(std::make_unique<Impl>()) {
   DMIS_CHECK(options.num_replicas >= 1,
              "need >= 1 replica, got " << options.num_replicas);
   const int r = options.num_replicas;
@@ -103,14 +151,63 @@ MirroredStrategy::MirroredStrategy(const nn::UNet3dOptions& model_options,
                "step-consistent checkpoint");
     impl_->ckpt_path = options_.elastic_dir + "/elastic.ckpt";
   }
+  impl_->elastic_grow = elastic_grow_enabled(options.elastic_grow);
+  if (impl_->elastic_grow) {
+    DMIS_CHECK(impl_->elastic,
+               "elastic_grow requires elastic mode: the grow path reuses "
+               "the step-consistent checkpoint and recovery machinery");
+    impl_->signature = world_signature(*replicas_.front());
+    impl_->membership = std::make_unique<comm::MembershipService>(
+        r, impl_->signature, options_.lease_ms);
+  }
   build_group();
 }
 
-MirroredStrategy::~MirroredStrategy() = default;
+MirroredStrategy::~MirroredStrategy() {
+  // Wake any joiner agent still parked in await_admission (kShutdown),
+  // then reap the agent threads before members are torn down.
+  if (impl_->membership != nullptr) impl_->membership->shutdown();
+  std::vector<std::thread> joiners;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->joiner_mutex);
+    joiners.swap(impl_->joiners);
+  }
+  for (std::thread& t : joiners) {
+    if (t.joinable()) t.join();
+  }
+}
 
 bool MirroredStrategy::elastic() const { return impl_->elastic; }
 
+bool MirroredStrategy::elastic_grow() const { return impl_->elastic_grow; }
+
 int64_t MirroredStrategy::recoveries() const { return impl_->recoveries; }
+
+int64_t MirroredStrategy::grows() const { return impl_->grows; }
+
+comm::MembershipService& MirroredStrategy::membership() {
+  DMIS_CHECK(impl_->membership != nullptr,
+             "membership() requires elastic_grow mode");
+  return *impl_->membership;
+}
+
+void MirroredStrategy::request_rejoin() {
+  DMIS_CHECK(impl_->membership != nullptr,
+             "request_rejoin() requires elastic_grow mode");
+  const std::lock_guard<std::mutex> lock(impl_->joiner_mutex);
+  impl_->joiners.emplace_back([this] {
+    try {
+      const comm::JoinTicket ticket =
+          impl_->membership->request_join(impl_->signature);
+      (void)impl_->membership->await_admission(ticket,
+                                               options_.join_timeout_ms);
+    } catch (const comm::MembershipError& e) {
+      // Rejected, timed out, or the strategy shut down: this agent's
+      // node simply stays out of the group.
+      DMIS_LOG(kInfo) << "rejoin agent not admitted: " << e.what();
+    }
+  });
+}
 
 double MirroredStrategy::effective_lr() const {
   const int world =
@@ -178,6 +275,7 @@ TrainReport MirroredStrategy::fit(data::BatchStream& train,
   auto& reg = obs::MetricsRegistry::instance();
   obs::Gauge& world_gauge = reg.gauge("train.elastic.world_size");
   obs::Counter& recovery_counter = reg.counter("train.elastic.recoveries");
+  obs::Counter& grow_counter = reg.counter("train.elastic.grows");
   world_gauge.set(static_cast<double>(world_size()));
 
   // The __progress__ rider checkpointed with the weights: epoch, steps
@@ -218,6 +316,7 @@ TrainReport MirroredStrategy::fit(data::BatchStream& train,
   // nobody survived.
   const auto recover = [&](StepFailure& failure) {
     DMIS_TRACE_SPAN("train.elastic.recovery");
+    const int old_world = world_size();
     std::vector<char> dead(static_cast<size_t>(world_size()), 0);
     for (const int d : failure.agreed_dead) {
       dead[static_cast<size_t>(d)] = 1;
@@ -239,6 +338,8 @@ TrainReport MirroredStrategy::fit(data::BatchStream& train,
       }
     }
     if (survivors.empty()) std::rethrow_exception(failure.first);
+    reg.gauge("train.elastic.residual_mass_exported")
+        .set(residual_mass(residuals));
     replicas_ = std::move(survivors);
     ++impl_->recoveries;
     recovery_counter.add(1);
@@ -247,7 +348,15 @@ TrainReport MirroredStrategy::fit(data::BatchStream& train,
          i < impl_->bucketers.size() && i < residuals.size(); ++i) {
       impl_->bucketers[i]->import_residuals(residuals[i]);
     }
+    reg.gauge("train.elastic.residual_mass_imported")
+        .set(residual_mass(residuals));
     world_gauge.set(static_cast<double>(world_size()));
+    if (impl_->membership != nullptr) {
+      impl_->membership->set_world(world_size(), obs::Tracer::now_us());
+    }
+    obs::FlightRecorder::instance().dump(
+        "train.elastic.shrink(" + std::to_string(old_world) + "->" +
+        std::to_string(world_size()) + ")");
     for (size_t i = 0; i < replicas_.size(); ++i) {
       std::vector<nn::Param> params = replicas_[i]->checkpoint_params();
       for (nn::Param& sp : impl_->optimizers[i]->state_params()) {
@@ -261,6 +370,124 @@ TrainReport MirroredStrategy::fit(data::BatchStream& train,
     epoch = static_cast<int64_t>(progress[0]);
     resume_steps = static_cast<int64_t>(progress[1]);
     resume_loss_sum = static_cast<double>(progress[3]);
+  };
+
+  // Elastic scale-up, run at epoch boundaries: no collective is in
+  // flight, the in-flight buckets are drained (wait_all completed for
+  // every step of the epoch), and a step-consistent checkpoint was just
+  // written — the one moment the world can change shape safely.
+  const auto maybe_grow = [&]() {
+    if (impl_->membership == nullptr) return;
+    comm::MembershipService& ms = *impl_->membership;
+    // Renew survivor leases off the collective heartbeat table.
+    for (int rnk = 0; rnk < world_size(); ++rnk) {
+      const int64_t beat =
+          impl_->comms[static_cast<size_t>(rnk)].last_beat_us(rnk);
+      if (beat > 0) ms.renew(rnk, beat);
+    }
+    if (ms.parked() == 0) return;
+    const std::vector<int> expired = ms.expired_ranks(obs::Tracer::now_us());
+    if (!expired.empty()) {
+      // A group that cannot keep its own leases fresh must not take on
+      // joiners; the request stays parked for the next boundary.
+      DMIS_LOG(kWarn) << "elastic grow: deferring admission, "
+                     << expired.size() << " survivor lease(s) expired";
+      return;
+    }
+    const int admitted = ms.admit_pending();
+    if (admitted == 0) return;
+    DMIS_TRACE_SPAN("train.elastic.grow");
+    const int old_world = world_size();
+    // Capture rank 0's optimizer slots and step count before teardown:
+    // build_group() hands every replica a fresh optimizer, and the
+    // post-rebuild broadcast needs a root that still holds real state.
+    std::vector<std::vector<float>> slot_values;
+    for (nn::Param& sp : impl_->optimizers.front()->state_params()) {
+      slot_values.emplace_back(sp.value->data(),
+                               sp.value->data() + sp.value->numel());
+    }
+    const int64_t opt_steps = impl_->optimizers.front()->step_count();
+    // Survivor error-feedback residuals ride across the rebuild; the
+    // bucket layout is a pure function of the parameter list, so the
+    // exported state fits the enlarged group's bucketers exactly.
+    std::vector<GradBucketer::ResidualState> residuals;
+    for (const auto& b : impl_->bucketers) {
+      residuals.push_back(b->export_residuals());
+    }
+    reg.gauge("train.elastic.residual_mass_exported")
+        .set(residual_mass(residuals));
+    for (int j = 0; j < admitted; ++j) {
+      replicas_.push_back(std::make_unique<nn::UNet3d>(model_options_));
+    }
+    build_group();  // enlarged world: lr rescaled back up, fresh
+                    // AlgoTuner calibration and straggler baselines
+    {
+      std::vector<nn::Param> sps =
+          impl_->optimizers.front()->state_params();
+      DMIS_CHECK(sps.size() == slot_values.size(),
+                 "optimizer slot count changed across elastic rebuild");
+      for (size_t s = 0; s < sps.size(); ++s) {
+        DMIS_CHECK(static_cast<size_t>(sps[s].value->numel()) ==
+                       slot_values[s].size(),
+                   "optimizer slot '" << sps[s].name
+                                      << "' resized across rebuild");
+        std::copy(slot_values[s].begin(), slot_values[s].end(),
+                  sps[s].value->data());
+      }
+    }
+    // Broadcast weights + optimizer slots + __progress__ from rank 0 —
+    // the joiners' first collectives on the new group, and a live smoke
+    // of the rebuilt communicator before training resumes.
+    const int world = world_size();
+    std::exception_ptr bcast_err;
+    std::mutex bcast_mutex;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(world));
+    for (int rnk = 0; rnk < world; ++rnk) {
+      threads.emplace_back([&, rnk] {
+        try {
+          comm::Communicator& comm = impl_->comms[static_cast<size_t>(rnk)];
+          for (nn::Param& p :
+               replicas_[static_cast<size_t>(rnk)]->checkpoint_params()) {
+            comm.broadcast(p.value->span(), /*root=*/0);
+          }
+          for (nn::Param& sp :
+               impl_->optimizers[static_cast<size_t>(rnk)]->state_params()) {
+            comm.broadcast(sp.value->span(), /*root=*/0);
+          }
+          NDArray prog(Shape({4}));
+          if (rnk == 0) {
+            for (int64_t k = 0; k < 4; ++k) prog[k] = progress[k];
+          }
+          comm.broadcast(prog.span(), /*root=*/0);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(bcast_mutex);
+          if (!bcast_err) bcast_err = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    if (bcast_err) std::rethrow_exception(bcast_err);
+    for (auto& opt : impl_->optimizers) opt->set_step_count(opt_steps);
+    for (size_t s = 0; s < impl_->bucketers.size() && s < residuals.size();
+         ++s) {
+      impl_->bucketers[s]->import_residuals(residuals[s]);
+    }
+    reg.gauge("train.elastic.residual_mass_imported")
+        .set(residual_mass(residuals));
+    // Commit: joiners wake with their ranks, leases restart fresh, and
+    // every member of the new world agrees on (world, epoch).
+    const int committed = ms.commit_transition(obs::Tracer::now_us());
+    DMIS_CHECK(committed == world,
+               "membership world " << committed
+                                   << " diverged from strategy world "
+                                   << world);
+    ++impl_->grows;
+    grow_counter.add(1);
+    world_gauge.set(static_cast<double>(world));
+    obs::FlightRecorder::instance().dump(
+        "train.elastic.grow(" + std::to_string(old_world) + "->" +
+        std::to_string(world) + ")");
   };
 
   bool stop_requested = false;
@@ -455,6 +682,7 @@ TrainReport MirroredStrategy::fit(data::BatchStream& train,
     if (callback && !callback(stats)) stop_requested = true;
     ++epoch;
     if (elastic) save_state(epoch, 0, 0.0);  // epoch-boundary snapshot
+    if (!stop_requested && epoch < options_.train.epochs) maybe_grow();
   }
   return report;
 }

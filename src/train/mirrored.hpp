@@ -33,6 +33,26 @@
 //    checkpoint, so with the default every-step cadence at most one
 //    step of work is lost per failure.
 //
+// Scale-UP (MirroredOptions::elastic_grow or DMIS_ELASTIC_GROW=1, on
+// top of elastic): a comm::MembershipService (per-rank leases renewed
+// off the collective heartbeat table, DMIS_COMM_LEASE_MS) accepts join
+// requests from returning workers — request_rejoin() files one, and
+// the FaultInjector restart action lets chaos tests kill a rank with
+// its rejoin already scheduled. At each epoch boundary (in-flight
+// buckets drained, no collective live) the driver renews survivor
+// leases, validates parked joiners against the world's checkpoint
+// signature (mismatches get a typed MembershipError, never a
+// broadcast), appends fresh replicas, rebuilds the communicator over
+// the enlarged world (fresh AlgoTuner calibration and StragglerDetector
+// baselines), broadcasts rank 0's weights + optimizer slots +
+// __progress__ to everyone, rescales the learning rate back up,
+// re-imports the survivors' top-k error-feedback residuals (the bucket
+// layout is parameter-determined, so exported state fits the rebuilt
+// bucketers exactly; joiners start with zero residual), and commits
+// the membership transition — survivors and joiners leave the barrier
+// agreeing on the new world. Both shrink and grow emit a tagged
+// flight-recorder dump and update the train.elastic.world_size gauge.
+//
 // The step-consistent checkpoint piggybacks on nn::save_checkpoint
 // (temp file + fsync + atomic rename, CRC-protected): it stores replica
 // 0's checkpoint_params(), the optimizer slot state, and a __progress__
@@ -58,6 +78,10 @@
 #include "comm/compress.hpp"
 #include "train/trainer.hpp"
 
+namespace dmis::comm {
+class MembershipService;
+}  // namespace dmis::comm
+
 namespace dmis::train {
 
 struct MirroredOptions {
@@ -81,6 +105,17 @@ struct MirroredOptions {
   /// missing; stale *.tmp files from crashed saves are swept on fit()
   /// entry).
   std::string elastic_dir;
+  /// Re-admit returning ranks at epoch boundaries (see file comment).
+  /// Requires elastic mode; DMIS_ELASTIC_GROW=1/0 overrides.
+  bool elastic_grow = false;
+  /// Membership lease duration in ms handed to the MembershipService:
+  /// < 0 resolves DMIS_COMM_LEASE_MS (unset -> 2000). A survivor whose
+  /// collective heartbeat is older than this at an epoch boundary
+  /// vetoes admission (the group is not healthy enough to grow).
+  int64_t lease_ms = -1;
+  /// How long a request_rejoin() agent waits to be admitted before
+  /// giving up with MembershipError{kTimeout}.
+  int64_t join_timeout_ms = 120'000;
   /// Per-collective deadline handed to the comm group, in milliseconds:
   /// < 0 resolves DMIS_COMM_TIMEOUT_MS, 0 = no deadline. A deadline is
   /// what turns a *hung* (not crashed) rank into a typed failure.
@@ -129,6 +164,11 @@ class MirroredStrategy {
   /// shrink, the first surviving replica).
   nn::UNet3d& model() { return *replicas_.front(); }
 
+  /// A specific replica's model, by current rank. The mirrored-variable
+  /// invariant (and the grow broadcast) make every replica bit-identical
+  /// to rank 0 after fit(); tests assert exactly that.
+  nn::UNet3d& replica(int rank) { return *replicas_.at(rank); }
+
   /// The replica count fit() was configured with.
   int num_replicas() const { return options_.num_replicas; }
 
@@ -138,8 +178,26 @@ class MirroredStrategy {
   /// True when elastic recovery is enabled (option or DMIS_ELASTIC).
   bool elastic() const;
 
+  /// True when elastic scale-up is enabled (option or DMIS_ELASTIC_GROW).
+  bool elastic_grow() const;
+
   /// Elastic recoveries performed so far by this strategy.
   int64_t recoveries() const;
+
+  /// Elastic grow transitions (re-admissions) performed so far.
+  int64_t grows() const;
+
+  /// The membership service (elastic_grow only — throws otherwise).
+  /// Tests use it to file joins directly, e.g. with a bad signature.
+  comm::MembershipService& membership();
+
+  /// Files a join request for one returning rank: a joiner agent thread
+  /// requests admission with the world's true checkpoint signature and
+  /// parks until an epoch boundary admits it (or fit() ends and the
+  /// shutdown rejects it). The FaultInjector restart action calls this
+  /// from the dying rank, so a chaos kill deterministically schedules
+  /// its own return. Requires elastic_grow.
+  void request_rejoin();
 
   /// Effective learning rate after the linear scaling rule, for the
   /// *current* world size.
@@ -154,6 +212,10 @@ class MirroredStrategy {
   void build_group();
 
   MirroredOptions options_;
+  /// Kept so elastic grow can construct joiner replicas identical to
+  /// the originals (same seed -> same initial weights, overwritten by
+  /// the state broadcast anyway; same shapes is what matters).
+  nn::UNet3dOptions model_options_;
   std::vector<std::unique_ptr<nn::UNet3d>> replicas_;
   std::unique_ptr<Impl> impl_;
 };

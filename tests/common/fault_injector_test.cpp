@@ -248,5 +248,57 @@ TEST_F(FaultInjectorTest, ThreadSafeCounting) {
   EXPECT_EQ(fi.fires("p"), fired.load());
 }
 
+TEST_F(FaultInjectorTest, RestartActionRunsCallbackThenThrows) {
+  auto& fi = FaultInjector::instance();
+  int rejoins_filed = 0;
+  fi.arm_nth_call("node", 2);
+  fi.set_action_restart("node", [&] { ++rejoins_filed; });
+  fi.maybe_fail("node");  // call 1: no fire, no callback
+  EXPECT_EQ(rejoins_filed, 0);
+  try {
+    fi.maybe_fail("node");
+    FAIL() << "expected FaultInjected from the restart action";
+  } catch (const FaultInjected& e) {
+    EXPECT_NE(std::string(e.what()).find("injected restart"),
+              std::string::npos);
+  }
+  // The side effect ran before the crash propagated — the rejoin is
+  // already in flight when the group sees the failure.
+  EXPECT_EQ(rejoins_filed, 1);
+  EXPECT_EQ(fi.fires("node"), 1);
+  fi.maybe_fail("node");  // fire budget spent: proceeds quietly
+  EXPECT_EQ(rejoins_filed, 1);
+}
+
+TEST_F(FaultInjectorTest, RejoinActionRunsCallbackAndProceeds) {
+  auto& fi = FaultInjector::instance();
+  int announced = 0;
+  fi.arm_nth_call("standby", 1);
+  fi.set_action_rejoin("standby", [&] { ++announced; });
+  EXPECT_NO_THROW(fi.maybe_fail("standby"));
+  EXPECT_EQ(announced, 1);
+  EXPECT_EQ(fi.fires("standby"), 1);
+}
+
+TEST_F(FaultInjectorTest, RestartActionWithFireBudgetKillsTwice) {
+  // The double-fault chaos pattern: one arm, two deaths — the counters
+  // are cumulative, so max_fires=2 covers kill -> rejoin -> kill.
+  auto& fi = FaultInjector::instance();
+  int rejoins_filed = 0;
+  fi.arm_nth_call("node", 1, /*max_fires=*/2);
+  fi.set_action_restart("node", [&] { ++rejoins_filed; });
+  EXPECT_THROW(fi.maybe_fail("node"), FaultInjected);
+  EXPECT_THROW(fi.maybe_fail("node"), FaultInjected);
+  EXPECT_NO_THROW(fi.maybe_fail("node"));
+  EXPECT_EQ(rejoins_filed, 2);
+  EXPECT_EQ(fi.fires("node"), 2);
+}
+
+TEST_F(FaultInjectorTest, CallbackActionsRejectNullCallbacks) {
+  auto& fi = FaultInjector::instance();
+  EXPECT_THROW(fi.set_action_restart("p", nullptr), Error);
+  EXPECT_THROW(fi.set_action_rejoin("p", nullptr), Error);
+}
+
 }  // namespace
 }  // namespace dmis::common

@@ -1,0 +1,405 @@
+// Chaos tests for elastic scale-UP (this PR's acceptance gate): a
+// 4-replica mirrored run loses a rank mid-epoch, continues shrunk to 3,
+// re-admits the returning rank at the next epoch boundary through the
+// lease-based membership protocol, and finishes at world 4 with weights
+// matching a fault-free 4-rank run to 1e-6 — under every all-reduce
+// schedule and wire codec. Also covered: the kill-rejoin-kill double
+// fault, the shape-mismatched joiner (typed rejection, no deadlock,
+// no broadcast), top-k error-feedback residual conservation across the
+// grow, and the tagged flight-recorder dumps on both transitions.
+//
+// Equivalence math: gradients are combined as a sample-count-weighted
+// average, so the averaged gradient is world-size-invariant for the
+// same global batch. With scale_lr=false (the lr would otherwise
+// differ 3x vs 4x during the shrunk segment) and a lossless wire
+// (codec none, or top-k at ratio 1.0), the shrunken segment is
+// arithmetically identical to the 4-rank run and the gate is 1e-6;
+// fp16's wire quantization rounds different partial sums at world 3
+// than at world 4, so those legs carry ~1e-6 of codec noise and get a
+// correspondingly looser 1e-5 gate.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/membership.hpp"
+#include "common/check.hpp"
+#include "common/fault_injector.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/rng.hpp"
+#include "train/mirrored.hpp"
+
+namespace dmis::train {
+namespace {
+
+std::vector<data::Example> make_examples(int64_t n, uint64_t seed) {
+  std::vector<data::Example> out;
+  Rng rng(seed);
+  const int64_t S = 4;
+  for (int64_t id = 0; id < n; ++id) {
+    data::Example ex;
+    ex.id = id;
+    ex.image = NDArray(Shape{1, S, S, S});
+    ex.label = NDArray(Shape{1, S, S, S});
+    for (int64_t i = 0; i < ex.image.numel(); ++i) {
+      ex.image[i] = static_cast<float>(rng.normal());
+      ex.label[i] = rng.uniform() < 0.3 ? 1.0F : 0.0F;
+    }
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+nn::UNet3dOptions tiny_model() {
+  nn::UNet3dOptions opts;
+  opts.in_channels = 1;
+  opts.base_filters = 2;
+  opts.depth = 2;
+  opts.seed = 23;
+  opts.batch_norm = false;
+  return opts;
+}
+
+std::vector<float> flat_params(nn::UNet3d& model) {
+  std::vector<float> out;
+  for (const nn::Param& p : model.params()) {
+    out.insert(out.end(), p.value->data(),
+               p.value->data() + p.value->numel());
+  }
+  return out;
+}
+
+data::BatchStream make_stream() {
+  return data::BatchStream(data::from_examples(make_examples(8, 17)), 4);
+}
+
+/// 4 replicas, 2 epochs, grow enabled. scale_lr=false so the shrunk
+/// segment trains at the same rate as the reference (see file comment);
+/// a generous lease keeps slow sanitizer builds from vetoing admission.
+MirroredOptions grow_options(const std::string& dir) {
+  MirroredOptions mopt;
+  mopt.num_replicas = 4;
+  mopt.train.epochs = 2;
+  mopt.train.lr = 1e-3;
+  mopt.scale_lr = false;
+  mopt.elastic = true;
+  mopt.elastic_dir = dir;
+  mopt.elastic_grow = true;
+  mopt.lease_ms = 60'000;
+  return mopt;
+}
+
+/// Kill rank 3's nth allreduce with its rejoin pre-scheduled — the
+/// node dies and its replacement is already knocking.
+void arm_kill_with_rejoin(MirroredStrategy& mirrored, int64_t max_fires = 1) {
+  auto& faults = common::FaultInjector::instance();
+  faults.arm_nth_call("comm.all_reduce.r3", 1, max_fires);
+  faults.set_action_restart("comm.all_reduce.r3",
+                            [&mirrored] { mirrored.request_rejoin(); });
+}
+
+class ChaosGrowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    common::FaultInjector::instance().reset();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("dmis_chaos_grow_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+  }
+  void TearDown() override {
+    common::FaultInjector::instance().reset();
+    obs::FlightRecorder::instance().configure("");
+    std::filesystem::remove_all(dir_);
+  }
+
+  /// Fault-free 4-rank reference on the same data, seeds, and options
+  /// (its own checkpoint dir so it never reads the chaos run's state).
+  std::vector<float> reference_4rank(MirroredOptions mopt,
+                                     double* final_loss) {
+    common::FaultInjector::instance().reset();
+    mopt.elastic_dir = dir_ + "_ref";
+    MirroredStrategy reference(tiny_model(), mopt);
+    data::BatchStream train = make_stream();
+    const TrainReport report = reference.fit(train, nullptr);
+    if (final_loss != nullptr) {
+      *final_loss = report.history.back().train_loss;
+    }
+    std::filesystem::remove_all(dir_ + "_ref");
+    return flat_params(reference.model());
+  }
+
+  std::string dir_;
+};
+
+// The headline gate: rank 3 dies on its first collective (rejoin
+// pre-filed), the run continues shrunk to 3, re-admits at the epoch
+// boundary, and finishes at world 4 matching the fault-free 4-rank run.
+TEST_F(ChaosGrowTest, KillRejoinFinishesAtFullWorldMatchingFaultFreeRun) {
+  MirroredOptions mopt = grow_options(dir_);
+  MirroredStrategy mirrored(tiny_model(), mopt);
+  arm_kill_with_rejoin(mirrored);
+  data::BatchStream train = make_stream();
+  const TrainReport report = mirrored.fit(train, nullptr);
+
+  EXPECT_EQ(mirrored.recoveries(), 1);
+  EXPECT_EQ(mirrored.grows(), 1);
+  EXPECT_EQ(mirrored.world_size(), 4);
+  ASSERT_EQ(report.history.size(), 2U);
+  // The world-size gauge (what /healthz and the telemetry exporter
+  // serve) must track the grow, not stay at the shrunken value.
+  EXPECT_DOUBLE_EQ(obs::MetricsRegistry::instance()
+                       .gauge("train.elastic.world_size")
+                       .value(),
+                   4.0);
+
+  double ref_loss = 0.0;
+  const std::vector<float> ref = reference_4rank(mopt, &ref_loss);
+  const std::vector<float> got = flat_params(mirrored.model());
+  ASSERT_EQ(got.size(), ref.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], ref[i], 1e-6F) << "param element " << i;
+  }
+  EXPECT_NEAR(report.history.back().train_loss, ref_loss, 1e-6);
+}
+
+// All replicas must agree after the grow: the broadcast reaches the
+// joiner AND every survivor, so replica 3 (the re-admitted rank) ends
+// bit-identical to replica 0.
+TEST_F(ChaosGrowTest, JoinerReplicaIsBitIdenticalToSurvivors) {
+  MirroredOptions mopt = grow_options(dir_);
+  MirroredStrategy mirrored(tiny_model(), mopt);
+  arm_kill_with_rejoin(mirrored);
+  data::BatchStream train = make_stream();
+  (void)mirrored.fit(train, nullptr);
+  ASSERT_EQ(mirrored.world_size(), 4);
+  const std::vector<float> rank0 = flat_params(mirrored.model());
+  const std::vector<float> rank3 = flat_params(mirrored.replica(3));
+  ASSERT_EQ(rank0.size(), rank3.size());
+  for (size_t i = 0; i < rank0.size(); ++i) {
+    ASSERT_EQ(rank0[i], rank3[i]) << "param element " << i;
+  }
+}
+
+// Double fault: kill rank 3 in epoch 0, re-admit it at the boundary,
+// kill it AGAIN on its first post-rejoin collective in epoch 1, and
+// re-admit once more. Two shrinks, two grows, and the final weights
+// still match the fault-free run (the fire budget of 2 on a cumulative
+// call counter is what schedules the second kill).
+TEST_F(ChaosGrowTest, KillRejoinKillDoubleFaultStillConverges) {
+  MirroredOptions mopt = grow_options(dir_);
+  mopt.train.epochs = 3;  // epoch 2 needs a boundary to re-admit after
+  MirroredStrategy mirrored(tiny_model(), mopt);
+  arm_kill_with_rejoin(mirrored, /*max_fires=*/2);
+  data::BatchStream train = make_stream();
+  const TrainReport report = mirrored.fit(train, nullptr);
+
+  EXPECT_EQ(mirrored.recoveries(), 2);
+  EXPECT_EQ(mirrored.grows(), 2);
+  EXPECT_EQ(mirrored.world_size(), 4);
+  ASSERT_EQ(report.history.size(), 3U);
+
+  double ref_loss = 0.0;
+  const std::vector<float> ref = reference_4rank(mopt, &ref_loss);
+  const std::vector<float> got = flat_params(mirrored.model());
+  ASSERT_EQ(got.size(), ref.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], ref[i], 1e-6F) << "param element " << i;
+  }
+  EXPECT_NEAR(report.history.back().train_loss, ref_loss, 1e-6);
+}
+
+// A joiner whose checkpoint signature disagrees with the world (stale
+// binary, wrong model config) must get a typed MembershipError — never
+// a broadcast, never a deadlock — while training finishes untouched.
+TEST_F(ChaosGrowTest, ShapeMismatchedJoinerRejectedTypedWithoutDeadlock) {
+  MirroredOptions mopt = grow_options(dir_);
+  MirroredStrategy mirrored(tiny_model(), mopt);
+
+  comm::WorldSignature bad = mirrored.membership().signature();
+  ASSERT_FALSE(bad.empty());
+  bad.front().dims.front() += 1;  // one dimension off is enough
+
+  bool rejected_typed = false;
+  std::thread joiner([&] {
+    try {
+      const comm::JoinTicket ticket =
+          mirrored.membership().request_join(std::move(bad));
+      (void)mirrored.membership().await_admission(ticket,
+                                                  /*timeout_ms=*/60'000);
+    } catch (const comm::MembershipError& e) {
+      rejected_typed = e.kind() == comm::MembershipErrorKind::kShapeMismatch;
+    }
+  });
+
+  data::BatchStream train = make_stream();
+  const TrainReport report = mirrored.fit(train, nullptr);
+  joiner.join();
+
+  EXPECT_TRUE(rejected_typed);
+  EXPECT_EQ(mirrored.grows(), 0);    // nothing was admitted
+  EXPECT_EQ(mirrored.world_size(), 4);
+  ASSERT_EQ(report.history.size(), 2U);
+  for (const EpochStats& s : report.history) {
+    EXPECT_TRUE(std::isfinite(s.train_loss));
+  }
+}
+
+// Top-k error feedback at a lossy ratio: the survivors' residual mass
+// must ride across the rebuild intact — exported == imported and
+// nonzero (at ratio 0.25, ~75% of gradient mass lives in residuals).
+TEST_F(ChaosGrowTest, TopkResidualMassConservedAcrossGrow) {
+  MirroredOptions mopt = grow_options(dir_);
+  mopt.compress.mode = comm::CompressMode::kTopK;
+  mopt.compress.topk_ratio = 0.25;
+  MirroredStrategy mirrored(tiny_model(), mopt);
+  arm_kill_with_rejoin(mirrored);
+  data::BatchStream train = make_stream();
+  const TrainReport report = mirrored.fit(train, nullptr);
+
+  EXPECT_EQ(mirrored.recoveries(), 1);
+  EXPECT_EQ(mirrored.grows(), 1);
+  EXPECT_EQ(mirrored.world_size(), 4);
+  ASSERT_EQ(report.history.size(), 2U);
+  auto& reg = obs::MetricsRegistry::instance();
+  const double exported =
+      reg.gauge("train.elastic.residual_mass_exported").value();
+  const double imported =
+      reg.gauge("train.elastic.residual_mass_imported").value();
+  EXPECT_GT(exported, 0.0);
+  EXPECT_DOUBLE_EQ(imported, exported);
+}
+
+// Both transitions leave a tagged flight-recorder dump: one for the
+// shrink (4->3), one for the grow (3->4).
+TEST_F(ChaosGrowTest, ShrinkAndGrowEachLeaveTaggedFlightDump) {
+  auto& recorder = obs::FlightRecorder::instance();
+  recorder.configure(dir_ + "/flight");
+  const int64_t dumps_before = recorder.dumps();
+
+  MirroredOptions mopt = grow_options(dir_);
+  MirroredStrategy mirrored(tiny_model(), mopt);
+  arm_kill_with_rejoin(mirrored);
+  data::BatchStream train = make_stream();
+  (void)mirrored.fit(train, nullptr);
+  EXPECT_EQ(mirrored.grows(), 1);
+  EXPECT_GE(recorder.dumps() - dumps_before, 2);
+
+  // Scan the dump directory for both transition tags (old->new world).
+  bool saw_shrink = false;
+  bool saw_grow = false;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir_ + "/flight")) {
+    std::ifstream is(entry.path());
+    const std::string blob((std::istreambuf_iterator<char>(is)),
+                           std::istreambuf_iterator<char>());
+    saw_shrink = saw_shrink ||
+                 blob.find("train.elastic.shrink(4->3)") != std::string::npos;
+    saw_grow = saw_grow ||
+               blob.find("train.elastic.grow(3->4)") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_shrink);
+  EXPECT_TRUE(saw_grow);
+}
+
+// The grow machinery must be schedule- and codec-agnostic: the same
+// kill+rejoin chaos under ring/tree/hierarchical all-reduce crossed
+// with none/fp16/topk wire codecs (top-k at ratio 1.0 — lossless — so
+// the 1e-6 equivalence gate applies; hier runs with ranks_per_node=2,
+// whose node groups go ragged at world 3, the hard case).
+struct GrowMatrixParam {
+  comm::AllReduceAlgo algo;
+  comm::CompressMode codec;
+};
+
+class ChaosGrowMatrixTest
+    : public ::testing::TestWithParam<GrowMatrixParam> {
+ protected:
+  void SetUp() override {
+    common::FaultInjector::instance().reset();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("dmis_chaos_growm_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+  }
+  void TearDown() override {
+    common::FaultInjector::instance().reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  MirroredOptions matrix_options() {
+    MirroredOptions mopt = grow_options(dir_);
+    mopt.comm_algo = GetParam().algo;
+    mopt.comm_ranks_per_node = 2;
+    mopt.compress.mode = GetParam().codec;
+    mopt.compress.topk_ratio = 1.0;  // lossless: equivalence gate holds
+    return mopt;
+  }
+
+  std::string dir_;
+};
+
+TEST_P(ChaosGrowMatrixTest, KillRejoinMatchesFaultFreeRun) {
+  // Lossless wires reproduce the reference exactly (1e-6); the fp16
+  // wire rounds world-3 partial sums differently than world-4 ones, so
+  // its legs carry inherent codec noise (see file comment).
+  const float tol =
+      GetParam().codec == comm::CompressMode::kFp16 ? 1e-5F : 1e-6F;
+  MirroredOptions mopt = matrix_options();
+  MirroredStrategy mirrored(tiny_model(), mopt);
+  arm_kill_with_rejoin(mirrored);
+  data::BatchStream train = make_stream();
+  const TrainReport report = mirrored.fit(train, nullptr);
+
+  EXPECT_EQ(mirrored.recoveries(), 1);
+  EXPECT_EQ(mirrored.grows(), 1);
+  EXPECT_EQ(mirrored.world_size(), 4);
+  ASSERT_EQ(report.history.size(), 2U);
+
+  common::FaultInjector::instance().reset();
+  MirroredOptions ref_opts = mopt;
+  ref_opts.elastic_dir = dir_ + "_ref";
+  MirroredStrategy reference(tiny_model(), ref_opts);
+  data::BatchStream ref_train = make_stream();
+  const TrainReport ref_report = reference.fit(ref_train, nullptr);
+  std::filesystem::remove_all(dir_ + "_ref");
+
+  const std::vector<float> ref = flat_params(reference.model());
+  const std::vector<float> got = flat_params(mirrored.model());
+  ASSERT_EQ(got.size(), ref.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], ref[i], tol) << "param element " << i;
+  }
+  EXPECT_NEAR(report.history.back().train_loss,
+              ref_report.history.back().train_loss, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgosAndCodecs, ChaosGrowMatrixTest,
+    ::testing::Values(
+        GrowMatrixParam{comm::AllReduceAlgo::kRing, comm::CompressMode::kNone},
+        GrowMatrixParam{comm::AllReduceAlgo::kRing, comm::CompressMode::kFp16},
+        GrowMatrixParam{comm::AllReduceAlgo::kRing, comm::CompressMode::kTopK},
+        GrowMatrixParam{comm::AllReduceAlgo::kTree, comm::CompressMode::kNone},
+        GrowMatrixParam{comm::AllReduceAlgo::kTree, comm::CompressMode::kFp16},
+        GrowMatrixParam{comm::AllReduceAlgo::kTree, comm::CompressMode::kTopK},
+        GrowMatrixParam{comm::AllReduceAlgo::kHier, comm::CompressMode::kNone},
+        GrowMatrixParam{comm::AllReduceAlgo::kHier, comm::CompressMode::kFp16},
+        GrowMatrixParam{comm::AllReduceAlgo::kHier,
+                        comm::CompressMode::kTopK}),
+    [](const ::testing::TestParamInfo<GrowMatrixParam>& info) {
+      return std::string(comm::all_reduce_algo_name(info.param.algo)) + "_" +
+             comm::compress_mode_name(info.param.codec);
+    });
+
+}  // namespace
+}  // namespace dmis::train

@@ -17,6 +17,7 @@
 #include "comm/communicator.hpp"
 #include "common/check.hpp"
 #include "common/fault_injector.hpp"
+#include "raylite/sweep_ledger.hpp"
 
 namespace dmis::ray {
 namespace {
@@ -498,6 +499,194 @@ TEST_F(TuneRetryTest, StaleTmpFilesSweptFromTrialDirs) {
   EXPECT_EQ(result.count(TrialStatus::kTerminated), 4);
   EXPECT_FALSE(std::filesystem::exists(root + "/trial_0/model.ckpt.tmp"));
   EXPECT_TRUE(std::filesystem::exists(root + "/trial_0/model.ckpt"));
+  std::filesystem::remove_all(root);
+}
+
+// ---- Sweep ledger: durable completed-trial record + restart adoption.
+
+std::string fresh_root(const char* tag) {
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       (std::string("dmis_sweep_") + tag + "_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(root);
+  return root;
+}
+
+TEST(SweepLedgerTest, EncodeDecodeRoundTrips) {
+  LedgerEntry e;
+  e.id = 7;
+  e.status = "TERMINATED";
+  e.iterations = 12;
+  e.params = "loss=\"di\\ce\", lr=0.0003";  // quote + backslash survive
+  e.metrics = {{"val_dice", 0.8125}, {"loss", 1e-9}};
+  LedgerEntry back;
+  ASSERT_TRUE(SweepLedger::decode(SweepLedger::encode(e), &back));
+  EXPECT_EQ(back.id, e.id);
+  EXPECT_EQ(back.status, e.status);
+  EXPECT_EQ(back.iterations, e.iterations);
+  EXPECT_EQ(back.params, e.params);
+  ASSERT_EQ(back.metrics.size(), 2U);
+  EXPECT_DOUBLE_EQ(back.metrics.at("val_dice"), 0.8125);
+  EXPECT_DOUBLE_EQ(back.metrics.at("loss"), 1e-9);
+}
+
+TEST(SweepLedgerTest, CorruptLinesAreDetectedAndDropped) {
+  LedgerEntry e;
+  e.id = 1;
+  e.status = "TERMINATED";
+  e.iterations = 3;
+  e.params = "lr=0.001";
+  e.metrics = {{"score", 0.5}};
+  std::string line = SweepLedger::encode(e);
+  LedgerEntry out;
+  ASSERT_TRUE(SweepLedger::decode(line, &out));
+  // Any payload flip breaks the CRC.
+  std::string torn = line;
+  torn[torn.find("\"iterations\":3") + 13] = '9';
+  EXPECT_FALSE(SweepLedger::decode(torn, &out));
+  EXPECT_FALSE(SweepLedger::decode("not json at all", &out));
+  EXPECT_FALSE(SweepLedger::decode(line.substr(0, line.size() / 2), &out));
+
+  // A ledger file mixing good and torn lines keeps only the good one.
+  const std::string root = fresh_root("corrupt");
+  std::filesystem::create_directories(root);
+  const std::string path = root + "/sweep_ledger.jsonl";
+  {
+    std::ofstream os(path);
+    os << line << "\n" << torn << "\ngarbage\n";
+  }
+  SweepLedger ledger(path);
+  ASSERT_EQ(ledger.entries().size(), 1U);
+  EXPECT_EQ(ledger.entries()[0].id, 1);
+  std::filesystem::remove_all(root);
+}
+
+TEST(SweepLedgerTest, RecordPersistsAndUpserts) {
+  const std::string root = fresh_root("record");
+  std::filesystem::create_directories(root);
+  const std::string path = root + "/sweep_ledger.jsonl";
+  {
+    SweepLedger ledger(path);
+    LedgerEntry e;
+    e.id = 0;
+    e.status = "TERMINATED";
+    e.iterations = 2;
+    e.params = "lr=0.001";
+    ledger.record(e);
+    e.id = 1;
+    e.status = "STOPPED";
+    ledger.record(e);
+    e.id = 0;
+    e.iterations = 5;  // upsert replaces, not duplicates
+    ledger.record(e);
+  }
+  SweepLedger reloaded(path);
+  ASSERT_EQ(reloaded.entries().size(), 2U);
+  const LedgerEntry* t0 = reloaded.find(0, "lr=0.001");
+  ASSERT_NE(t0, nullptr);
+  EXPECT_EQ(t0->iterations, 5);
+  EXPECT_NE(reloaded.find(1, "lr=0.001"), nullptr);
+  // A changed fingerprint is a different sweep: no adoption.
+  EXPECT_EQ(reloaded.find(0, "lr=0.01"), nullptr);
+  std::filesystem::remove_all(root);
+}
+
+TEST(TuneTest, CompletedTrialsLandInLedger) {
+  const std::string root = fresh_root("ledger");
+  TuneOptions opts;
+  opts.num_gpus = 2;
+  opts.checkpoint_root = root;
+  const TuneResult result = tune_run(synthetic_trainable, lr_grid(), opts);
+  EXPECT_EQ(result.count(TrialStatus::kTerminated), 4);
+  SweepLedger ledger(root + "/sweep_ledger.jsonl");
+  ASSERT_EQ(ledger.entries().size(), 4U);
+  for (const Trial& t : result.trials) {
+    const LedgerEntry* e = ledger.find(t.id, param_set_str(t.params));
+    ASSERT_NE(e, nullptr) << "trial " << t.id;
+    EXPECT_EQ(e->status, "TERMINATED");
+    EXPECT_EQ(e->iterations, t.iterations);
+    EXPECT_DOUBLE_EQ(e->metrics.at("val_dice"),
+                     t.last_metrics.at("val_dice"));
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(TuneTest, RestartAdoptsCompletedTrialsWithoutRerunning) {
+  const std::string root = fresh_root("resume");
+  TuneOptions opts;
+  opts.num_gpus = 2;
+  opts.checkpoint_root = root;
+  const TuneResult first = tune_run(synthetic_trainable, lr_grid(), opts);
+  EXPECT_EQ(first.count(TrialStatus::kTerminated), 4);
+
+  // The "restarted driver": same configs, same root. The trainable now
+  // counts invocations — adoption means it never runs.
+  std::atomic<int> reruns{0};
+  const auto counting = [&](const ParamSet& params, Reporter& reporter) {
+    ++reruns;
+    synthetic_trainable(params, reporter);
+  };
+  const TuneResult second = tune_run(counting, lr_grid(), opts);
+  EXPECT_EQ(reruns.load(), 0);
+  EXPECT_EQ(second.count(TrialStatus::kTerminated), 4);
+  for (size_t i = 0; i < second.trials.size(); ++i) {
+    EXPECT_EQ(second.trials[i].attempts, 0);  // never dispatched
+    EXPECT_EQ(second.trials[i].iterations, first.trials[i].iterations);
+    EXPECT_EQ(second.trials[i].last_metrics, first.trials[i].last_metrics);
+  }
+  // Best-trial parity across the restart.
+  EXPECT_EQ(second.best("val_dice").id, first.best("val_dice").id);
+  std::filesystem::remove_all(root);
+}
+
+TEST(TuneTest, ChangedConfigurationIsNotAdopted) {
+  const std::string root = fresh_root("changed");
+  TuneOptions opts;
+  opts.num_gpus = 2;
+  opts.checkpoint_root = root;
+  (void)tune_run(synthetic_trainable, lr_grid(), opts);
+
+  // Same number of trials, different hyper-parameters: the fingerprint
+  // mismatch must force a re-run rather than adopting stale results.
+  SearchSpace space;
+  space.choice("lr", {2e-3, 2e-4, 2e-5, 2e-6});
+  std::atomic<int> reruns{0};
+  const auto counting = [&](const ParamSet& params, Reporter& reporter) {
+    ++reruns;
+    synthetic_trainable(params, reporter);
+  };
+  const TuneResult second = tune_run(counting, space.grid(), opts);
+  EXPECT_EQ(reruns.load(), 4);
+  EXPECT_EQ(second.count(TrialStatus::kTerminated), 4);
+  std::filesystem::remove_all(root);
+}
+
+TEST(TuneTest, AshaStoppedTrialsAdoptedAsStopped) {
+  const std::string root = fresh_root("asha");
+  // Wide quality spread so ASHA reliably stops the bottom trials.
+  SearchSpace space;
+  space.choice("lr", {1e-4, 1e-8});
+  TuneOptions opts;
+  opts.num_gpus = 1;  // serial: the good trial reaches each rung first
+  opts.checkpoint_root = root;
+  AshaOptions asha;
+  asha.metric = "val_dice";
+  asha.grace_period = 1;
+  asha.reduction_factor = 2;
+  opts.asha = asha;
+  const TuneResult first = tune_run(synthetic_trainable, space.grid(), opts);
+  ASSERT_EQ(first.count(TrialStatus::kStopped), 1);
+
+  std::atomic<int> reruns{0};
+  const auto counting = [&](const ParamSet& params, Reporter& reporter) {
+    ++reruns;
+    synthetic_trainable(params, reporter);
+  };
+  const TuneResult second = tune_run(counting, space.grid(), opts);
+  EXPECT_EQ(reruns.load(), 0);
+  EXPECT_EQ(second.count(TrialStatus::kStopped), 1);
+  EXPECT_EQ(second.count(TrialStatus::kTerminated), 1);
   std::filesystem::remove_all(root);
 }
 

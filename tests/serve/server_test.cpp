@@ -14,6 +14,7 @@
 #include "common/fault_injector.hpp"
 #include "core/serve.hpp"
 #include "data/volume.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/rng.hpp"
 
 namespace dmis::serve {
@@ -302,6 +303,42 @@ TEST_F(ServerTest, BreakerTripsShedsProbesAndRecovers) {
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.breaker_recoveries, 1);
   EXPECT_EQ(stats.shed, 1);
+}
+
+TEST_F(ServerTest, BreakerRecoveryRereadsElasticWorldSize) {
+  auto& injector = common::FaultInjector::instance();
+  auto& world_gauge =
+      obs::MetricsRegistry::instance().gauge("train.elastic.world_size");
+
+  // The co-located trainer is running at world 4 when the server boots.
+  world_gauge.set(4.0);
+  ServeOptions options = base_options(1);
+  options.breaker_trip_failures = 2;
+  options.breaker_recovery_successes = 1;
+  SegmentationServer server(tiny_model(), "", options);
+  EXPECT_EQ(server.stats().observed_world_size, 4);
+
+  // The trainer shrinks (a rank died) while the breaker is tripping —
+  // the stale boot-time observation must not survive the recovery.
+  injector.arm_every_n("serve.worker", 1, /*max_fires=*/2);
+  for (int i = 0; i < 2; ++i) {
+    auto fut = server.submit(noise_volume(static_cast<uint64_t>(i)));
+    EXPECT_EQ(failure_kind(fut), ServeErrorKind::kBackendFailed);
+  }
+  ASSERT_EQ(server.health(), HealthState::kDegraded);
+  world_gauge.set(3.0);
+  EXPECT_EQ(server.stats().observed_world_size, 4);  // not yet re-read
+
+  // The successful probe closes the breaker and refreshes the view.
+  EXPECT_GT(server.segment(noise_volume(10)).probabilities.tensor().numel(),
+            0);
+  ASSERT_EQ(server.health(), HealthState::kHealthy);
+  EXPECT_EQ(server.stats().observed_world_size, 3);
+  EXPECT_DOUBLE_EQ(obs::MetricsRegistry::instance()
+                       .gauge("serve.observed_world_size")
+                       .value(),
+                   3.0);
+  world_gauge.set(0.0);  // don't leak state into other tests
 }
 
 TEST_F(ServerTest, ShedsWhenPredictedWaitExceedsDeadline) {

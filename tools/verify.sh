@@ -9,8 +9,9 @@
 # choreography is raced — the gradient bucketer and mirrored strategy,
 # the fault injector, the telemetry registry/tracer, the segmentation
 # server, and the chaos integration sweeps — including chaos_serve, the
-# serving robustness gate), where data races would live, plus an
-# until-fail flake screen over the comm suites, then traced example
+# serving robustness gate, and chaos_grow, the elastic scale-up gate),
+# where data races would live, plus an until-fail flake screen over the
+# comm suites, a kill-and-restart sweep-resume smoke, then traced example
 # smokes that
 # check the telemetry exports are valid, non-empty JSON — including
 # that the bucketed gradient sync genuinely overlaps allreduce with
@@ -37,7 +38,7 @@ echo "== flake screen: comm suites repeated until-fail 3x =="
 # an order-dependent rendezvous tends to show up as a rare flake, not a
 # deterministic failure. Repeat the comm-heavy suites until-fail.
 (cd build && ctest --repeat until-fail:3 -j"${JOBS}" \
-  -R '^(comm_test|chaos_dp_test)\.' | tail -3)
+  -R '^(comm_test|chaos_dp_test|chaos_grow_test)\.' | tail -3)
 
 echo "== asan: gemm/im2col + conv parity suites =="
 cmake -B build-asan -S . -DDMIS_SANITIZE=address >/dev/null
@@ -53,7 +54,8 @@ echo "== tsan: raylite + comm + train + obs suites =="
 cmake -B build-tsan -S . -DDMIS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}" \
   --target raylite_test comm_test train_test common_test obs_test \
-           serve_test chaos_test chaos_dp_test chaos_serve_test
+           serve_test chaos_test chaos_dp_test chaos_grow_test \
+           chaos_serve_test
 for t in raylite_test comm_test train_test common_test obs_test \
          serve_test chaos_test; do
   echo "-- tsan: ${t}"
@@ -101,6 +103,19 @@ echo "== tsan chaos: elastic data-parallel recovery under rank loss =="
 # survivors, restore the step-consistent checkpoint, and match the
 # fault-free smaller run — deadlock- and race-free under TSan.
 ./build-tsan/tests/chaos_dp_test
+
+echo "== tsan chaos: elastic scale-up under kill + rejoin =="
+# The acceptance gate of the elastic scale-up PR: a 4-rank mirrored run
+# loses rank 3 mid-epoch with its rejoin pre-scheduled (the FaultInjector
+# restart action), continues shrunk to 3, re-admits the rank at the next
+# epoch boundary through the lease-based membership protocol, and must
+# finish at world 4 matching the fault-free 4-rank run — across every
+# all-reduce schedule and wire codec, including the kill-rejoin-kill
+# double fault and the shape-mismatched joiner (typed rejection, no
+# deadlock) — race-free under TSan. The join/admit/commit handshake is
+# real cross-thread choreography (parked joiner agents vs the driver's
+# epoch boundary), exactly where TSan earns its keep.
+./build-tsan/tests/chaos_grow_test
 
 echo "== tsan chaos: segmentation serving under crashes, hangs, delays =="
 # The acceptance gate of the robust-serving PR: a 4-worker server is
@@ -321,6 +336,30 @@ EOF
 wait "${TUNE_PID}"
 grep -q '"trigger":"signal.SIGUSR1"' "${SMOKE_DIR}"/flight/flight_*.json \
   || { echo "SIGUSR1 produced no flight dump"; ls -l "${SMOKE_DIR}/flight" || true; exit 1; }
+
+echo "== sweep resume: kill mid-sweep, restart, same best trial =="
+# The sweep-ledger gate: a 6-trial sweep is killed (rc 42) once 3 trials
+# have reached the durable ledger; the restarted sweep must adopt every
+# ledgered trial without re-running it (>= 3 — the fast sequential
+# trials can land one more line in the instant between the ledger poll
+# and the _exit), finish the rest, and land on the same best trial and
+# metric as an uninterrupted sweep over the same grid.
+SWEEP_DIR="${SMOKE_DIR}/sweep_resume"
+rc=0
+./build/examples/sweep_resume "${SWEEP_DIR}" 3 >/dev/null || rc=$?
+[ "${rc}" -eq 42 ] || { echo "first run: expected crash rc 42, got ${rc}"; exit 1; }
+resumed="$(./build/examples/sweep_resume "${SWEEP_DIR}" | tail -1)"
+uninterrupted="$(./build/examples/sweep_resume "${SWEEP_DIR}_ref" | tail -1)"
+echo "resumed:       ${resumed}"
+echo "uninterrupted: ${uninterrupted}"
+adopted="$(printf '%s\n' "${resumed}" | sed 's/.*adopted=\([0-9]*\).*/\1/')"
+[ "${adopted:-0}" -ge 3 ] \
+  || { echo "restart adopted only ${adopted} of the >= 3 ledgered trials"; exit 1; }
+# Same completed count, best trial and best metric as the clean run
+# (the adopted= field legitimately differs: >= 3 vs 0).
+strip_adopted() { printf '%s\n' "$1" | sed 's/adopted=[0-9]* //'; }
+[ "$(strip_adopted "${resumed}")" = "$(strip_adopted "${uninterrupted}")" ] \
+  || { echo "resumed sweep diverged from the uninterrupted run"; exit 1; }
 
 echo "== bench: conv kernels, gemm vs naive =="
 ./build/bench/bench_conv3d --benchmark_filter='Conv' \
